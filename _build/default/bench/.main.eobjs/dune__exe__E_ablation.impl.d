@@ -1,0 +1,1 @@
+bench/e_ablation.ml: Array List Mvcc_engine Mvcc_polygraph Mvcc_workload Printf Util

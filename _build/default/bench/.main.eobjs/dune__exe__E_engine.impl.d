@@ -1,0 +1,1 @@
+bench/e_engine.ml: List Mvcc_engine Printf Util

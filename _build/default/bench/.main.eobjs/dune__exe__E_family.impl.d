@@ -1,0 +1,1 @@
+bench/e_family.ml: Format Fun List Mvcc_classes Mvcc_core Mvcc_workload Seq Util

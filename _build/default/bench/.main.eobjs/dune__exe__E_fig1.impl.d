@@ -1,0 +1,1 @@
+bench/e_fig1.ml: Hashtbl List Mvcc_classes Mvcc_core Mvcc_workload Option Printf Schedule Util

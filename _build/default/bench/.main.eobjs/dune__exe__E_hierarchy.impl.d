@@ -1,0 +1,1 @@
+bench/e_hierarchy.ml: List Mvcc_classes Mvcc_core Mvcc_workload Schedule Util

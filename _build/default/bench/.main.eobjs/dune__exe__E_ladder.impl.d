@@ -1,0 +1,1 @@
+bench/e_ladder.ml: List Mvcc_classes Mvcc_core Mvcc_ols Mvcc_sched Mvcc_workload Schedule Util

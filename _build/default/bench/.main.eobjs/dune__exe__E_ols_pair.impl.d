@@ -1,0 +1,1 @@
+bench/e_ols_pair.ml: Examples Format List Mvcc_classes Mvcc_core Mvcc_ols Ols Schedule String Util Version_fn

@@ -1,0 +1,1 @@
+bench/e_reductions.ml: Maximal Mvcc_classes Mvcc_ols Mvcc_polygraph Mvcc_sat Mvcc_workload Theorem4 Theorem5 Theorem6 Util

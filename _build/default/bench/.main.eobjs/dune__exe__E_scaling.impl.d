@@ -1,0 +1,1 @@
+bench/e_scaling.ml: List Mvcc_classes Mvcc_polygraph Mvcc_workload Unix Util

@@ -1,0 +1,1 @@
+bench/e_theorems.ml: Equiv Fun Hashtbl List Mvcc_classes Mvcc_core Mvcc_workload Option Schedule Seq Util Version_fn

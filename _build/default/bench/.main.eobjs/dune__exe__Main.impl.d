@@ -1,0 +1,1 @@
+bench/main.ml: Array E_ablation E_engine E_family E_fig1 E_hierarchy E_ladder E_ols_pair E_reductions E_scaling E_theorems List Sys Timing Util

@@ -1,0 +1,1 @@
+bench/util.ml: Format Random String Unix

@@ -1,0 +1,120 @@
+(* E15/E16 — ablations of the design choices DESIGN.md calls out:
+
+   E15: engine version garbage collection — chain length and overhead
+        with and without pruning, under a version-churn workload.
+   E16: polygraph solver unit propagation — search effort with forced-move
+        detection on and off, on reduction-produced (hard) instances. *)
+
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+module A = Mvcc_polygraph.Acyclicity
+module R = Mvcc_polygraph.Sat_to_polygraph
+module PG = Mvcc_workload.Polygraph_gen
+
+let run_gc ~seeds =
+  Util.section "E15  Ablation: version garbage collection";
+  let entity = "hot" in
+  let programs n =
+    List.init n (fun i -> P.increment ~label:(string_of_int i) entity 1)
+    @ [ P.read_all ~label:"audit" [ entity ] ]
+  in
+  Util.row "%10s | %12s %10s | %12s %10s@." "increments" "chain(no-gc)"
+    "pruned" "chain(gc)" "pruned";
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let avg gc f =
+        List.fold_left
+          (fun acc seed ->
+            let r =
+              E.run ~policy:E.Mvto ~initial:[ (entity, 0) ]
+                ~programs:(programs n) ~gc ~seed ()
+            in
+            if List.assoc entity r.E.final_state <> n then ok := false;
+            acc + f r.E.stats)
+          0 seeds
+        / List.length seeds
+      in
+      Util.row "%10d | %12d %10d | %12d %10d@." n
+        (avg false (fun s -> s.E.max_version_chain))
+        (avg false (fun s -> s.E.gc_pruned))
+        (avg true (fun s -> s.E.max_version_chain))
+        (avg true (fun s -> s.E.gc_pruned)))
+    [ 4; 8; 16; 32 ];
+  Util.row "@.final values correct in every configuration: %b@." !ok;
+  !ok
+
+let run_deadlock ~seeds =
+  Util.section "E17  Ablation: S2PL deadlock handling";
+  let accounts = List.init 6 (fun i -> Printf.sprintf "a%d" i) in
+  let initial = List.map (fun a -> (a, 100)) accounts in
+  let programs n =
+    List.init n (fun i ->
+        P.transfer
+          ~label:(string_of_int i)
+          ~from_:(List.nth accounts (i mod 6))
+          ~to_:(List.nth accounts ((i + 1) mod 6))
+          1)
+  in
+  Util.row "%10s | %18s | %18s | %18s@." "" "detect" "wait-die" "wound-wait";
+  Util.row "%10s | %8s %9s | %8s %9s | %8s %9s@." "transfers" "ticks"
+    "aborts" "ticks" "aborts" "ticks" "aborts";
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let avg deadlock f =
+        List.fold_left
+          (fun acc seed ->
+            let r =
+              E.run ~policy:E.S2pl ~initial ~programs:(programs n) ~deadlock
+                ~seed ()
+            in
+            if
+              r.E.stats.E.commits <> n
+              || List.fold_left (fun a (_, v) -> a + v) 0 r.E.final_state
+                 <> 600
+            then ok := false;
+            acc + f r.E.stats)
+          0 seeds
+        / List.length seeds
+      in
+      let line d = (avg d (fun s -> s.E.ticks), avg d (fun s -> s.E.aborts)) in
+      let t1, a1 = line E.Detect in
+      let t2, a2 = line E.Wait_die in
+      let t3, a3 = line E.Wound_wait in
+      Util.row "%10d | %8d %9d | %8d %9d | %8d %9d@." n t1 a1 t2 a2 t3 a3)
+    [ 4; 8; 16; 24 ];
+  Util.row "@.all commits and balances intact under every policy: %b@." !ok;
+  !ok
+
+let run_solver ~trials =
+  Util.section "E16  Ablation: polygraph solver unit propagation";
+  let rng = Util.rng 88 in
+  Util.row "%8s | %12s %12s | %12s %12s@." "formula" "branches+" "ms+"
+    "branches-" "ms-";
+  let ok = ref true in
+  List.iter
+    (fun (n_vars, n_clauses) ->
+      let total = Array.make 4 0. in
+      for _ = 1 to trials do
+        let f = PG.random_monotone ~n_vars ~n_clauses rng in
+        let p = (R.reduce f).R.polygraph in
+        let (r1, s1), t1 =
+          Util.time_ms (fun () -> A.solve_stats ~propagate:true p)
+        in
+        let (r2, s2), t2 =
+          Util.time_ms (fun () -> A.solve_stats ~propagate:false p)
+        in
+        if (r1 = None) <> (r2 = None) then ok := false;
+        total.(0) <- total.(0) +. float_of_int s1.A.branches;
+        total.(1) <- total.(1) +. t1;
+        total.(2) <- total.(2) +. float_of_int s2.A.branches;
+        total.(3) <- total.(3) +. t2
+      done;
+      let avg i = total.(i) /. float_of_int trials in
+      Util.row "%8s | %12.1f %12.3f | %12.1f %12.3f@."
+        (Printf.sprintf "%dv%dc" n_vars n_clauses)
+        (avg 0) (avg 1) (avg 2) (avg 3))
+    [ (3, 3); (4, 5); (5, 7); (6, 9) ];
+  Util.row "@.verdicts identical with and without propagation: %b@." !ok;
+  !ok

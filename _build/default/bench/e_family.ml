@@ -1,0 +1,75 @@
+(* E14 — the conflict-family lattice (Section 3's discussion of [5]):
+   class size and MVSR-safety for every subset of the conflict kinds.
+
+   Expected shape: acceptance shrinks as kinds are added; every subset
+   containing RW stays inside MVSR (Theorem 3 generalized); every subset
+   without RW accepts non-MVSR schedules — preserving read-then-write
+   order is exactly what the multiversion approach cannot forgive. *)
+
+module Family = Mvcc_classes.Family
+module MS = Mvcc_classes.Mvsr
+
+let run ~samples =
+  Util.section "E14  The conflict-family lattice ([5])";
+  let rng = Util.rng 66 in
+  let params =
+    { Mvcc_workload.Schedule_gen.default with
+      n_txns = 3; n_entities = 2; max_steps = 3 }
+  in
+  let drawn = Mvcc_workload.Schedule_gen.sample params rng samples in
+  let mvsr = List.map MS.test drawn in
+  Util.row "%-14s %10s %12s %16s@." "kinds" "accepts" "safe(claim)"
+    "non-MVSR accepted";
+  let ok = ref true in
+  List.iter
+    (fun kinds ->
+      let accepted = List.map (Family.test ~kinds) drawn in
+      let n_accepted = List.length (List.filter Fun.id accepted) in
+      let escapes =
+        List.fold_left2
+          (fun acc a m -> if a && not m then acc + 1 else acc)
+          0 accepted mvsr
+      in
+      let safe = Family.safe ~kinds in
+      if safe && escapes > 0 then ok := false;
+      Util.row "%-14s %9.1f%% %12b %16d@."
+        (Format.asprintf "%a" Family.pp_kinds kinds)
+        (Util.pct n_accepted samples) safe escapes)
+    Family.subsets;
+  Util.row
+    "@.every RW-containing subset stayed inside MVSR: %b@." !ok;
+  (* the refined lattice around the paper's MRW/MWW remark: DMVSR (=MWW)
+     against the {WW,RW} conflict family and the write-order version-order
+     class of [2] *)
+  Util.subsection "refined lattice: DMVSR = {WW,RW} < write-order < MVCSR";
+  let rng = Util.rng 67 in
+  let distinct =
+    Mvcc_workload.Schedule_gen.sample
+      { Mvcc_workload.Schedule_gen.default with
+        n_txns = 3; n_entities = 2; max_steps = 3; distinct_accesses = true }
+      rng samples
+  in
+  let write_order s =
+    Seq.exists
+      (fun v ->
+        Mvcc_classes.Mvsg.well_formed s v
+        && Mvcc_classes.Mvsg.write_order_serializable s v)
+      (Mvcc_core.Version_fn.enumerate s)
+  in
+  let count pred = List.length (List.filter pred distinct) in
+  let n_dmvsr = count Mvcc_classes.Dmvsr.test in
+  let n_fam = count (Family.test ~kinds:[ Family.Ww; Family.Rw ]) in
+  let n_wo = count write_order in
+  let n_mvcsr = count Mvcc_classes.Mvcsr.test in
+  Util.row "DMVSR %5.1f%% = {WW,RW} %5.1f%%  <  write-order %5.1f%%  <  MVCSR %5.1f%%@."
+    (Util.pct n_dmvsr samples) (Util.pct n_fam samples)
+    (Util.pct n_wo samples) (Util.pct n_mvcsr samples);
+  let identity_ok =
+    List.for_all
+      (fun s ->
+        Mvcc_classes.Dmvsr.test s
+        = Family.test ~kinds:[ Family.Ww; Family.Rw ] s)
+      distinct
+  in
+  Util.row "DMVSR/{WW,RW} identity held on every sample: %b@." identity_ok;
+  !ok && identity_ok

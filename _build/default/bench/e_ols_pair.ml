@@ -1,0 +1,35 @@
+(* E2 — the Section 4 counterexample pair: MVCSR is not OLS. *)
+
+open Mvcc_core
+open Mvcc_ols
+
+let run () =
+  Util.section "E2  Section 4: the MVCSR pair that is not OLS";
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  Util.row "s  = %s@." (Schedule.to_string s);
+  Util.row "s' = %s@." (Schedule.to_string s');
+  Util.row "common prefix: %s@." (Schedule.to_string Examples.common_prefix);
+  let mvcsr = Mvcc_classes.Mvcsr.test s && Mvcc_classes.Mvcsr.test s' in
+  Util.row "both MVCSR        : %b@." mvcsr;
+  let cert s =
+    match Mvcc_classes.Mvsr.certificate s with
+    | Some (order, v) ->
+        Format.asprintf "as %s with %a"
+          (String.concat "" (List.map (fun i -> "T" ^ string_of_int (i + 1)) order))
+          (Version_fn.pp s) v
+    | None -> "not MVSR"
+  in
+  Util.row "s  serializes %s@." (cert s);
+  Util.row "s' serializes %s@." (cert s');
+  (* the incompatible read: R2(x) at position 2 *)
+  let pin_from_w1 = Version_fn.of_list [ (2, Version_fn.From 1) ] in
+  let pin_initial = Version_fn.of_list [ (2, Version_fn.Initial) ] in
+  Util.row "s  with R2(x)<-x1 : %b, with R2(x)<-T0: %b@."
+    (Mvcc_classes.Mvsr.test_pinned s ~pinned:pin_from_w1)
+    (Mvcc_classes.Mvsr.test_pinned s ~pinned:pin_initial);
+  Util.row "s' with R2(x)<-x1 : %b, with R2(x)<-T0: %b@."
+    (Mvcc_classes.Mvsr.test_pinned s' ~pinned:pin_from_w1)
+    (Mvcc_classes.Mvsr.test_pinned s' ~pinned:pin_initial);
+  let ols = Ols.is_ols [ s; s' ] in
+  Util.row "pair OLS          : %b   (paper: no)@." ols;
+  mvcsr && not ols

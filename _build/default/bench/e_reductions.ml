@@ -1,0 +1,71 @@
+(* E6-E8, E12 — the hardness constructions: SAT -> polygraph (E12),
+   polygraph -> OLS pair (Theorem 4, E6), polygraph -> forced-read
+   schedule (Theorem 5, E7), and the adaptive construction against the
+   maximal MVCSR scheduler (Theorem 6, E8). *)
+
+module A = Mvcc_polygraph.Acyclicity
+module E = Mvcc_polygraph.Sat_encoding
+module R = Mvcc_polygraph.Sat_to_polygraph
+module M = Mvcc_sat.Monotone
+module Dpll = Mvcc_sat.Dpll
+module PG = Mvcc_workload.Polygraph_gen
+open Mvcc_ols
+
+let run ~trials =
+  Util.section "E6-E8, E12  The hardness constructions";
+  (* E12: SAT -> polygraph on random restricted formulas *)
+  Util.subsection "E12: satisfiability -> polygraph acyclicity ([6,7])";
+  let rng = Util.rng 21 in
+  let mism = ref 0 and sat_count = ref 0 in
+  let n12 = trials * 8 in
+  for _ = 1 to n12 do
+    let f = PG.random_monotone ~n_vars:3 ~n_clauses:3 rng in
+    let sat = Dpll.satisfiable (M.to_cnf f) in
+    if sat then incr sat_count;
+    let p = (R.reduce f).R.polygraph in
+    let a = A.is_acyclic p in
+    let a' = E.is_acyclic_sat p in
+    if sat <> a || a <> a' then incr mism
+  done;
+  Util.row
+    "%d random formulas (%d satisfiable): DPLL vs polygraph solver vs \
+     order-encoding mismatches: %d@."
+    n12 !sat_count !mism;
+  (* E6-E8 on random small disjoint polygraphs *)
+  let params =
+    { PG.n_nodes = 4; arc_density = 0.5; choices_per_arc = 1.0 }
+  in
+  let rng = Util.rng 22 in
+  let t4_bad = ref 0 and t5_bad = ref 0 and t6_bad = ref 0 in
+  let acyclic_count = ref 0 in
+  let t4_time = ref 0. and t5_time = ref 0. and t6_time = ref 0. in
+  for _ = 1 to trials do
+    let p = PG.generate_disjoint params rng in
+    let acyclic = A.is_acyclic p in
+    if acyclic then incr acyclic_count;
+    let ols, dt4 = Util.time_ms (fun () -> Theorem4.is_ols_of_polygraph p) in
+    t4_time := !t4_time +. dt4;
+    if ols <> acyclic then incr t4_bad;
+    let mvsr, dt5 =
+      Util.time_ms (fun () -> Mvcc_classes.Mvsr.test (Theorem5.build p))
+    in
+    t5_time := !t5_time +. dt5;
+    if mvsr <> acyclic then incr t5_bad;
+    let acc, dt6 =
+      Util.time_ms (fun () ->
+          (Theorem6.run p ~scheduler:Maximal.mvcsr_maximal).Theorem6.accepted)
+    in
+    t6_time := !t6_time +. dt6;
+    if acc <> acyclic then incr t6_bad
+  done;
+  let avg t = t /. float_of_int trials in
+  Util.subsection "E6: Theorem 4 (acyclic iff the schedule pair is OLS)";
+  Util.row "%d random disjoint polygraphs (%d acyclic): violations %d, avg %.1f ms@."
+    trials !acyclic_count !t4_bad (avg !t4_time);
+  Util.subsection "E7: Theorem 5 (acyclic iff forced-read schedule MVSR)";
+  Util.row "violations: %d, avg %.1f ms@." !t5_bad (avg !t5_time);
+  Util.subsection
+    "E8: Theorem 6 (adaptive schedule accepted by the maximal MVCSR \
+     scheduler iff acyclic)";
+  Util.row "violations: %d, avg %.1f ms@." !t6_bad (avg !t6_time);
+  !mism = 0 && !t4_bad = 0 && !t5_bad = 0 && !t6_bad = 0

@@ -1,0 +1,62 @@
+(* E11 — the complexity split: the polynomial testers (CSR, MVCSR) scale
+   smoothly with schedule size while the exact NP-complete testers (VSR,
+   MVSR, polygraph acyclicity) blow up.
+
+   Wall-clock per decision, averaged over random schedules of growing
+   transaction count. *)
+
+
+let run ~per_size =
+  Util.section "E11  Complexity scaling of the decision procedures";
+  Util.row "%6s %10s %10s %12s %12s@." "txns" "CSR(ms)" "MVCSR(ms)"
+    "VSR(ms)" "MVSR(ms)";
+  let rng = Util.rng 33 in
+  List.iter
+    (fun n_txns ->
+      let params =
+        { Mvcc_workload.Schedule_gen.default with
+          n_txns; n_entities = max 2 (n_txns / 2); min_steps = 2;
+          max_steps = 3 }
+      in
+      let drawn = Mvcc_workload.Schedule_gen.sample params rng per_size in
+      let time_all test =
+        let t0 = Unix.gettimeofday () in
+        List.iter (fun s -> ignore (test s)) drawn;
+        (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int per_size
+      in
+      let t_csr = time_all Mvcc_classes.Csr.test in
+      let t_mvcsr = time_all Mvcc_classes.Mvcsr.test in
+      let t_vsr = time_all Mvcc_classes.Vsr.test in
+      let t_mvsr = time_all Mvcc_classes.Mvsr.test in
+      Util.row "%6d %10.3f %10.3f %12.3f %12.3f@." n_txns t_csr t_mvcsr
+        t_vsr t_mvsr)
+    [ 2; 4; 6; 8; 10 ];
+  Util.subsection "polygraph acyclicity: solver effort vs choice count";
+  let rng = Util.rng 34 in
+  Util.row "%8s %10s %12s %14s@." "choices" "acyclic%" "avg ms" "avg branches";
+  List.iter
+    (fun n_nodes ->
+      let params =
+        { Mvcc_workload.Polygraph_gen.n_nodes; arc_density = 0.35;
+          choices_per_arc = 1.0 }
+      in
+      let count = max 4 (per_size / 2) in
+      let total_ms = ref 0. and branches = ref 0 and acyclic = ref 0 in
+      let total_choices = ref 0 in
+      for _ = 1 to count do
+        let p = Mvcc_workload.Polygraph_gen.generate params rng in
+        total_choices := !total_choices + List.length p.Mvcc_polygraph.Polygraph.choices;
+        let (result, stats), dt =
+          Util.time_ms (fun () -> Mvcc_polygraph.Acyclicity.solve_stats p)
+        in
+        total_ms := !total_ms +. dt;
+        branches := !branches + stats.Mvcc_polygraph.Acyclicity.branches;
+        if result <> None then incr acyclic
+      done;
+      Util.row "%8.1f %9.0f%% %12.3f %14.1f@."
+        (float_of_int !total_choices /. float_of_int count)
+        (Util.pct !acyclic count)
+        (!total_ms /. float_of_int count)
+        (float_of_int !branches /. float_of_int count))
+    [ 6; 10; 14; 18 ];
+  true

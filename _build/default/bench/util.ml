@@ -1,0 +1,19 @@
+(* Shared helpers for the experiment harness. *)
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let subsection title = Format.printf "@.-- %s --@." title
+
+let row fmt = Format.printf fmt
+
+(* Wall-clock one thunk, in milliseconds. *)
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let pct n total =
+  if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total
+
+let rng seed = Random.State.make [| seed |]

@@ -1,0 +1,250 @@
+(* The mvcc command-line tool: classify schedules, check OLS, run the
+   reduction pipeline, race the schedulers, and simulate the engine. *)
+
+open Cmdliner
+open Mvcc_core
+module T = Mvcc_classes.Topography
+
+let schedule_arg =
+  let doc =
+    "Schedule in the paper's notation, e.g. 'R1(x) W1(x) R2(x) W2(x)'. \
+     Transaction subscripts are 1-based."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEDULE" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* classify *)
+
+let classify_cmd =
+  let run text =
+    let s = Schedule.of_string text in
+    Format.printf "%a" Mvcc_classes.Report.pp (Mvcc_classes.Report.make s)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a schedule into the Fig. 1 regions")
+    Term.(const run $ schedule_arg)
+
+(* dot export *)
+
+let dot_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("conflict", `Conflict); ("mvcg", `Mvcg) ]) `Mvcg
+      & info [ "graph" ] ~doc:"Which graph: 'conflict' or 'mvcg'.")
+  in
+  let run kind text =
+    let s = Schedule.of_string text in
+    let g =
+      match kind with
+      | `Conflict -> Conflict.graph s
+      | `Mvcg -> Conflict.mv_graph s
+    in
+    print_string
+      (Mvcc_graph.Dot.to_dot
+         ~name:(match kind with `Conflict -> "conflict" | `Mvcg -> "mvcg")
+         ~node_label:(fun i -> "T" ^ string_of_int (i + 1))
+         g)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Export a schedule's (multiversion) conflict graph as DOT")
+    Term.(const run $ kind_arg $ schedule_arg)
+
+(* switching path (Theorem 2) *)
+
+let switch_cmd =
+  let run text =
+    let s = Schedule.of_string text in
+    match Mvcc_classes.Switching.path_to_serial s with
+    | None ->
+        Format.printf
+          "no serial schedule is reachable by switching non-conflicting \
+           adjacent steps (the schedule is not MVCSR)@."
+    | Some path ->
+        Format.printf "%d switches:@." (List.length path - 1);
+        List.iter (fun t -> Format.printf "  %a@." Schedule.pp t) path
+  in
+  Cmd.v
+    (Cmd.info "switch"
+       ~doc:
+         "Show a Theorem 2 switching sequence from a schedule to a serial \
+          one")
+    Term.(const run $ schedule_arg)
+
+(* fig1 *)
+
+let fig1_cmd =
+  let run () =
+    Format.printf "Fig. 1 example schedules:@.";
+    List.iter
+      (fun (name, claimed, s) ->
+        let m = T.classify s in
+        let r = T.region m in
+        Format.printf "@.%s: %a@.  %a@.  region: %s%s@." name Schedule.pp s
+          T.pp_membership m (T.region_name r)
+          (if r = claimed then "" else "  (EXPECTED: " ^ T.region_name claimed ^ ")"))
+      T.fig1_examples
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Print and verify the paper's Fig. 1 examples")
+    Term.(const run $ const ())
+
+(* ols *)
+
+let ols_cmd =
+  let schedules_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SCHEDULES" ~doc:"Two or more schedules.")
+  in
+  let run texts =
+    let schedules = List.map Schedule.of_string texts in
+    match Mvcc_ols.Ols.check schedules with
+    | None -> Format.printf "OLS: yes@."
+    | Some { Mvcc_ols.Ols.prefix; members } ->
+        Format.printf "OLS: no@.";
+        Format.printf "conflicting prefix: %a@." Schedule.pp prefix;
+        List.iter (fun m -> Format.printf "  member: %a@." Schedule.pp m) members
+  in
+  Cmd.v
+    (Cmd.info "ols"
+       ~doc:"Decide on-line schedulability of a set of schedules (Section 4)")
+    Term.(const run $ schedules_arg)
+
+(* reduction demo *)
+
+let reduction_cmd =
+  let vars_arg =
+    Arg.(value & opt int 2 & info [ "vars" ] ~doc:"Number of variables.")
+  in
+  let clauses_arg =
+    Arg.(value & opt int 2 & info [ "clauses" ] ~doc:"Number of clauses.")
+  in
+  let run vars clauses seed =
+    let rng = Random.State.make [| seed |] in
+    let f =
+      Mvcc_workload.Polygraph_gen.random_monotone ~n_vars:vars
+        ~n_clauses:clauses rng
+    in
+    Format.printf "formula    : %a@." Mvcc_sat.Monotone.pp f;
+    let sat = Mvcc_sat.Dpll.satisfiable (Mvcc_sat.Monotone.to_cnf f) in
+    Format.printf "satisfiable: %b (DPLL)@." sat;
+    let layout = Mvcc_polygraph.Sat_to_polygraph.reduce f in
+    let p = layout.Mvcc_polygraph.Sat_to_polygraph.polygraph in
+    Format.printf "polygraph  : %d nodes, %d arcs, %d choices@." p.n
+      (List.length p.arcs) (List.length p.choices);
+    let acyclic = Mvcc_polygraph.Acyclicity.is_acyclic p in
+    Format.printf "acyclic    : %b (backtracking solver)@." acyclic;
+    let acyclic_sat = Mvcc_polygraph.Sat_encoding.is_acyclic_sat p in
+    Format.printf "acyclic    : %b (order-encoding + DPLL)@." acyclic_sat;
+    if sat = acyclic && acyclic = acyclic_sat then
+      Format.printf "reduction agrees on all three routes.@."
+    else Format.printf "MISMATCH -- this is a bug.@."
+  in
+  Cmd.v
+    (Cmd.info "reduction"
+       ~doc:
+         "Run the satisfiability -> polygraph acyclicity reduction on a \
+          random restricted formula")
+    Term.(const run $ vars_arg $ clauses_arg $ seed_arg)
+
+(* schedulers *)
+
+let schedulers_cmd =
+  let run text =
+    let s = Schedule.of_string text in
+    let scheds =
+      [
+        Mvcc_sched.Serial_sched.scheduler;
+        Mvcc_sched.Two_pl.scheduler;
+        Mvcc_sched.Tso.scheduler;
+        Mvcc_sched.Sgt.scheduler;
+        Mvcc_sched.Two_v2pl.scheduler;
+        Mvcc_sched.Mvto.scheduler;
+        Mvcc_sched.Si.scheduler;
+        Mvcc_sched.Mvcg_sched.scheduler;
+        Mvcc_ols.Maximal.mvcsr_maximal;
+        Mvcc_ols.Maximal.mvsr_maximal;
+      ]
+    in
+    Format.printf "schedule: %a@." Schedule.pp s;
+    List.iter
+      (fun sched ->
+        let o = Mvcc_sched.Driver.run sched s in
+        Format.printf "%-14s: %s (%d/%d steps)@."
+          sched.Mvcc_sched.Scheduler.name
+          (if o.Mvcc_sched.Driver.accepted then "accept" else "reject")
+          o.Mvcc_sched.Driver.accepted_steps (Schedule.length s))
+      scheds
+  in
+  Cmd.v
+    (Cmd.info "schedulers"
+       ~doc:"Feed a schedule to every scheduler and report the verdicts")
+    Term.(const run $ schedule_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
+          ("mvto", Mvcc_engine.Engine.Mvto) ]
+    in
+    Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto
+         & info [ "policy" ] ~doc:"Concurrency control policy.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 6 & info [ "readers" ] ~doc:"Analytics transactions.")
+  in
+  let writers_arg =
+    Arg.(value & opt int 3 & info [ "writers" ] ~doc:"Transfer transactions.")
+  in
+  let run policy readers writers seed =
+    let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
+    let initial = List.map (fun a -> (a, 100)) accounts in
+    let programs =
+      List.init readers (fun i ->
+          Mvcc_engine.Program.read_all
+            ~label:(Printf.sprintf "audit%d" i)
+            accounts)
+      @ List.init writers (fun i ->
+            Mvcc_engine.Program.transfer
+              ~label:(Printf.sprintf "xfer%d" i)
+              ~from_:(List.nth accounts (i mod 8))
+              ~to_:(List.nth accounts ((i + 1) mod 8))
+              10)
+    in
+    let r = Mvcc_engine.Engine.run ~policy ~initial ~programs ~seed () in
+    Format.printf "policy=%s %a@."
+      (Mvcc_engine.Engine.policy_name policy)
+      Mvcc_engine.Engine.pp_stats r.Mvcc_engine.Engine.stats;
+    let total =
+      List.fold_left (fun acc (_, v) -> acc + v) 0
+        r.Mvcc_engine.Engine.final_state
+    in
+    Format.printf "total balance: %d (expected %d)@." total
+      (100 * List.length accounts)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a banking workload through the storage engine")
+    Term.(const run $ policy_arg $ readers_arg $ writers_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "mvcc" ~version:"1.0.0"
+      ~doc:
+        "Multiversion concurrency control: serializability classes, OLS, \
+         schedulers (Hadzilacos & Papadimitriou, PODS 1985)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
+            simulate_cmd; dot_cmd; switch_cmd;
+          ]))

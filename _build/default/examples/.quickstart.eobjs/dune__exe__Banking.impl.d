@@ -1,0 +1,1 @@
+examples/banking.ml: Format List Mvcc_engine Printf

@@ -1,0 +1,1 @@
+examples/maximal_choice.ml: Examples Format List Maximal Mvcc_core Mvcc_ols Mvcc_sched Ols Schedule String Subsets

@@ -1,0 +1,1 @@
+examples/maximal_choice.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conflict Format List Mvcc_classes Mvcc_core Mvcc_sched Schedule String Version_fn

@@ -1,0 +1,1 @@
+examples/reductions.ml: Format List Maximal Mvcc_classes Mvcc_ols Mvcc_polygraph Mvcc_sat Ols Theorem4 Theorem5 Theorem6

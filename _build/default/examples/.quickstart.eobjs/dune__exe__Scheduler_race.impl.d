@@ -1,0 +1,1 @@
+examples/scheduler_race.ml: Format List Mvcc_classes Mvcc_core Mvcc_ols Mvcc_sched Mvcc_workload Random Schedule

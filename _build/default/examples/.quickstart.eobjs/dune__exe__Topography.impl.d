@@ -1,0 +1,1 @@
+examples/topography.ml: Format Hashtbl List Mvcc_classes Mvcc_core Mvcc_workload Option Random Schedule

@@ -1,0 +1,1 @@
+examples/write_skew.ml: Format List Mvcc_classes Mvcc_core Mvcc_engine Mvcc_ols Mvcc_sched Printf Schedule String

@@ -1,0 +1,60 @@
+(* The paper's opening motivation, made concrete: long analytics readers
+   against transfer writers, under single-version locking (S2PL),
+   single-version timestamps (TO), and multiversion timestamps (MVTO).
+
+   MVTO readers never block and never abort: they are served old versions
+   (a read that arrived "too late" is helped; Section 3's asymmetry). The
+   invariant check at the end demonstrates every policy preserves the
+   total balance.
+
+   Run with: dune exec examples/banking.exe *)
+
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+
+let accounts = List.init 10 (fun i -> Printf.sprintf "acct%02d" i)
+let initial = List.map (fun a -> (a, 1000)) accounts
+
+let workload ~readers ~writers =
+  List.init readers (fun i ->
+      P.read_all ~label:(Printf.sprintf "audit%d" i) accounts)
+  @ List.init writers (fun i ->
+        P.transfer
+          ~label:(Printf.sprintf "xfer%d" i)
+          ~from_:(List.nth accounts (i mod 10))
+          ~to_:(List.nth accounts ((i + 3) mod 10))
+          25)
+
+let run_one ~policy ~readers ~writers ~seed =
+  E.run ~policy ~initial ~programs:(workload ~readers ~writers) ~seed ()
+
+let () =
+  Format.printf "workload: 12 auditors reading all 10 accounts, 6 transfers@.";
+  Format.printf "%-6s %8s %8s %8s %8s  %s@." "policy" "commits" "aborts"
+    "ticks" "blocked" "balance-ok";
+  List.iter
+    (fun policy ->
+      (* average over seeds *)
+      let seeds = [ 1; 2; 3; 4; 5 ] in
+      let totals = List.map (fun seed -> run_one ~policy ~readers:12 ~writers:6 ~seed) seeds in
+      let avg f =
+        List.fold_left (fun acc r -> acc + f r.E.stats) 0 totals
+        / List.length totals
+      in
+      let balance_ok =
+        List.for_all
+          (fun r ->
+            List.fold_left (fun acc (_, v) -> acc + v) 0 r.E.final_state
+            = 1000 * List.length accounts)
+          totals
+      in
+      Format.printf "%-6s %8d %8d %8d %8d  %b@." (E.policy_name policy)
+        (avg (fun s -> s.E.commits))
+        (avg (fun s -> s.E.aborts))
+        (avg (fun s -> s.E.ticks))
+        (avg (fun s -> s.E.blocked_ticks))
+        balance_ok)
+    [ E.S2pl; E.To; E.Mvto ];
+  Format.printf
+    "@.MVTO finishes the same work in fewer ticks with no blocking:@.\
+     readers are served old versions instead of waiting on writer locks.@."

@@ -1,0 +1,51 @@
+(* The permissiveness ladder (Section 1's performance argument in
+   recognizer form): the fraction of random schedules each scheduler
+   accepts, against the sizes of the serializability classes themselves.
+
+   Expected shape: serial < 2PL <= TSO <= SGT(=CSR) <= multiversion
+   schedulers, with the class tests CSR <= MVCSR <= MVSR bounding what any
+   scheduler of each family could hope for.
+
+   Run with: dune exec examples/scheduler_race.exe *)
+
+open Mvcc_core
+module G = Mvcc_workload.Schedule_gen
+
+let () =
+  let rng = Random.State.make [| 7 |] in
+  let params = { G.default with n_txns = 3; n_entities = 2; max_steps = 3 } in
+  let n = 300 in
+  let samples = G.sample params rng n in
+  let frac pred =
+    100.
+    *. float_of_int (List.length (List.filter pred samples))
+    /. float_of_int n
+  in
+  Format.printf "%d random schedules, 3 transactions, 2 entities:@.@." n;
+  Format.printf "-- schedulers --@.";
+  List.iter
+    (fun sched ->
+      Format.printf "%-14s accepts %5.1f%%@." sched.Mvcc_sched.Scheduler.name
+        (frac (Mvcc_sched.Driver.accepts sched)))
+    [
+      Mvcc_sched.Serial_sched.scheduler;
+      Mvcc_sched.Two_pl.scheduler;
+      Mvcc_sched.Tso.scheduler;
+      Mvcc_sched.Sgt.scheduler;
+      Mvcc_sched.Two_v2pl.scheduler;
+      Mvcc_sched.Mvto.scheduler;
+      Mvcc_sched.Si.scheduler;
+      Mvcc_sched.Mvcg_sched.scheduler;
+      Mvcc_ols.Maximal.mvcsr_maximal;
+      Mvcc_ols.Maximal.mvsr_maximal;
+    ];
+  Format.printf "@.-- classes (upper bounds) --@.";
+  List.iter
+    (fun (name, test) -> Format.printf "%-14s %5.1f%%@." name (frac test))
+    [
+      ("serial", Schedule.is_serial);
+      ("CSR", Mvcc_classes.Csr.test);
+      ("VSR", Mvcc_classes.Vsr.test);
+      ("MVCSR", Mvcc_classes.Mvcsr.test);
+      ("MVSR", Mvcc_classes.Mvsr.test);
+    ]

@@ -1,0 +1,67 @@
+(* Write skew: why "multiversion" alone is not "serializable".
+
+   Snapshot isolation serves every read from a consistent snapshot and
+   rejects concurrent writers of the same entity — yet it accepts
+   schedules no version function can serialize. This example shows the
+   anomaly twice: at the recognizer level (the schedule is accepted but
+   provably outside MVSR) and end-to-end in the storage engine (a final
+   state no serial execution can produce). The paper's schedulers (MVTO,
+   the maximal schedulers) refuse it.
+
+   Run with: dune exec examples/write_skew.exe *)
+
+open Mvcc_core
+module Driver = Mvcc_sched.Driver
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+
+let () =
+  Format.printf "=== recognizer level ===@.";
+  let s = Mvcc_sched.Si.write_skew in
+  Format.printf "schedule: %a@.%a@.@." Schedule.pp s Schedule.pp_grid s;
+  List.iter
+    (fun sched ->
+      let o = Driver.run sched s in
+      Format.printf "%-14s: %s@." sched.Mvcc_sched.Scheduler.name
+        (if o.Driver.accepted then "accepts" else "rejects"))
+    [
+      Mvcc_sched.Si.scheduler; Mvcc_sched.Mvto.scheduler;
+      Mvcc_ols.Maximal.mvsr_maximal;
+    ];
+  Format.printf "MVSR: %b — no version function serializes it@.@."
+    (Mvcc_classes.Mvsr.test s);
+
+  Format.printf "=== engine level ===@.";
+  (* T1 copies x into y while T2 copies y into x; from (x=1, y=2) every
+     serial execution ends in (1,1) or (2,2) *)
+  let programs =
+    [
+      { P.label = "copy x->y"; ops = [ P.Read "x"; P.Write ("y", P.Reg "x") ] };
+      { P.label = "copy y->x"; ops = [ P.Read "y"; P.Write ("x", P.Reg "y") ] };
+    ]
+  in
+  let initial = [ ("x", 1); ("y", 2) ] in
+  let serial_outcomes = [ [ ("x", 1); ("y", 1) ]; [ ("x", 2); ("y", 2) ] ] in
+  let show policy =
+    let anomalies = ref 0 in
+    let example = ref None in
+    for seed = 0 to 49 do
+      let r = E.run ~policy ~initial ~programs ~seed () in
+      if not (List.mem r.E.final_state serial_outcomes) then begin
+        incr anomalies;
+        if !example = None then example := Some r.E.final_state
+      end
+    done;
+    Format.printf "%-5s: %d/50 runs end outside every serial outcome%s@."
+      (E.policy_name policy) !anomalies
+      (match !example with
+      | Some st ->
+          Format.asprintf " (e.g. %s)"
+            (String.concat ", "
+               (List.map (fun (e, v) -> Printf.sprintf "%s=%d" e v) st))
+      | None -> "")
+  in
+  List.iter show [ E.S2pl; E.To; E.Mvto; E.Si ];
+  Format.printf
+    "@.Only snapshot isolation leaks a non-serializable state: both copies@.\
+     read their snapshot and commit, since their write sets are disjoint.@."

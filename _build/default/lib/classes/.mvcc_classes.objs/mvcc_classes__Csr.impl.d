@@ -1,0 +1,1 @@
+lib/classes/csr.ml: Conflict Mvcc_core Mvcc_graph Schedule

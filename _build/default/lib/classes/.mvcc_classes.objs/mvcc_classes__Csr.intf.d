@@ -1,0 +1,1 @@
+lib/classes/csr.mli: Mvcc_core

@@ -1,0 +1,1 @@
+lib/classes/dmvsr.ml: Array Hashtbl List Mvcc_core Mvsr Schedule Step

@@ -1,0 +1,1 @@
+lib/classes/dmvsr.mli: Mvcc_core

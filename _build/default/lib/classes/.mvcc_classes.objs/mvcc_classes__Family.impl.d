@@ -1,0 +1,1 @@
+lib/classes/family.ml: Array Format List Mvcc_core Mvcc_graph Schedule Step String

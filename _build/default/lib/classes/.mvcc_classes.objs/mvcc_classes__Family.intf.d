@@ -1,0 +1,1 @@
+lib/classes/family.mli: Format Mvcc_core Mvcc_graph

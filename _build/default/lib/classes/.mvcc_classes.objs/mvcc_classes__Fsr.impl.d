@@ -1,0 +1,1 @@
+lib/classes/fsr.ml: List Liveness Mvcc_core Option Read_from Schedule

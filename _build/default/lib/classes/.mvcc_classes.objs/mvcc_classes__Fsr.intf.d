@@ -1,0 +1,1 @@
+lib/classes/fsr.mli: Mvcc_core

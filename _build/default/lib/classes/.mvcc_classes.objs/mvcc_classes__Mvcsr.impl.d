@@ -1,0 +1,1 @@
+lib/classes/mvcsr.ml: Array Conflict Equiv Mvcc_core Mvcc_graph Schedule Step Version_fn

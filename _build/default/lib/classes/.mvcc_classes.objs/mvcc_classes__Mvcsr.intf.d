@@ -1,0 +1,1 @@
+lib/classes/mvcsr.mli: Mvcc_core

@@ -1,0 +1,1 @@
+lib/classes/mvsg.ml: Array Hashtbl List Mvcc_core Mvcc_graph Schedule Seq Step Version_fn

@@ -1,0 +1,1 @@
+lib/classes/mvsg.mli: Mvcc_core Mvcc_graph

@@ -1,0 +1,1 @@
+lib/classes/mvsr.ml: Array Buffer Hashtbl List Mvcc_core Option Read_from Schedule Seq Step Version_fn

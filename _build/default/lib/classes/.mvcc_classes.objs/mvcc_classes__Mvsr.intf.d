@@ -1,0 +1,1 @@
+lib/classes/mvsr.mli: Mvcc_core

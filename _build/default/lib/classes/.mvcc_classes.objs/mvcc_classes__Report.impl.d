@@ -1,0 +1,1 @@
+lib/classes/report.ml: Csr Dmvsr Format Fsr List Mvcc_core Mvcsr Mvsr Option Printf Schedule String Topography Version_fn Vsr

@@ -1,0 +1,1 @@
+lib/classes/report.mli: Format Mvcc_core Topography

@@ -1,0 +1,1 @@
+lib/classes/switching.ml: Hashtbl List Mvcc_core Option Queue Schedule Step

@@ -1,0 +1,1 @@
+lib/classes/switching.mli: Mvcc_core

@@ -1,0 +1,1 @@
+lib/classes/topography.ml: Csr Dmvsr Format Mvcc_core Mvcsr Mvsr Schedule Vsr

@@ -1,0 +1,1 @@
+lib/classes/topography.mli: Format Mvcc_core

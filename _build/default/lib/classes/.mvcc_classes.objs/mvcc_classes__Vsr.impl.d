@@ -1,0 +1,1 @@
+lib/classes/vsr.ml: Array Equiv Hashtbl List Mvcc_core Mvcc_polygraph Option Padding Read_from Schedule Step Version_fn

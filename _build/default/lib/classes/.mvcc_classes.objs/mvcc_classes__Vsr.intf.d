@@ -1,0 +1,1 @@
+lib/classes/vsr.mli: Mvcc_core Mvcc_polygraph

@@ -1,0 +1,12 @@
+open Mvcc_core
+module Cycle = Mvcc_graph.Cycle
+module Topo = Mvcc_graph.Topo
+
+let test s = Cycle.is_acyclic (Conflict.graph s)
+
+let witness s =
+  match Topo.sort (Conflict.graph s) with
+  | None -> None
+  | Some order -> Some (Schedule.serialization s order)
+
+let violation s = Cycle.find_cycle (Conflict.graph s)

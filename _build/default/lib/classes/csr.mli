@@ -1,0 +1,16 @@
+(** Conflict serializability (CSR, Section 2).
+
+    A schedule is CSR iff it is conflict-equivalent to a serial schedule,
+    iff its conflict graph is acyclic. Decidable in polynomial time; the
+    class output by locking schedulers (Yannakakis [11]). *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** [test s] iff [s] is conflict-serializable. O(steps² + txns). *)
+
+val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
+(** A serial schedule conflict-equivalent to [s], if any: the transactions
+    in topological order of the conflict graph. *)
+
+val violation : Mvcc_core.Schedule.t -> int list option
+(** A cycle of the conflict graph (transaction indices), if the schedule is
+    not CSR — the set of transactions that cannot be untangled. *)

@@ -1,0 +1,32 @@
+open Mvcc_core
+
+let blind_write_positions s =
+  let seen_read = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      match st.action with
+      | Step.Read -> Hashtbl.replace seen_read (st.txn, st.entity) ()
+      | Step.Write ->
+          if not (Hashtbl.mem seen_read (st.txn, st.entity)) then begin
+            acc := pos :: !acc;
+            (* the inserted read covers later writes of the same entity *)
+            Hashtbl.replace seen_read (st.txn, st.entity) ()
+          end)
+    (Schedule.steps s);
+  List.rev !acc
+
+let has_blind_writes s = blind_write_positions s <> []
+
+let transform s =
+  let blind = blind_write_positions s in
+  let steps =
+    Array.to_list (Schedule.steps s)
+    |> List.mapi (fun pos (st : Step.t) ->
+           if List.mem pos blind then [ Step.read st.txn st.entity; st ]
+           else [ st ])
+    |> List.concat
+  in
+  Schedule.of_steps ~n_txns:(Schedule.n_txns s) steps
+
+let test s = Mvsr.test (transform s)

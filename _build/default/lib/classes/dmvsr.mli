@@ -1,0 +1,19 @@
+(** DMVSR (Papadimitriou & Kanellakis [8], discussed in Section 3).
+
+    [8] shows MVSR is polynomial in the restricted model where no
+    transaction writes an entity it has not read, and extends the test to
+    the general model by inserting a read step before each "readless"
+    (blind) write: a schedule is DMVSR if the transformed schedule is MVSR.
+    The paper notes MVCSR corresponds to [8]'s MRW class, a superset of
+    DMVSR (their MWW). *)
+
+val transform : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t
+(** Insert [R_i(x)] immediately before every write [W_i(x)] whose
+    transaction has not read [x] earlier in its program. *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** [s] is DMVSR iff [transform s] is MVSR. *)
+
+val has_blind_writes : Mvcc_core.Schedule.t -> bool
+(** Does any transaction write an entity it has not previously read? In
+    the restricted (no-blind-write) model, DMVSR coincides with MVSR. *)

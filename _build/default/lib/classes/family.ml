@@ -1,0 +1,52 @@
+open Mvcc_core
+module Digraph = Mvcc_graph.Digraph
+module Cycle = Mvcc_graph.Cycle
+module Topo = Mvcc_graph.Topo
+
+type conflict_kind = Ww | Wr | Rw
+
+let all_kinds = [ Ww; Wr; Rw ]
+
+let kind_name = function Ww -> "WW" | Wr -> "WR" | Rw -> "RW"
+
+let pp_kinds ppf = function
+  | [] -> Format.pp_print_string ppf "{}"
+  | kinds ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map kind_name kinds))
+
+let kind_of (a : Step.t) (b : Step.t) =
+  if a.entity <> b.entity || a.txn = b.txn then None
+  else
+    match (a.action, b.action) with
+    | Step.Write, Step.Write -> Some Ww
+    | Step.Write, Step.Read -> Some Wr
+    | Step.Read, Step.Write -> Some Rw
+    | Step.Read, Step.Read -> None
+
+let graph ~kinds s =
+  let steps = Schedule.steps s in
+  let n = Array.length steps in
+  let g = Digraph.create (Schedule.n_txns s) in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      match kind_of steps.(p) steps.(q) with
+      | Some k when List.mem k kinds ->
+          Digraph.add_edge g steps.(p).txn steps.(q).txn
+      | Some _ | None -> ()
+    done
+  done;
+  g
+
+let test ~kinds s = Cycle.is_acyclic (graph ~kinds s)
+
+let witness ~kinds s =
+  match Topo.sort (graph ~kinds s) with
+  | None -> None
+  | Some order -> Some (Schedule.serialization s order)
+
+let subsets =
+  [ []; [ Ww ]; [ Wr ]; [ Rw ]; [ Ww; Wr ]; [ Ww; Rw ]; [ Wr; Rw ];
+    [ Ww; Wr; Rw ] ]
+
+let safe ~kinds = List.mem Rw kinds

@@ -1,0 +1,16 @@
+open Mvcc_core
+
+let signature s = (Liveness.live_read_froms s, Read_from.final_writers s)
+
+let equivalent s1 s2 =
+  if not (Schedule.same_system s1 s2) then
+    invalid_arg "Fsr.equivalent: schedules of different transaction systems";
+  signature s1 = signature s2
+
+let witness s =
+  let sig_s = signature s in
+  List.find_opt
+    (fun r -> signature r = sig_s)
+    (Schedule.all_serializations s)
+
+let test s = Option.is_some (witness s)

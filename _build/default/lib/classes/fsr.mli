@@ -1,0 +1,22 @@
+(** Final-state serializability (FSR) — the outermost single-version
+    notion, completing the classical hierarchy CSR ⊆ VSR ⊆ FSR that
+    Fig. 1's single-version side lives in.
+
+    Two schedules of the same system are final-state equivalent iff they
+    leave the database in the same state for every interpretation of the
+    transactions' functions — equivalently, iff their final writers and
+    their {e live} READ-FROM relations coincide ({!Mvcc_core.Liveness}).
+    A schedule is FSR iff it is final-state equivalent to some serial
+    schedule. Testing FSR is NP-complete [6]; this is an exact
+    factorial-search procedure for small instances. *)
+
+val equivalent : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t -> bool
+(** Final-state equivalence of two schedules of the same system.
+    @raise Invalid_argument on different systems. *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** [test s] iff some serialization of [s]'s system is final-state
+    equivalent to [s]. *)
+
+val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
+(** A final-state-equivalent serial schedule, if any. *)

@@ -1,0 +1,39 @@
+open Mvcc_core
+module Cycle = Mvcc_graph.Cycle
+module Topo = Mvcc_graph.Topo
+
+let test s = Cycle.is_acyclic (Conflict.mv_graph s)
+
+let witness s =
+  match Topo.sort (Conflict.mv_graph s) with
+  | None -> None
+  | Some order -> Some (Schedule.serialization s order)
+
+let violation s = Cycle.find_cycle (Conflict.mv_graph s)
+
+let version_fn_for s r =
+  let to_r = Equiv.occurrence_map s r in
+  let to_s = Equiv.occurrence_map r s in
+  let r_steps = Schedule.steps r in
+  let v = ref Version_fn.empty in
+  Array.iteri
+    (fun p (st : Step.t) ->
+      if Step.is_read st then begin
+        (* source of this read in (r, V_r): last write of the entity
+           before the read's position in r *)
+        let pos_r = to_r.(p) in
+        let src = ref Version_fn.Initial in
+        for q = 0 to pos_r - 1 do
+          let w = r_steps.(q) in
+          if Step.is_write w && w.entity = st.entity then
+            src := Version_fn.From to_s.(q)
+        done;
+        (match !src with
+        | Version_fn.From q_s when q_s >= p ->
+            invalid_arg
+              "Mvcsr.version_fn_for: required version written after the read"
+        | _ -> ());
+        v := Version_fn.add p !src !v
+      end)
+    (Schedule.steps s);
+  !v

@@ -1,0 +1,27 @@
+(** Multiversion conflict serializability (MVCSR, Section 3).
+
+    A schedule is MVCSR iff it is multiversion-conflict-equivalent to a
+    serial schedule. Theorem 1: iff its multiversion conflict graph MVCG is
+    acyclic — so MVCSR is decidable in polynomial time, and the paper
+    proposes it as the multiversion analogue of CSR. Theorem 3: every
+    MVCSR schedule is MVSR. *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** [test s] iff MVCG(s) is acyclic (Theorem 1). *)
+
+val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
+(** A serial schedule to which [s] is multiversion-conflict-equivalent:
+    the transactions in topological order of MVCG(s) (the construction in
+    Theorem 1's (if) direction). *)
+
+val violation : Mvcc_core.Schedule.t -> int list option
+(** A cycle of MVCG(s) if [s] is not MVCSR. *)
+
+val version_fn_for :
+  Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t
+(** The version function of Theorem 3's proof: given [s] multiversion-
+    conflict-equivalent to serial [r], the function making [(s, V)]
+    view-equivalent to [(r, V_r)] — each read of [s] is assigned the write
+    it reads from in [r].
+    @raise Invalid_argument if a required write does not precede the read
+    in [s] (i.e. the schedules are not mv-conflict-equivalent). *)

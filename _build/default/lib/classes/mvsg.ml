@@ -1,0 +1,133 @@
+open Mvcc_core
+module Digraph = Mvcc_graph.Digraph
+module Cycle = Mvcc_graph.Cycle
+
+type version = Initial | At of int
+
+let versions_of s entity =
+  let writes = ref [] in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      if Step.is_write st && st.entity = entity then writes := At pos :: !writes)
+    (Schedule.steps s);
+  Initial :: List.rev !writes
+
+(* padded transaction index of a version's writer *)
+let writer_of s = function
+  | Initial -> 0
+  | At pos -> (Schedule.step s pos).Step.txn + 1
+
+let graph ~order s v =
+  if not (Version_fn.legal s v && Version_fn.total s v) then
+    invalid_arg "Mvsg.graph: version function not total and legal";
+  let n = Schedule.n_txns s + 1 in
+  let g = Digraph.create n in
+  let entities = Schedule.entities s in
+  let orders =
+    List.map
+      (fun e ->
+        let o = order e in
+        let expected = versions_of s e in
+        if
+          List.sort compare o <> List.sort compare expected
+          || List.hd o <> Initial
+        then
+          invalid_arg
+            "Mvsg.graph: order must list every version, Initial first";
+        (e, o))
+      entities
+  in
+  let position_in e ver =
+    let o = List.assoc e orders in
+    let rec find i = function
+      | [] -> invalid_arg "Mvsg.graph: unknown version"
+      | x :: rest -> if x = ver then i else find (i + 1) rest
+    in
+    find 0 o
+  in
+  (* arcs per read-from, and per (read, other version) pair *)
+  List.iter
+    (fun (pos, src) ->
+      let st = Schedule.step s pos in
+      let reader = st.Step.txn + 1 in
+      let read_version =
+        match src with Version_fn.Initial -> Initial | Version_fn.From p -> At p
+      in
+      let source_writer = writer_of s read_version in
+      if source_writer <> reader then Digraph.add_edge g source_writer reader;
+      let rank_read = position_in st.Step.entity read_version in
+      List.iter
+        (fun other ->
+          if other <> read_version then begin
+            let other_writer = writer_of s other in
+            if other_writer <> source_writer && other_writer <> reader then begin
+              if position_in st.Step.entity other < rank_read then
+                Digraph.add_edge g other_writer source_writer
+              else Digraph.add_edge g reader other_writer
+            end
+          end)
+        (versions_of s st.Step.entity))
+    (Version_fn.to_list v);
+  g
+
+(* All permutations of the non-initial versions, Initial kept first. *)
+let all_orders s entity =
+  match versions_of s entity with
+  | [] | [ _ ] -> Seq.return (versions_of s entity)
+  | Initial :: rest ->
+      let rec perms = function
+        | [] -> Seq.return []
+        | l ->
+            List.to_seq l
+            |> Seq.concat_map (fun x ->
+                   Seq.map
+                     (fun p -> x :: p)
+                     (perms (List.filter (( <> ) x) l)))
+      in
+      Seq.map (fun p -> Initial :: p) (perms rest)
+  | _ -> assert false
+
+(* The cartesian product of per-entity orders, as lookup functions. *)
+let all_order_fns s =
+  let entities = Schedule.entities s in
+  let rec product = function
+    | [] -> Seq.return []
+    | e :: rest ->
+        Seq.concat_map
+          (fun o -> Seq.map (fun tail -> (e, o) :: tail) (product rest))
+          (all_orders s e)
+  in
+  Seq.map (fun assoc e -> List.assoc e assoc) (product entities)
+
+(* A well-formed multiversion history ([2]) serves a read that follows the
+   transaction's own write of the same entity that own write — no serial
+   schedule can realize anything else. *)
+let well_formed s v =
+  let own_write = Hashtbl.create 8 in
+  let ok = ref true in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      match st.Step.action with
+      | Step.Write -> Hashtbl.replace own_write (st.Step.txn, st.Step.entity) ()
+      | Step.Read ->
+          if Hashtbl.mem own_write (st.Step.txn, st.Step.entity) then begin
+            match Version_fn.get v pos with
+            | Some (Version_fn.From p)
+              when (Schedule.step s p).Step.txn = st.Step.txn ->
+                ()
+            | _ -> ok := false
+          end)
+    (Schedule.steps s);
+  !ok
+
+let serializable_with s v =
+  well_formed s v
+  && Seq.exists
+       (fun order -> Cycle.is_acyclic (graph ~order s v))
+       (all_order_fns s)
+
+let write_order_serializable s v =
+  Cycle.is_acyclic (graph ~order:(versions_of s) s v)
+
+let test s =
+  Seq.exists (fun v -> serializable_with s v) (Version_fn.enumerate s)

@@ -1,0 +1,58 @@
+(** Multiversion serialization graphs (Bernstein & Goodman [2]).
+
+    The paper's reference [2] decides serializability of a full schedule
+    [(s, V)] through a {e version order}: a total order [≪] on each
+    entity's versions. MVSG(s, V, ≪) has the transactions as nodes (plus
+    T0), an arc [Ti -> Tj] per read-from, and, for each read [R_j(x_i)]
+    and each other version [x_k] of the entity: [Tk -> Ti] when
+    [x_k ≪ x_i], and [Tj -> Tk] when [x_i ≪ x_k]. Theorem ([2]): [(s, V)]
+    is serializable iff {e some} version order makes the graph acyclic.
+
+    This gives a third, independent decision procedure for
+    [(s, V)]-serializability, cross-validated in the test suite against
+    the pinned permutation search and the paper-literal enumeration
+    oracle. Versions are identified by write-step position; the initial
+    version is always taken as [≪]-least (it precedes everything in any
+    padded serialization). *)
+
+type version = Initial | At of int
+(** A version of an entity: the initial one, or the one written at the
+    given schedule position. *)
+
+val versions_of : Mvcc_core.Schedule.t -> string -> version list
+(** All versions of an entity: [Initial] plus each write position,
+    ascending — the "write order" version order of the paper's model. *)
+
+val graph :
+  order:(string -> version list) ->
+  Mvcc_core.Schedule.t ->
+  Mvcc_core.Version_fn.t ->
+  Mvcc_graph.Digraph.t
+(** MVSG over padded transaction indices (0 is T0, user transaction [i]
+    is [i + 1]). [order e] must list [e]'s versions in [≪] order,
+    starting with [Initial].
+    @raise Invalid_argument if [order] misses versions or misplaces
+    [Initial], or if the version function is not total and legal. *)
+
+val well_formed : Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t -> bool
+(** Is [(s, V)] a well-formed multiversion history in [2]'s sense: a read
+    that follows its own transaction's write of the entity is served an
+    own write? No serial schedule can realize anything else, so
+    ill-formed full schedules are never serializable. *)
+
+val serializable_with :
+  Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t -> bool
+(** Does some version order make MVSG acyclic ([false] outright on
+    ill-formed histories)? Exponential in the writes per entity (it
+    enumerates per-entity permutations). *)
+
+val write_order_serializable :
+  Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t -> bool
+(** The special case fixing [≪] to schedule write order — the version
+    order the paper's model mandates ("each write adds a version at the
+    end"). *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** MVSR via [2]: some legal version function admits a serializing
+    version order. Doubly exponential; tiny schedules only (it is an
+    oracle for cross-validation). *)

@@ -1,0 +1,206 @@
+open Mvcc_core
+
+(* Per-read data gathered once per search:
+   - pos: position of the read in s
+   - ent: dense entity id
+   - own_prev: position of the transaction's own write of the entity
+     immediately preceding the read in program order, if any (in a serial
+     schedule the read is served that write)
+   - pin: the source this read must be served, if constrained. *)
+type read_info = {
+  pos : int;
+  ent : int;
+  own_prev : int option;
+  pin : Version_fn.source option;
+}
+
+type txn_info = {
+  reads : read_info list;
+  writes : int list; (* entity ids written, deduplicated *)
+}
+
+type ctx = {
+  txns : txn_info array;
+  write_positions : int list array array; (* (txn, ent) -> ascending *)
+  n_ents : int;
+  step_txn : int array; (* position -> transaction *)
+}
+
+let analyse s pinned =
+  let entities = Schedule.entities s in
+  let ent_id = Hashtbl.create 8 in
+  List.iteri (fun i e -> Hashtbl.replace ent_id e i) entities;
+  let n = Schedule.n_txns s in
+  let n_ents = List.length entities in
+  let write_positions = Array.make_matrix n n_ents [] in
+  let own_last = Array.make_matrix n n_ents (-1) in
+  let reads = Array.make n [] in
+  let writes = Array.make n [] in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      let e = Hashtbl.find ent_id st.entity in
+      match st.action with
+      | Step.Write ->
+          own_last.(st.txn).(e) <- pos;
+          write_positions.(st.txn).(e) <- pos :: write_positions.(st.txn).(e);
+          if not (List.mem e writes.(st.txn)) then
+            writes.(st.txn) <- e :: writes.(st.txn)
+      | Step.Read ->
+          let own_prev =
+            if own_last.(st.txn).(e) >= 0 then Some own_last.(st.txn).(e)
+            else None
+          in
+          let pin = Version_fn.get pinned pos in
+          reads.(st.txn) <- { pos; ent = e; own_prev; pin } :: reads.(st.txn))
+    (Schedule.steps s);
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun e ps -> write_positions.(i).(e) <- List.rev ps) row)
+    write_positions;
+  let txns =
+    Array.init n (fun i -> { reads = List.rev reads.(i); writes = writes.(i) })
+  in
+  let step_txn =
+    Array.map (fun (st : Step.t) -> st.txn) (Schedule.steps s)
+  in
+  { txns; write_positions; n_ents; step_txn }
+
+let first_write ctx j e =
+  match ctx.write_positions.(j).(e) with [] -> None | p :: _ -> Some p
+
+let latest_write_before ctx j e pos =
+  List.fold_left
+    (fun acc p -> if p < pos then Some p else acc)
+    None
+    ctx.write_positions.(j).(e)
+
+(* Can transaction [i] be appended, given the last writer of each entity
+   among the transactions placed so far (txn index, or -1 for T0)?
+
+   Triple-set semantics (the paper's view equivalence): an external read of
+   [x] must produce the triple (T_i, x, w) where w is the current last
+   writer — possible iff some write of w on x precedes the read in s. *)
+let can_place ctx last_writer i =
+  List.for_all
+    (fun r ->
+      match r.pin with
+      | None -> begin
+          match r.own_prev with
+          | Some _ -> true (* own read: always consistent and legal *)
+          | None -> begin
+              match last_writer.(r.ent) with
+              | -1 -> true (* reads the initial version *)
+              | j -> (
+                  match first_write ctx j r.ent with
+                  | Some p -> p < r.pos
+                  | None -> false (* unreachable: j writes r.ent *))
+            end
+        end
+      | Some Version_fn.Initial ->
+          r.own_prev = None && last_writer.(r.ent) = -1
+      | Some (Version_fn.From q) ->
+          let j = ctx.step_txn.(q) in
+          if j = i then r.own_prev <> None
+          else r.own_prev = None && last_writer.(r.ent) = j)
+    ctx.txns.(i).reads
+
+let state_key mask last_writer =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (string_of_int mask);
+  Array.iter
+    (fun w ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int w))
+    last_writer;
+  Buffer.contents buf
+
+(* The version function induced by a serialization order: pinned reads keep
+   their pin; own reads are served the preceding own write; external reads
+   the last preceding write (in s) of the entity's last writer before the
+   reader in the order. *)
+let induced_version_fn ctx order =
+  let last_writer = Array.make ctx.n_ents (-1) in
+  let v = ref Version_fn.empty in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          let src =
+            match r.pin with
+            | Some p -> p
+            | None -> begin
+                match r.own_prev with
+                | Some q -> Version_fn.From q
+                | None -> begin
+                    match last_writer.(r.ent) with
+                    | -1 -> Version_fn.Initial
+                    | j -> (
+                        match latest_write_before ctx j r.ent r.pos with
+                        | Some q -> Version_fn.From q
+                        | None -> assert false (* can_place guaranteed one *))
+                  end
+              end
+          in
+          v := Version_fn.add r.pos src !v)
+        ctx.txns.(i).reads;
+      List.iter (fun e -> last_writer.(e) <- i) ctx.txns.(i).writes)
+    order;
+  !v
+
+let search s pinned =
+  if not (Version_fn.legal s pinned) then
+    invalid_arg "Mvsr: pinned version function not legal";
+  let ctx = analyse s pinned in
+  let n = Array.length ctx.txns in
+  let memo = Hashtbl.create 256 in
+  let last_writer = Array.make ctx.n_ents (-1) in
+  let rec go mask depth acc =
+    if depth = n then Some (List.rev acc)
+    else
+      let key = state_key mask last_writer in
+      if Hashtbl.mem memo key then None
+      else begin
+        let rec try_txn i =
+          if i >= n then None
+          else if mask land (1 lsl i) = 0 && can_place ctx last_writer i
+          then begin
+            let saved =
+              List.map (fun e -> (e, last_writer.(e))) ctx.txns.(i).writes
+            in
+            List.iter (fun e -> last_writer.(e) <- i) ctx.txns.(i).writes;
+            match go (mask lor (1 lsl i)) (depth + 1) (i :: acc) with
+            | Some order -> Some order
+            | None ->
+                List.iter (fun (e, w) -> last_writer.(e) <- w) saved;
+                try_txn (i + 1)
+          end
+          else try_txn (i + 1)
+        in
+        let result = try_txn 0 in
+        if result = None then Hashtbl.replace memo key ();
+        result
+      end
+  in
+  match go 0 0 [] with
+  | None -> None
+  | Some order -> Some (order, induced_version_fn ctx order)
+
+let certificate_pinned s ~pinned = search s pinned
+let certificate s = search s Version_fn.empty
+let test s = Option.is_some (certificate s)
+let test_pinned s ~pinned = Option.is_some (certificate_pinned s ~pinned)
+
+let serializable_with s v =
+  if not (Version_fn.total s v) then
+    invalid_arg "Mvsr.serializable_with: version function not total";
+  test_pinned s ~pinned:v
+
+let test_naive s =
+  let serial_relations =
+    List.map Read_from.std_relation (Schedule.all_serializations s)
+  in
+  Seq.exists
+    (fun v ->
+      let rel = Read_from.relation s v in
+      List.exists (fun r -> r = rel) serial_relations)
+    (Version_fn.enumerate s)

@@ -1,0 +1,29 @@
+(** One-call classification reports: every class verdict with its witness
+    or violation, for the CLI and for interactive exploration. *)
+
+type verdict = {
+  in_class : bool;
+  witness : Mvcc_core.Schedule.t option;
+      (** an equivalent serial schedule, when membership holds and the
+          procedure is constructive *)
+  note : string option;  (** violation summary when membership fails *)
+}
+
+type t = {
+  schedule : Mvcc_core.Schedule.t;
+  serial : bool;
+  csr : verdict;
+  vsr : verdict;
+  fsr : verdict;
+  mvcsr : verdict;
+  mvsr : verdict;
+  dmvsr : verdict;
+  region : Topography.region;
+  mvsr_certificate : (int list * Mvcc_core.Version_fn.t) option;
+}
+
+val make : Mvcc_core.Schedule.t -> t
+(** Run every decision procedure (exponential for the NP-complete ones). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,58 @@
+open Mvcc_core
+
+let switchable s p =
+  let a = Schedule.step s p and b = Schedule.step s (p + 1) in
+  a.Step.txn <> b.Step.txn && not (Step.mv_conflicts ~first:a ~second:b)
+
+let neighbours s =
+  let acc = ref [] in
+  for p = Schedule.length s - 2 downto 0 do
+    if switchable s p then acc := Schedule.swap_adjacent s p :: !acc
+  done;
+  !acc
+
+(* BFS over reorderings; states are keyed by their printed form. Returns
+   the found serial schedule and the predecessor map for path recovery. *)
+let bfs ?(max_states = 200_000) s =
+  let seen = Hashtbl.create 1024 in
+  let parent = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let key t = Schedule.to_string t in
+  Hashtbl.replace seen (key s) s;
+  Queue.add s queue;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let t = Queue.pop queue in
+    if Schedule.is_serial t then found := Some t
+    else
+      List.iter
+        (fun t' ->
+          let k = key t' in
+          if not (Hashtbl.mem seen k) then begin
+            if Hashtbl.length seen >= max_states then
+              failwith "Switching: state bound exhausted";
+            Hashtbl.replace seen k t';
+            Hashtbl.replace parent k t;
+            Queue.add t' queue
+          end)
+        (neighbours t)
+  done;
+  (!found, parent)
+
+let reaches_serial ?max_states s = fst (bfs ?max_states s)
+let test ?max_states s = Option.is_some (reaches_serial ?max_states s)
+
+let path_to_serial ?max_states s =
+  let found, parent = bfs ?max_states s in
+  match found with
+  | None -> None
+  | Some t ->
+      let rec walk acc t =
+        match Hashtbl.find_opt parent (Schedule.to_string t) with
+        | None -> t :: acc
+        | Some prev -> walk (t :: acc) prev
+      in
+      Some (walk [] t)
+
+let distance_to_serial ?max_states s =
+  Option.map (fun p -> List.length p - 1) (path_to_serial ?max_states s)

@@ -1,0 +1,32 @@
+(** The switching characterization of MVCSR (Theorem 2).
+
+    Write [s ~ s'] when [s'] is obtained from [s] by exchanging two
+    consecutive steps that do not multiversion-conflict (i.e. the pair is
+    not a read followed by a write of the same entity by another
+    transaction; steps of the same transaction are never exchanged).
+    Theorem 2: [s] is MVCSR iff some serial schedule is reachable from [s]
+    under the reflexive-transitive closure of [~].
+
+    This module decides reachability by breadth-first search over the
+    (factorially large) space of reorderings — an independent oracle used
+    to cross-validate the MVCG test on small schedules, and to measure
+    switching distances. *)
+
+val neighbours : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t list
+(** All schedules one legal switch away. *)
+
+val reaches_serial :
+  ?max_states:int -> Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
+(** The first serial schedule found reachable by switchings, if any.
+    [max_states] (default 200_000) bounds the explored state count;
+    @raise Failure if the bound is exhausted before the search space. *)
+
+val test : ?max_states:int -> Mvcc_core.Schedule.t -> bool
+(** Theorem 2 decision: a serial schedule is reachable. *)
+
+val distance_to_serial : ?max_states:int -> Mvcc_core.Schedule.t -> int option
+(** Minimum number of switches to reach some serial schedule. *)
+
+val path_to_serial :
+  ?max_states:int -> Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t list option
+(** A shortest switching sequence (including both endpoints). *)

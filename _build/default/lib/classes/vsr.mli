@@ -1,0 +1,27 @@
+(** View serializability (VSR, Section 2) — the paper's "SR" region in
+    Fig. 1.
+
+    A schedule is VSR iff its padded schedule is view-equivalent to a
+    serial schedule under the standard (single-version) version function:
+    identical READ-FROM relations and identical final writers. Testing VSR
+    is NP-complete [6]; two exact procedures are provided and
+    cross-validated in the test suite. *)
+
+val test : Mvcc_core.Schedule.t -> bool
+(** Decide VSR via the polygraph of the padded schedule
+    ({!polygraph_of}) — the construction of [6]. *)
+
+val test_exact : Mvcc_core.Schedule.t -> bool
+(** Oracle: search all serializations for a view-equivalent one
+    ([n!]; small schedules only). *)
+
+val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
+(** A view-equivalent serial schedule, if any (decoded from a compatible
+    acyclic digraph of the polygraph). *)
+
+val polygraph_of : Mvcc_core.Schedule.t -> Mvcc_polygraph.Polygraph.t
+(** The polygraph of [6]: nodes are T0, the transactions, and Tf (padded
+    indices); an arc [writer -> reader] per READ-FROM pair of the padded
+    schedule, and per such pair a choice sending every other writer of the
+    entity before the writer or after the reader. The schedule is VSR iff
+    this polygraph is acyclic. *)

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Format List Mvcc_graph Schedule Step

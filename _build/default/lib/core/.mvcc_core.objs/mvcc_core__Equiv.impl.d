@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Array Conflict List Read_from Schedule Step

@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Array Hashtbl List Read_from Schedule Step Version_fn

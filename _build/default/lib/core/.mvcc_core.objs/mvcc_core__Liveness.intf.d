@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Read_from Schedule Step

@@ -1,0 +1,1 @@
+lib/core/padding.ml: Array List Schedule Step

@@ -1,0 +1,1 @@
+lib/core/padding.mli: Schedule

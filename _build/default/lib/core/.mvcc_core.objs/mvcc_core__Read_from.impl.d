@@ -1,0 +1,1 @@
+lib/core/read_from.ml: Array Format Hashtbl List Schedule Stdlib Step Version_fn

@@ -1,0 +1,1 @@
+lib/core/read_from.mli: Format Schedule Version_fn

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Fun Hashtbl List Option Printf Seq Step String

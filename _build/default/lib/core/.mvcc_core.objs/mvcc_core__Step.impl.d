@@ -1,0 +1,1 @@
+lib/core/step.ml: Format Stdlib

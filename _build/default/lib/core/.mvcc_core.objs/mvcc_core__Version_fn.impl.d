@@ -1,0 +1,1 @@
+lib/core/version_fn.ml: Array Format Hashtbl Int List Map Schedule Seq Step

@@ -1,0 +1,1 @@
+lib/core/version_fn.mli: Format Schedule Seq

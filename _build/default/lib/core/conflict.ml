@@ -1,0 +1,42 @@
+let pairs_satisfying rel s =
+  let steps = Schedule.steps s in
+  let n = Array.length steps in
+  let acc = ref [] in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      if rel steps.(p) steps.(q) then acc := (p, q) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let conflicting_pairs s = pairs_satisfying Step.conflicts s
+
+let mv_conflicting_pairs s =
+  pairs_satisfying (fun a b -> Step.mv_conflicts ~first:a ~second:b) s
+
+let graph_of_pairs s pairs =
+  let g = Mvcc_graph.Digraph.create (Schedule.n_txns s) in
+  List.iter
+    (fun (p, q) ->
+      let a = Schedule.step s p and b = Schedule.step s q in
+      Mvcc_graph.Digraph.add_edge g a.txn b.txn)
+    pairs;
+  g
+
+let graph s = graph_of_pairs s (conflicting_pairs s)
+let mv_graph s = graph_of_pairs s (mv_conflicting_pairs s)
+
+let mv_arcs s =
+  mv_conflicting_pairs s
+  |> List.map (fun (p, q) ->
+         let a = Schedule.step s p and b = Schedule.step s q in
+         (a.txn, b.txn, a.entity))
+  |> List.sort_uniq compare
+
+let pp_graph ppf g =
+  let es = List.sort compare (Mvcc_graph.Digraph.edges g) in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (u, v) -> Format.fprintf ppf "T%d->T%d" (u + 1) (v + 1)))
+    es

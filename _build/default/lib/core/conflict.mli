@@ -1,0 +1,34 @@
+(** Conflict graphs: the single-version conflict graph (Section 2) and the
+    multiversion conflict graph MVCG (Section 3).
+
+    Single-version: two steps conflict iff they access the same entity,
+    belong to different transactions, and at least one is a write. The
+    conflict graph has an arc [Ti -> Tj] when a step of [Ti] is followed in
+    the schedule by a conflicting step of [Tj]; a schedule is CSR iff this
+    graph is acyclic.
+
+    Multiversion: only a read followed by a later write of the same entity
+    conflicts. MVCG(s) has an arc [Ti -> Tj] labelled [x] when [W_j(x)]
+    follows [R_i(x)] in [s]; Theorem 1: [s] is MVCSR iff MVCG(s) is
+    acyclic. *)
+
+val conflicting_pairs : Schedule.t -> (int * int) list
+(** Position pairs [(p, q)], [p < q], whose steps conflict
+    (single-version). *)
+
+val mv_conflicting_pairs : Schedule.t -> (int * int) list
+(** Position pairs [(p, q)], [p < q], where step [p] is a read and step
+    [q] a later write of the same entity by another transaction. *)
+
+val graph : Schedule.t -> Mvcc_graph.Digraph.t
+(** The single-version conflict graph over transactions. *)
+
+val mv_graph : Schedule.t -> Mvcc_graph.Digraph.t
+(** MVCG(s) over transactions. *)
+
+val mv_arcs : Schedule.t -> (int * int * string) list
+(** The labelled arcs of MVCG(s): [(i, j, x)] iff some [R_i(x)] precedes
+    some [W_j(x)], [i <> j]. Sorted, duplicate-free. *)
+
+val pp_graph : Format.formatter -> Mvcc_graph.Digraph.t -> unit
+(** Render a transaction graph with the paper's 1-based names. *)

@@ -1,0 +1,40 @@
+let require_same_system s1 s2 =
+  if not (Schedule.same_system s1 s2) then
+    invalid_arg "Equiv: schedules of different transaction systems"
+
+let occurrence_map s s' =
+  require_same_system s s';
+  let n_txns = Schedule.n_txns s in
+  (* positions of each transaction's steps in s', indexed by occurrence *)
+  let pos' = Array.init n_txns (fun i -> Array.of_list (Schedule.txn_positions s' i)) in
+  let counters = Array.make n_txns 0 in
+  Array.mapi
+    (fun _p (st : Step.t) ->
+      let k = counters.(st.txn) in
+      counters.(st.txn) <- k + 1;
+      pos'.(st.txn).(k))
+    (Schedule.steps s)
+
+let pairs_in_same_order pairs s s' =
+  let m = occurrence_map s s' in
+  List.for_all (fun (p, q) -> m.(p) < m.(q)) pairs
+
+let conflict_equivalent s1 s2 =
+  require_same_system s1 s2;
+  pairs_in_same_order (Conflict.conflicting_pairs s1) s1 s2
+
+let mv_conflict_equivalent s s' =
+  require_same_system s s';
+  pairs_in_same_order (Conflict.mv_conflicting_pairs s) s s'
+
+let view_equivalent_unpadded s1 s2 =
+  require_same_system s1 s2;
+  Read_from.std_relation s1 = Read_from.std_relation s2
+
+let view_equivalent s1 s2 =
+  view_equivalent_unpadded s1 s2
+  && Read_from.final_writers s1 = Read_from.final_writers s2
+
+let full_view_equivalent (s1, v1) (s2, v2) =
+  require_same_system s1 s2;
+  Read_from.relation s1 v1 = Read_from.relation s2 v2

@@ -1,0 +1,33 @@
+(** Notions of schedule equivalence (Sections 2 and 3).
+
+    All notions are defined only between schedules of the same transaction
+    system; every function raises [Invalid_argument] otherwise. *)
+
+val conflict_equivalent : Schedule.t -> Schedule.t -> bool
+(** Single-version conflict equivalence: every pair of conflicting steps
+    appears in the same order in both schedules. Symmetric. *)
+
+val mv_conflict_equivalent : Schedule.t -> Schedule.t -> bool
+(** [mv_conflict_equivalent s s'] — multiversion conflict equivalence of
+    Section 3: every read-then-write pair of [s] is in the same order in
+    [s']. {b Asymmetric} (the paper notes the term is a slight misnomer):
+    [s'] may contain read-then-write pairs that [s] orders
+    write-then-read. *)
+
+val view_equivalent : Schedule.t -> Schedule.t -> bool
+(** Single-version view equivalence of the {e padded} schedules: identical
+    READ-FROM relations under the standard version functions and identical
+    final writers (the view of Tf). *)
+
+val view_equivalent_unpadded : Schedule.t -> Schedule.t -> bool
+(** View equivalence ignoring the final-state (Tf) constraint. *)
+
+val full_view_equivalent :
+  Schedule.t * Version_fn.t -> Schedule.t * Version_fn.t -> bool
+(** View equivalence of full schedules: identical READ-FROM relations
+    (Section 2). The version functions must be total and legal. *)
+
+val occurrence_map : Schedule.t -> Schedule.t -> int array
+(** [occurrence_map s s'] maps each position of [s] to the position in
+    [s'] holding the same step (the k-th step of transaction [i] in [s]
+    corresponds to the k-th step of [i] in [s']). *)

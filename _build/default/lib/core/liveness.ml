@@ -1,0 +1,75 @@
+(* Liveness is a backward fixpoint over the dataflow:
+   final writes are live; the source write of a live read is live; a read
+   is live when a later write of the same transaction is live. *)
+
+let live_positions s =
+  let n = Schedule.length s in
+  let steps = Schedule.steps s in
+  let live = Array.make n false in
+  let std = Version_fn.standard s in
+  (* final write of each entity *)
+  let final = Hashtbl.create 8 in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      if Step.is_write st then Hashtbl.replace final st.entity pos)
+    steps;
+  Hashtbl.iter (fun _ pos -> live.(pos) <- true) final;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pos = n - 1 downto 0 do
+      let st = steps.(pos) in
+      match st.action with
+      | Step.Read ->
+          (* live if a later write of the same transaction is live *)
+          if not live.(pos) then begin
+            let alive = ref false in
+            for q = pos + 1 to n - 1 do
+              if steps.(q).txn = st.txn && Step.is_write steps.(q)
+                 && live.(q)
+              then alive := true
+            done;
+            if !alive then begin
+              live.(pos) <- true;
+              changed := true
+            end
+          end
+      | Step.Write ->
+          (* live if some live read is served this write *)
+          if not live.(pos) then begin
+            let feeds = ref false in
+            for q = pos + 1 to n - 1 do
+              if Step.is_read steps.(q) && live.(q)
+                 && Version_fn.get std q = Some (Version_fn.From pos)
+              then feeds := true
+            done;
+            if !feeds then begin
+              live.(pos) <- true;
+              changed := true
+            end
+          end
+    done
+  done;
+  live
+
+let live_read_froms s =
+  let live = live_positions s in
+  let steps = Schedule.steps s in
+  let std = Version_fn.standard s in
+  Array.to_list steps
+  |> List.mapi (fun pos st -> (pos, st))
+  |> List.filter_map (fun (pos, (st : Step.t)) ->
+         if Step.is_read st && live.(pos) then
+           let writer =
+             match Version_fn.get std pos with
+             | Some (Version_fn.From p) -> Read_from.T steps.(p).txn
+             | Some Version_fn.Initial | None -> Read_from.T0
+           in
+           Some { Read_from.reader = st.txn; entity = st.entity; writer }
+         else None)
+  |> List.sort_uniq Read_from.compare_triple
+
+let dead_steps s =
+  let live = live_positions s in
+  Array.to_list (Schedule.steps s)
+  |> List.filteri (fun pos _ -> not live.(pos))

@@ -1,0 +1,37 @@
+let t0 = 0
+let tf s = Schedule.n_txns s - 1
+
+let original_txn i =
+  if i <= 0 then invalid_arg "Padding.original_txn: T0 has no original";
+  i - 1
+
+let padded_txn i = i + 1
+
+let pad s =
+  let entities = Schedule.entities s in
+  let n = Schedule.n_txns s in
+  let head = List.map (fun e -> Step.write 0 e) entities in
+  let tail = List.map (fun e -> Step.read (n + 1) e) entities in
+  let body =
+    Array.to_list (Schedule.steps s)
+    |> List.map (fun (st : Step.t) -> { st with txn = st.txn + 1 })
+  in
+  Schedule.of_steps ~n_txns:(n + 2) (head @ body @ tail)
+
+let unpad s =
+  let n = Schedule.n_txns s in
+  if n < 2 then invalid_arg "Padding.unpad: too few transactions";
+  (* Validate shape: transaction 0 only writes, transaction n-1 only reads. *)
+  Array.iter
+    (fun (st : Step.t) ->
+      if st.txn = 0 && not (Step.is_write st) then
+        invalid_arg "Padding.unpad: T0 must only write";
+      if st.txn = n - 1 && not (Step.is_read st) then
+        invalid_arg "Padding.unpad: Tf must only read")
+    (Schedule.steps s);
+  let body =
+    Array.to_list (Schedule.steps s)
+    |> List.filter (fun (st : Step.t) -> st.txn <> 0 && st.txn <> n - 1)
+    |> List.map (fun (st : Step.t) -> { st with txn = st.txn - 1 })
+  in
+  Schedule.of_steps ~n_txns:(n - 2) body

@@ -1,0 +1,30 @@
+(** Padded schedules (Section 2).
+
+    The padded schedule of [s] starts with an initial transaction T0 that
+    writes every entity and ends with a final transaction Tf that reads
+    every entity; [s] is correct iff its padded schedule is. Transaction
+    indices shift by one: T0 becomes index 0, the original transaction [i]
+    becomes [i + 1], and Tf becomes [n + 1]. *)
+
+val pad : Schedule.t -> Schedule.t
+(** The padded schedule. Entities are written/read in sorted order. *)
+
+val unpad : Schedule.t -> Schedule.t
+(** Inverse of {!pad}.
+    @raise Invalid_argument if the schedule does not look padded (first
+    steps all writes by transaction 0, last steps all reads by the highest
+    transaction). *)
+
+val t0 : int
+(** Index of T0 in a padded schedule (always 0). *)
+
+val tf : Schedule.t -> int
+(** Index of Tf in a padded schedule of [n] original transactions
+    ([n + 1]). *)
+
+val original_txn : int -> int
+(** Map a padded index back to the original ([i - 1]).
+    @raise Invalid_argument on T0's index. *)
+
+val padded_txn : int -> int
+(** Map an original index to its padded index ([i + 1]). *)

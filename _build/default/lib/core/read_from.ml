@@ -1,0 +1,56 @@
+type writer = T0 | T of int
+
+let pp_writer ppf = function
+  | T0 -> Format.pp_print_string ppf "T0"
+  | T i -> Format.fprintf ppf "T%d" (i + 1)
+
+type triple = { reader : int; entity : string; writer : writer }
+
+let compare_triple = Stdlib.compare
+
+let writer_of_source s = function
+  | Version_fn.Initial -> T0
+  | Version_fn.From p -> T (Schedule.step s p).txn
+
+let per_step s v =
+  if not (Version_fn.legal s v && Version_fn.total s v) then
+    invalid_arg "Read_from: version function not total and legal";
+  List.map
+    (fun (pos, src) -> (pos, writer_of_source s src))
+    (Version_fn.to_list v)
+
+let relation s v =
+  per_step s v
+  |> List.map (fun (pos, w) ->
+         { reader = (Schedule.step s pos).txn; entity = (Schedule.step s pos).entity; writer = w })
+  |> List.sort_uniq compare_triple
+
+let std_relation s = relation s (Version_fn.standard s)
+
+let final_writers s =
+  let last = Hashtbl.create 8 in
+  Array.iter
+    (fun (st : Step.t) ->
+      if Step.is_write st then Hashtbl.replace last st.entity (T st.txn))
+    (Schedule.steps s);
+  List.map
+    (fun e ->
+      match Hashtbl.find_opt last e with
+      | Some w -> (e, w)
+      | None -> (e, T0))
+    (Schedule.entities s)
+
+let view s v i =
+  relation s v
+  |> List.filter_map (fun t ->
+         if t.reader = i then Some (t.entity, t.writer) else None)
+  |> List.sort_uniq compare
+
+let last_write_of s ~txn ~entity =
+  let result = ref None in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      if st.txn = txn && Step.is_write st && st.entity = entity then
+        result := Some pos)
+    (Schedule.steps s);
+  !result

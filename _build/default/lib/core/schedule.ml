@@ -1,0 +1,218 @@
+type t = { n_txns : int; steps : Step.t array }
+
+let of_steps ?n_txns steps =
+  let max_txn =
+    List.fold_left (fun acc (s : Step.t) -> max acc s.txn) (-1) steps
+  in
+  let n = Option.value n_txns ~default:(max_txn + 1) in
+  List.iter
+    (fun (s : Step.t) ->
+      if s.txn < 0 || s.txn >= n then
+        invalid_arg "Schedule.of_steps: transaction index out of range")
+    steps;
+  { n_txns = n; steps = Array.of_list steps }
+
+let steps s = Array.copy s.steps
+let step s p = s.steps.(p)
+let length s = Array.length s.steps
+let n_txns s = s.n_txns
+
+let entities s =
+  Array.fold_left
+    (fun acc (st : Step.t) ->
+      if List.mem st.entity acc then acc else st.entity :: acc)
+    [] s.steps
+  |> List.sort compare
+
+let txn_program s i =
+  Array.fold_right
+    (fun (st : Step.t) acc -> if st.txn = i then st :: acc else acc)
+    s.steps []
+
+let txn_positions s i =
+  let acc = ref [] in
+  Array.iteri (fun p (st : Step.t) -> if st.txn = i then acc := p :: !acc) s.steps;
+  List.rev !acc
+
+let same_system s1 s2 =
+  s1.n_txns = s2.n_txns
+  &&
+  let rec loop i =
+    i >= s1.n_txns
+    || (List.equal Step.equal (txn_program s1 i) (txn_program s2 i)
+       && loop (i + 1))
+  in
+  loop 0
+
+let is_serial s =
+  (* Each transaction's steps occupy a contiguous block. *)
+  let seen_done = Hashtbl.create 8 in
+  let current = ref (-1) in
+  Array.for_all
+    (fun (st : Step.t) ->
+      if st.txn = !current then true
+      else if Hashtbl.mem seen_done st.txn then false
+      else begin
+        if !current >= 0 then Hashtbl.replace seen_done !current ();
+        current := st.txn;
+        true
+      end)
+    s.steps
+
+let serial_order s =
+  if not (is_serial s) then None
+  else begin
+    let order = ref [] in
+    Array.iter
+      (fun (st : Step.t) ->
+        match !order with
+        | t :: _ when t = st.txn -> ()
+        | _ -> order := st.txn :: !order)
+      s.steps;
+    Some (List.rev !order)
+  end
+
+let is_permutation n order =
+  List.sort compare order = List.init n Fun.id
+
+let serialization s order =
+  if not (is_permutation s.n_txns order) then
+    invalid_arg "Schedule.serialization: not a permutation";
+  let steps = List.concat_map (fun i -> txn_program s i) order in
+  { n_txns = s.n_txns; steps = Array.of_list steps }
+
+let prefix s k =
+  if k < 0 || k > length s then invalid_arg "Schedule.prefix";
+  { n_txns = s.n_txns; steps = Array.sub s.steps 0 k }
+
+let is_prefix p ~of_ =
+  length p <= length of_
+  && p.n_txns = of_.n_txns
+  &&
+  let rec loop i =
+    i >= length p || (Step.equal p.steps.(i) of_.steps.(i) && loop (i + 1))
+  in
+  loop 0
+
+let swap_adjacent s p =
+  if p < 0 || p + 1 >= length s then invalid_arg "Schedule.swap_adjacent";
+  if s.steps.(p).txn = s.steps.(p + 1).txn then
+    invalid_arg "Schedule.swap_adjacent: steps of the same transaction";
+  let a = Array.copy s.steps in
+  let tmp = a.(p) in
+  a.(p) <- a.(p + 1);
+  a.(p + 1) <- tmp;
+  { s with steps = a }
+
+let interleavings programs =
+  let progs = Array.of_list (List.map steps programs) in
+  let n = Array.length progs in
+  (* Re-tag transaction ids by list position so callers can pass programs
+     built with any ids. *)
+  let retag i (st : Step.t) = { st with txn = i } in
+  let total = Array.fold_left (fun acc p -> acc + Array.length p) 0 progs in
+  let rec gen idx acc len : t Seq.t =
+    if len = total then
+      Seq.return { n_txns = n; steps = Array.of_list (List.rev acc) }
+    else
+      let branch i : t Seq.t =
+        if idx.(i) >= Array.length progs.(i) then Seq.empty
+        else
+          fun () ->
+            let idx' = Array.copy idx in
+            idx'.(i) <- idx.(i) + 1;
+            gen idx' (retag i progs.(i).(idx.(i)) :: acc) (len + 1) ()
+      in
+      Seq.concat (Seq.map branch (Seq.init n Fun.id))
+  in
+  gen (Array.make n 0) [] 0
+
+let all_serializations s =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  List.map (serialization s) (perms (List.init s.n_txns Fun.id))
+
+let equal s1 s2 =
+  s1.n_txns = s2.n_txns
+  && Array.length s1.steps = Array.length s2.steps
+  && Array.for_all2 Step.equal s1.steps s2.steps
+
+let pp ppf s =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    Step.pp ppf
+    (Array.to_list s.steps)
+
+let to_string s = Format.asprintf "%a" pp s
+
+let pp_grid ppf s =
+  let width = 8 in
+  for i = 0 to s.n_txns - 1 do
+    Format.fprintf ppf "T%-3d:" (i + 1);
+    Array.iter
+      (fun (st : Step.t) ->
+        let cell = if st.txn = i then Step.to_string st else "" in
+        Format.fprintf ppf " %-*s" width cell)
+      s.steps;
+    if i < s.n_txns - 1 then Format.pp_print_newline ppf ()
+  done
+
+(* Parser for "R1(x) W2(y)" notation. *)
+let of_string text =
+  let n = String.length text in
+  let steps = ref [] in
+  let pos = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "Schedule.of_string: %s" msg) in
+  let skip_seps () =
+    while
+      !pos < n
+      && (match text.[!pos] with
+         | ' ' | '\t' | '\n' | '\r' | ',' | ';' -> true
+         | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let parse_int () =
+    let start = !pos in
+    while !pos < n && text.[!pos] >= '0' && text.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "expected transaction number";
+    int_of_string (String.sub text start (!pos - start))
+  in
+  let parse_entity () =
+    if !pos >= n || text.[!pos] <> '(' then fail "expected '('";
+    incr pos;
+    let start = !pos in
+    while !pos < n && text.[!pos] <> ')' do
+      incr pos
+    done;
+    if !pos >= n then fail "expected ')'";
+    let e = String.sub text start (!pos - start) in
+    incr pos;
+    if e = "" then fail "empty entity name";
+    e
+  in
+  skip_seps ();
+  while !pos < n do
+    let action =
+      match text.[!pos] with
+      | 'R' | 'r' -> Step.Read
+      | 'W' | 'w' -> Step.Write
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    incr pos;
+    let txn = parse_int () in
+    if txn < 1 then fail "transaction numbers are 1-based";
+    let entity = parse_entity () in
+    steps := { Step.txn = txn - 1; action; entity } :: !steps;
+    skip_seps ()
+  done;
+  of_steps (List.rev !steps)

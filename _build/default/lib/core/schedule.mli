@@ -1,0 +1,96 @@
+(** Schedules: interleaved sequences of transaction steps.
+
+    A transaction system is a finite set of transactions; a schedule is a
+    sequence of steps in the shuffle of the system (Section 2). A schedule
+    value also fixes the transaction system: transaction [i]'s program is
+    the subsequence of its steps. *)
+
+type t
+(** An immutable schedule. Transactions are [0 .. n_txns - 1]; every
+    transaction with no steps is a legal (empty) member of the system. *)
+
+val of_steps : ?n_txns:int -> Step.t list -> t
+(** [of_steps steps] builds a schedule. [n_txns] defaults to one more than
+    the largest transaction index mentioned (0 if none).
+    @raise Invalid_argument if a step's transaction is negative or
+    [>= n_txns]. *)
+
+val of_string : string -> t
+(** Parse the paper's linear notation, e.g. ["R1(x) W1(x) R2(y) W2(y)"].
+    Transaction subscripts are 1-based in the notation ([R1] is transaction
+    0). Steps are separated by whitespace, commas or semicolons.
+    @raise Invalid_argument on a malformed step. *)
+
+val steps : t -> Step.t array
+(** The steps in schedule order. The array is fresh; mutating it does not
+    affect the schedule. *)
+
+val step : t -> int -> Step.t
+(** [step s p] is the step at position [p]. *)
+
+val length : t -> int
+val n_txns : t -> int
+
+val entities : t -> string list
+(** Distinct entities accessed, sorted. *)
+
+val txn_program : t -> int -> Step.t list
+(** [txn_program s i] is transaction [i]'s program: the subsequence of its
+    steps in order. *)
+
+val txn_positions : t -> int -> int list
+(** Positions (ascending) of transaction [i]'s steps. *)
+
+val same_system : t -> t -> bool
+(** Do the two schedules have identical transaction systems (same count,
+    same programs)? Equivalence notions are only defined between schedules
+    of the same system. *)
+
+val is_serial : t -> bool
+(** Any two adjacent steps of a transaction are also adjacent in the
+    schedule, i.e. transactions run one after the other. *)
+
+val serial_order : t -> int list option
+(** If the schedule is serial, the order in which (non-empty) transactions
+    run. *)
+
+val serialization : t -> int list -> t
+(** [serialization s order] is the serial schedule of [s]'s transaction
+    system running the transactions in [order].
+    @raise Invalid_argument if [order] is not a permutation of
+    [0 .. n_txns - 1]. *)
+
+val prefix : t -> int -> t
+(** [prefix s k] is the schedule made of the first [k] steps (over the same
+    [n_txns]); transaction programs are truncated accordingly. *)
+
+val is_prefix : t -> of_:t -> bool
+(** [is_prefix p ~of_:s] iff [p]'s step sequence is a prefix of [s]'s. *)
+
+val swap_adjacent : t -> int -> t
+(** [swap_adjacent s p] exchanges the steps at positions [p] and [p + 1]
+    (used by the Theorem 2 switching characterization).
+    @raise Invalid_argument if out of range or if both steps belong to the
+    same transaction (that would change a program). *)
+
+val interleavings : t list -> t Seq.t
+(** All shuffles of the given single-transaction step lists, presented as
+    schedules of the combined system, for exhaustive small-world testing.
+    The input list gives each transaction's program; programs beyond a few
+    steps explode combinatorially. *)
+
+val all_serializations : t -> t list
+(** The [n!] serial schedules of [s]'s system (empty transactions
+    included in every order). Intended for small [n]. *)
+
+val equal : t -> t -> bool
+(** Same system and same step sequence. *)
+
+val pp : Format.formatter -> t -> unit
+(** Linear rendering: [R1(x) W1(x) R2(y)]. *)
+
+val to_string : t -> string
+
+val pp_grid : Format.formatter -> t -> unit
+(** The paper's Fig. 1 layout: one row per transaction, one column per
+    schedule position. *)

@@ -1,0 +1,27 @@
+type action = Read | Write
+type t = { txn : int; action : action; entity : string }
+
+let read i x = { txn = i; action = Read; entity = x }
+let write i x = { txn = i; action = Write; entity = x }
+let is_read s = s.action = Read
+let is_write s = s.action = Write
+
+let conflicts a b =
+  a.entity = b.entity
+  && a.txn <> b.txn
+  && (a.action = Write || b.action = Write)
+
+let mv_conflicts ~first ~second =
+  first.entity = second.entity
+  && first.txn <> second.txn
+  && first.action = Read
+  && second.action = Write
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let pp ppf s =
+  let letter = match s.action with Read -> 'R' | Write -> 'W' in
+  Format.fprintf ppf "%c%d(%s)" letter (s.txn + 1) s.entity
+
+let to_string s = Format.asprintf "%a" pp s

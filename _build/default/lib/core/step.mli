@@ -1,0 +1,39 @@
+(** Steps: atomic read/write accesses by transactions on entities.
+
+    A transaction is a finite sequence of steps; a schedule is an
+    interleaving of the transactions' steps (Section 2 of the paper).
+    Transactions are dense integers [0 .. n-1]; entities are strings. *)
+
+type action = Read | Write
+
+type t = { txn : int; action : action; entity : string }
+
+val read : int -> string -> t
+(** [read i x] is the step [R_i(x)]. *)
+
+val write : int -> string -> t
+(** [write i x] is the step [W_i(x)]. *)
+
+val is_read : t -> bool
+val is_write : t -> bool
+
+val conflicts : t -> t -> bool
+(** Single-version conflict (Section 2): same entity, different
+    transactions, and at least one write. Symmetric. *)
+
+val mv_conflicts : first:t -> second:t -> bool
+(** Multiversion conflict (Section 3): [first] is a read and [second] a
+    write of the same entity by a different transaction. Asymmetric: only
+    the order read-then-write conflicts, because a version function can
+    serve an old version to a late read but cannot help a read that came
+    too early. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation with 1-based transaction subscripts: [R1(x)], [W2(y)].
+    Transaction [i] prints as subscript [i + 1] to match the paper's
+    [T_1 .. T_n] numbering. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Format Hashtbl List Option Program Random Store

@@ -1,0 +1,1 @@
+lib/engine/store.ml: Hashtbl List Option

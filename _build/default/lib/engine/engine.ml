@@ -1,0 +1,426 @@
+type policy = S2pl | To | Mvto | Si
+
+let policy_name = function
+  | S2pl -> "s2pl"
+  | To -> "to"
+  | Mvto -> "mvto"
+  | Si -> "si"
+
+type deadlock_policy = Detect | Wait_die | Wound_wait
+
+let deadlock_policy_name = function
+  | Detect -> "detect"
+  | Wait_die -> "wait-die"
+  | Wound_wait -> "wound-wait"
+
+type stats = {
+  commits : int;
+  aborts : int;
+  ticks : int;
+  blocked_ticks : int;
+  reads : int;
+  writes : int;
+  max_version_chain : int;
+  gc_pruned : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "commits=%d aborts=%d ticks=%d blocked=%d reads=%d writes=%d \
+     max-chain=%d gc=%d"
+    s.commits s.aborts s.ticks s.blocked_ticks s.reads s.writes
+    s.max_version_chain s.gc_pruned
+
+type result = { stats : stats; final_state : (string * int) list }
+
+type status =
+  | Ready
+  | Waiting of string
+  | Backoff of int (* ticks to sit out after an abort, avoiding livelock *)
+  | Committed
+
+type client = {
+  id : int;
+  program : Program.t;
+  mutable pc : int;
+  mutable regs : (string * int) list;
+  mutable buffer : (string * int) list; (* newest binding first *)
+  mutable ts : int;
+  mutable snapshot : int; (* commit clock at attempt start, for SI *)
+  mutable status : status;
+  mutable held_read : string list;
+  mutable held_write : string list;
+}
+
+(* Lock table for S2PL. *)
+type lock = { mutable readers : int list; mutable writer : int option }
+
+let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
+    ?(crash_probability = 0.) ?(deadlock = Detect) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let store = Store.create ~initial in
+  let next_ts = ref 0 in
+  let fresh_ts () =
+    incr next_ts;
+    !next_ts
+  in
+  let clients =
+    List.mapi
+      (fun id program ->
+        {
+          id;
+          program;
+          pc = 0;
+          regs = [];
+          buffer = [];
+          ts = fresh_ts ();
+          snapshot = 0;
+          status = Ready;
+          held_read = [];
+          held_write = [];
+        })
+      programs
+    |> Array.of_list
+  in
+  let locks : (string, lock) Hashtbl.t = Hashtbl.create 16 in
+  let lock_of e =
+    match Hashtbl.find_opt locks e with
+    | Some l -> l
+    | None ->
+        let l = { readers = []; writer = None } in
+        Hashtbl.replace locks e l;
+        l
+  in
+  (* single-version timestamp bookkeeping for TO *)
+  let rts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let wts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl e = Option.value (Hashtbl.find_opt tbl e) ~default:0 in
+  (* uncommitted write reservations per entity (writer timestamps); a
+     TO read older than a reservation is consistent, one younger must wait
+     for the writer to commit or abort, or it would see a stale value *)
+  let pending : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let pending_of e =
+    match Hashtbl.find_opt pending e with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace pending e l;
+        l
+  in
+  let clear_pending c =
+    Hashtbl.iter (fun _ l -> l := List.filter (( <> ) c.ts) !l) pending
+  in
+  let commits = ref 0
+  and aborts = ref 0
+  and ticks = ref 0
+  and blocked_ticks = ref 0
+  and reads = ref 0
+  and writes = ref 0 in
+  let release c =
+    List.iter
+      (fun e ->
+        let l = lock_of e in
+        l.readers <- List.filter (( <> ) c.id) l.readers)
+      c.held_read;
+    List.iter
+      (fun e ->
+        let l = lock_of e in
+        if l.writer = Some c.id then l.writer <- None)
+      c.held_write;
+    c.held_read <- [];
+    c.held_write <- []
+  in
+  let gc_pruned = ref 0 in
+  let collect_garbage clients =
+    if gc then begin
+      let watermark =
+        Array.fold_left
+          (fun acc c ->
+            if c.status = Committed then acc
+            else min acc (match policy with Si -> c.snapshot | _ -> c.ts))
+          max_int clients
+      in
+      let watermark = if watermark = max_int then !next_ts else watermark in
+      List.iter
+        (fun e -> gc_pruned := !gc_pruned + Store.prune store e ~watermark)
+        (Store.entities store)
+    end
+  in
+  let abort c =
+    incr aborts;
+    release c;
+    clear_pending c;
+    c.pc <- 0;
+    c.regs <- [];
+    c.buffer <- [];
+    c.ts <- fresh_ts ();
+    c.snapshot <- c.ts;
+    (* randomized restart backoff: immediate retry livelocks symmetric
+       conflicts (every victim re-collides with the transaction that beat
+       it); a short random sit-out breaks the symmetry *)
+    c.status <- Backoff (1 + Random.State.int rng 8)
+  in
+  (* Who currently blocks client c from accessing e with the given mode? *)
+  let blockers c e ~write =
+    let l = lock_of e in
+    let from_writer =
+      match l.writer with Some w when w <> c.id -> [ w ] | _ -> []
+    in
+    if write then
+      from_writer @ List.filter (fun r -> r <> c.id) l.readers
+    else from_writer
+  in
+  (* Deadlock test: does some blocker (transitively) wait on c? *)
+  let rec waits_on seen who target =
+    who = target
+    || (not (List.mem who seen))
+       &&
+       let c' = clients.(who) in
+       (match c'.status with
+       | Waiting e ->
+           let write =
+             match List.nth_opt c'.program.Program.ops c'.pc with
+             | Some (Program.Write _) -> true
+             | _ -> false
+           in
+           List.exists
+             (fun b -> waits_on (who :: seen) b target)
+             (blockers c' e ~write)
+       | _ -> false)
+  in
+  (* S2PL lock-conflict resolution, by deadlock policy. Returns true when
+     the caller should retry the operation immediately (a holder was
+     wounded or the requester aborted). *)
+  let resolve_conflict c e blockers_now =
+    match deadlock with
+    | Detect ->
+        if List.exists (fun b -> waits_on [ c.id ] b c.id) blockers_now then
+          abort c
+        else c.status <- Waiting e
+    | Wait_die ->
+        (* classic wait-die: the requester may wait only for younger
+           holders; if some holder is older, the requester dies *)
+        if List.exists (fun b -> clients.(b).ts < c.ts) blockers_now then
+          abort c
+        else c.status <- Waiting e
+    | Wound_wait ->
+        (* wound younger holders; wait for older ones *)
+        let wounded = ref false in
+        List.iter
+          (fun b ->
+            if clients.(b).ts > c.ts && clients.(b).status <> Committed
+            then begin
+              abort clients.(b);
+              wounded := true
+            end)
+          blockers_now;
+        if not !wounded then c.status <- Waiting e
+  in
+  let read_value c e =
+    match List.assoc_opt e c.buffer with
+    | Some v -> v
+    | None -> (
+        match policy with
+        | Mvto ->
+            let v = Store.read_at store e c.ts in
+            v.Store.max_rts <- max v.Store.max_rts c.ts;
+            v.Store.value
+        | Si -> (Store.read_at store e c.snapshot).Store.value
+        | S2pl | To -> (Store.latest store e).Store.value)
+  in
+  let commit c =
+    (* install buffered writes oldest-binding-last so the final value of a
+       twice-written entity is the newest binding *)
+    (match policy with
+    | Mvto ->
+        let invalid =
+          List.exists
+            (fun (e, _) -> Store.would_invalidate store e ~wts:c.ts)
+            c.buffer
+        in
+        if invalid then abort c
+        else begin
+          let final_bindings =
+            (* newest binding per entity wins; buffer is newest-first *)
+            List.fold_left
+              (fun acc (e, v) ->
+                if List.mem_assoc e acc then acc else (e, v) :: acc)
+              [] c.buffer
+          in
+          List.iter
+            (fun (e, v) -> Store.install store e ~value:v ~wts:c.ts)
+            final_bindings;
+          c.status <- Committed;
+          incr commits
+        end
+    | Si ->
+        (* first-committer-wins: a version of a written entity committed
+           after our snapshot means a concurrent writer beat us *)
+        let beaten =
+          List.exists
+            (fun (e, _) ->
+              Store.read_at store e max_int |> fun v ->
+              v.Store.wts > c.snapshot)
+            c.buffer
+        in
+        if beaten then abort c
+        else begin
+          let final_bindings =
+            List.fold_left
+              (fun acc (e, v) ->
+                if List.mem_assoc e acc then acc else (e, v) :: acc)
+              [] c.buffer
+          in
+          let commit_ts = fresh_ts () in
+          List.iter
+            (fun (e, v) -> Store.install store e ~value:v ~wts:commit_ts)
+            final_bindings;
+          c.status <- Committed;
+          incr commits
+        end
+    | S2pl | To ->
+        let final_bindings =
+          List.fold_left
+            (fun acc (e, v) -> if List.mem_assoc e acc then acc else (e, v) :: acc)
+            [] c.buffer
+        in
+        List.iter
+          (fun (e, v) -> Store.install store e ~value:v ~wts:(fresh_ts ()))
+          final_bindings;
+        release c;
+        clear_pending c;
+        c.status <- Committed;
+        incr commits)
+  in
+  let step c =
+    (* SI takes its snapshot at the first operation of each attempt *)
+    if policy = Si && c.pc = 0 && c.regs = [] && c.buffer = [] then
+      c.snapshot <- !next_ts;
+    match List.nth_opt c.program.Program.ops c.pc with
+    | None -> commit c
+    | Some op -> (
+        match (policy, op) with
+        | S2pl, Program.Read e ->
+            let bs = blockers c e ~write:false in
+            if bs = [] then begin
+              let l = lock_of e in
+              if not (List.mem c.id l.readers) then begin
+                l.readers <- c.id :: l.readers;
+                c.held_read <- e :: c.held_read
+              end;
+              incr reads;
+              c.regs <- (e, read_value c e) :: c.regs;
+              c.pc <- c.pc + 1;
+              c.status <- Ready
+            end
+            else resolve_conflict c e bs
+        | S2pl, Program.Write (e, expr) ->
+            let bs = blockers c e ~write:true in
+            if bs = [] then begin
+              let l = lock_of e in
+              l.writer <- Some c.id;
+              if not (List.mem e c.held_write) then
+                c.held_write <- e :: c.held_write;
+              incr writes;
+              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+              c.buffer <- (e, v) :: c.buffer;
+              c.pc <- c.pc + 1;
+              c.status <- Ready
+            end
+            else resolve_conflict c e bs
+        | To, Program.Read e ->
+            if c.ts < get wts e then abort c
+            else if List.exists (fun t -> t < c.ts) !(pending_of e) then
+              (* an older writer has reserved this entity but not yet
+                 committed; reading now would return a stale value *)
+              c.status <- Waiting e
+            else begin
+              Hashtbl.replace rts e (max c.ts (get rts e));
+              incr reads;
+              c.regs <- (e, read_value c e) :: c.regs;
+              c.pc <- c.pc + 1;
+              c.status <- Ready
+            end
+        | To, Program.Write (e, expr) ->
+            if c.ts < get rts e || c.ts < get wts e then abort c
+            else begin
+              Hashtbl.replace wts e c.ts;
+              let p = pending_of e in
+              if not (List.mem c.ts !p) then p := c.ts :: !p;
+              incr writes;
+              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+              c.buffer <- (e, v) :: c.buffer;
+              c.pc <- c.pc + 1
+            end
+        | Mvto, Program.Read e ->
+            incr reads;
+            c.regs <- (e, read_value c e) :: c.regs;
+            c.pc <- c.pc + 1
+        | Mvto, Program.Write (e, expr) ->
+            if Store.would_invalidate store e ~wts:c.ts then abort c
+            else begin
+              incr writes;
+              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+              c.buffer <- (e, v) :: c.buffer;
+              c.pc <- c.pc + 1
+            end
+        | Si, Program.Read e ->
+            incr reads;
+            c.regs <- (e, read_value c e) :: c.regs;
+            c.pc <- c.pc + 1
+        | Si, Program.Write (e, expr) ->
+            incr writes;
+            let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+            c.buffer <- (e, v) :: c.buffer;
+            c.pc <- c.pc + 1)
+  in
+  let runnable () =
+    Array.to_list clients
+    |> List.filter (fun c -> c.status <> Committed)
+  in
+  let rec loop () =
+    let pending = runnable () in
+    if pending <> [] && !ticks < max_ticks then begin
+      incr ticks;
+      let c = List.nth pending (Random.State.int rng (List.length pending)) in
+      (match c.status with
+      | _
+        when crash_probability > 0.
+             && c.status <> Committed
+             && Random.State.float rng 1. < crash_probability ->
+          (* injected failure: the transaction crashes and restarts *)
+          abort c
+      | Waiting _ -> begin
+          (* retry the same operation *)
+          let before = c.status in
+          step c;
+          if c.status = before then incr blocked_ticks
+        end
+      | Backoff k -> c.status <- (if k <= 1 then Ready else Backoff (k - 1))
+      | Ready -> step c
+      | Committed -> ());
+      if c.status = Committed then collect_garbage clients;
+      loop ()
+    end
+  in
+  loop ();
+  let max_chain =
+    List.fold_left
+      (fun acc e -> max acc (Store.version_count store e))
+      1
+      (Store.entities store)
+  in
+  {
+    stats =
+      {
+        commits = !commits;
+        aborts = !aborts;
+        ticks = !ticks;
+        blocked_ticks = !blocked_ticks;
+        reads = !reads;
+        writes = !writes;
+        max_version_chain = max_chain;
+        gc_pruned = !gc_pruned;
+      };
+    final_state = Store.value_map store;
+  }

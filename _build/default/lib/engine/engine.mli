@@ -1,0 +1,77 @@
+(** A small transactional engine executing concurrent programs under
+    pluggable concurrency control — the systems substrate behind the
+    paper's opening claim that keeping multiple versions enhances
+    performance (E10).
+
+    Three policies are provided: strict two-phase locking (blocking, with
+    deadlock detection and victim abort), single-version timestamp
+    ordering (abort and restart on order violations), and multiversion
+    timestamp ordering (reads never block nor abort). Writes are buffered
+    in the transaction and installed at commit; reads see committed
+    versions plus the transaction's own buffer. The simulator is a
+    deterministic discrete-event loop: one operation attempt per tick,
+    client chosen pseudo-randomly from the runnable set. *)
+
+type policy =
+  | S2pl  (** strict two-phase locking: blocking + deadlock victims *)
+  | To  (** single-version timestamp ordering: abort and restart *)
+  | Mvto  (** multiversion timestamp ordering: reads never block/abort *)
+  | Si
+      (** snapshot isolation: reads from the commit-time snapshot taken at
+          transaction start, first-committer-wins on writes. Beware: SI is
+          {e not} serializable in general (write skew) — included so the
+          anomaly is demonstrable end-to-end. *)
+
+val policy_name : policy -> string
+
+type deadlock_policy =
+  | Detect  (** waits-for cycle detection; the requester is the victim *)
+  | Wait_die
+      (** non-preemptive prevention: a requester younger than the lock
+          holder aborts itself instead of waiting *)
+  | Wound_wait
+      (** preemptive prevention: a requester older than the lock holder
+          aborts ("wounds") the younger holder; younger requesters wait *)
+
+val deadlock_policy_name : deadlock_policy -> string
+
+type stats = {
+  commits : int;
+  aborts : int;  (** restarts: deadlock victims + timestamp violations *)
+  ticks : int;  (** total simulation ticks consumed *)
+  blocked_ticks : int;  (** ticks spent waiting on locks *)
+  reads : int;
+  writes : int;  (** operations executed, including aborted attempts *)
+  max_version_chain : int;
+      (** longest version chain any entity reached; the store records
+          commit history for every policy, but only the multiversion
+          policies read old entries *)
+  gc_pruned : int;  (** versions discarded by garbage collection *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type result = { stats : stats; final_state : (string * int) list }
+
+val run :
+  policy:policy ->
+  initial:(string * int) list ->
+  programs:Program.t list ->
+  ?max_ticks:int ->
+  ?gc:bool ->
+  ?crash_probability:float ->
+  ?deadlock:deadlock_policy ->
+  seed:int ->
+  unit ->
+  result
+(** Run every program to commit (each aborted attempt restarts from the
+    beginning) or until [max_ticks] (default 1_000_000) elapses.
+    Deterministic for a given seed. With [~gc:true] (default [false]),
+    versions no running transaction can read are pruned after each commit
+    — the retention/footprint trade-off of real MVCC engines.
+    [crash_probability] (default 0) injects failures: before each
+    operation the running transaction aborts and restarts with that
+    probability — buffered writes are discarded, so committed state and
+    invariants must survive arbitrary mid-flight failures.
+    [deadlock] (default {!Detect}) selects how S2PL resolves lock
+    conflicts; it is ignored by the non-blocking policies. *)

@@ -1,0 +1,41 @@
+type expr =
+  | Const of int
+  | Reg of string
+  | Add of expr * expr
+  | Sub of expr * expr
+
+type op = Read of string | Write of string * expr
+type t = { label : string; ops : op list }
+
+let rec eval regs = function
+  | Const n -> n
+  | Reg e -> regs e
+  | Add (a, b) -> eval regs a + eval regs b
+  | Sub (a, b) -> eval regs a - eval regs b
+
+let transfer ~label ~from_ ~to_ amount =
+  {
+    label;
+    ops =
+      [
+        Read from_;
+        Read to_;
+        Write (from_, Sub (Reg from_, Const amount));
+        Write (to_, Add (Reg to_, Const amount));
+      ];
+  }
+
+let read_all ~label entities = { label; ops = List.map (fun e -> Read e) entities }
+
+let increment ~label entity amount =
+  {
+    label;
+    ops = [ Read entity; Write (entity, Add (Reg entity, Const amount)) ];
+  }
+
+let blind_write ~label entity value =
+  { label; ops = [ Write (entity, Const value) ] }
+
+let entities t =
+  List.map (function Read e -> e | Write (e, _) -> e) t.ops
+  |> List.sort_uniq compare

@@ -1,0 +1,78 @@
+type version = { value : int; wts : int; mutable max_rts : int }
+
+type t = { chains : (string, version list ref) Hashtbl.t }
+
+let create ~initial =
+  let chains = Hashtbl.create 16 in
+  List.iter
+    (fun (e, v) ->
+      Hashtbl.replace chains e (ref [ { value = v; wts = 0; max_rts = 0 } ]))
+    initial;
+  { chains }
+
+let chain t e =
+  match Hashtbl.find_opt t.chains e with
+  | Some c -> c
+  | None ->
+      let c = ref [ { value = 0; wts = 0; max_rts = 0 } ] in
+      Hashtbl.replace t.chains e c;
+      c
+
+let entities t =
+  Hashtbl.fold (fun e _ acc -> e :: acc) t.chains [] |> List.sort compare
+
+let latest t e =
+  let c = !(chain t e) in
+  List.fold_left (fun best v -> if v.wts > best.wts then v else best)
+    (List.hd c) c
+
+let read_at t e ts =
+  let c = !(chain t e) in
+  let best = ref None in
+  List.iter
+    (fun v ->
+      if v.wts <= ts then
+        match !best with
+        | Some b when b.wts >= v.wts -> ()
+        | _ -> best := Some v)
+    c;
+  (* the initial version (wts 0) always qualifies for ts >= 0 *)
+  Option.get !best
+
+let install t e ~value ~wts =
+  if wts <= 0 then invalid_arg "Store.install: timestamp must be positive";
+  let c = chain t e in
+  if List.exists (fun v -> v.wts = wts) !c then
+    invalid_arg "Store.install: duplicate version timestamp";
+  c := { value; wts; max_rts = wts } :: !c
+
+let would_invalidate t e ~wts =
+  let c = !(chain t e) in
+  List.exists (fun v -> v.wts < wts && v.max_rts > wts) c
+
+let version_count t e = List.length !(chain t e)
+
+let prune t e ~watermark =
+  let c = chain t e in
+  (* newest version visible at the watermark: the snapshot base *)
+  let base =
+    List.fold_left
+      (fun acc v ->
+        if v.wts <= watermark then
+          match acc with
+          | Some b when b.wts >= v.wts -> acc
+          | _ -> Some v
+        else acc)
+      None !c
+  in
+  match base with
+  | None -> 0
+  | Some base ->
+      let keep, drop =
+        List.partition (fun v -> v.wts >= base.wts) !c
+      in
+      c := keep;
+      List.length drop
+
+let value_map t =
+  entities t |> List.map (fun e -> (e, (latest t e).value))

@@ -1,0 +1,52 @@
+(** An in-memory multiversion store.
+
+    Each entity carries an ordered chain of committed versions; the
+    initial version of every entity has write timestamp 0 and the entity's
+    initial value. Single-version policies simply confine themselves to
+    the newest version. *)
+
+type version = {
+  value : int;
+  wts : int;  (** timestamp of the writer (0 = initial) *)
+  mutable max_rts : int;  (** largest timestamp that read this version *)
+}
+
+type t
+
+val create : initial:(string * int) list -> t
+(** A store holding the given entities at their initial values. Entities
+    never accessed before can also be created lazily with initial value
+    0. *)
+
+val entities : t -> string list
+(** Entities currently present, sorted. *)
+
+val latest : t -> string -> version
+(** The newest committed version. *)
+
+val read_at : t -> string -> int -> version
+(** [read_at store e ts] is the version of [e] with the largest write
+    timestamp [<= ts] — the MVTO read rule. *)
+
+val install : t -> string -> value:int -> wts:int -> unit
+(** Commit a new version. Versions must be installed with strictly
+    positive timestamps.
+    @raise Invalid_argument if a version with the same [wts] exists or
+    [wts <= 0]. *)
+
+val would_invalidate : t -> string -> wts:int -> bool
+(** The MVTO write rule: would a new version of [e] at [wts] invalidate an
+    existing read, i.e. is there a version with [wts' < wts] already read
+    by some transaction younger than [wts]? *)
+
+val version_count : t -> string -> int
+
+val prune : t -> string -> watermark:int -> int
+(** [prune store e ~watermark] discards versions no active transaction can
+    still read: every version older than the newest version with
+    [wts <= watermark] (that one is kept as the snapshot base). Returns
+    the number of versions discarded. *)
+
+val value_map : t -> (string * int) list
+(** Latest committed value of each entity, sorted — the "current database
+    state" a single-version observer sees. *)

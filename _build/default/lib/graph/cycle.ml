@@ -1,0 +1,69 @@
+(* Colors for DFS: 0 = white (unvisited), 1 = grey (on stack), 2 = black. *)
+
+let is_acyclic g =
+  let n = Digraph.n_nodes g in
+  let color = Array.make n 0 in
+  let rec dfs u =
+    color.(u) <- 1;
+    let ok =
+      List.for_all
+        (fun v ->
+          match color.(v) with 1 -> false | 0 -> dfs v | _ -> true)
+        (Digraph.succ g u)
+    in
+    color.(u) <- 2;
+    ok
+  in
+  let rec loop u = u >= n || ((color.(u) <> 0 || dfs u) && loop (u + 1)) in
+  loop 0
+
+let has_cycle g = not (is_acyclic g)
+
+exception Found of int list
+
+(* On finding a back edge u -> v with v grey, the cycle is the suffix of the
+   current DFS path starting at v. We carry the path as a list (head = most
+   recent). *)
+let find_cycle g =
+  let n = Digraph.n_nodes g in
+  let color = Array.make n 0 in
+  let rec dfs path u =
+    color.(u) <- 1;
+    let path = u :: path in
+    List.iter
+      (fun v ->
+        match color.(v) with
+        | 1 ->
+            (* path = [u; ...; v; ...]; cycle = v ... u *)
+            let rec take acc = function
+              | [] -> acc
+              | w :: rest -> if w = v then w :: acc else take (w :: acc) rest
+            in
+            raise (Found (take [] path))
+        | 0 -> dfs path v
+        | _ -> ())
+      (Digraph.succ g u);
+    color.(u) <- 2
+  in
+  try
+    for u = 0 to n - 1 do
+      if color.(u) = 0 then dfs [] u
+    done;
+    None
+  with Found c -> Some c
+
+let reachable g u v =
+  let n = Digraph.n_nodes g in
+  let seen = Array.make n false in
+  let rec dfs w =
+    w = v
+    || (not seen.(w))
+       && begin
+            seen.(w) <- true;
+            List.exists dfs (Digraph.succ g w)
+          end
+  in
+  (* [dfs] marks before descending but must test the target first. *)
+  u = v || (seen.(u) <- true; List.exists dfs (Digraph.succ g u))
+
+let creates_cycle g u v = reachable g v u

@@ -1,0 +1,25 @@
+(** Cycle detection for directed graphs.
+
+    Acyclicity is the workhorse test of this library: a schedule is CSR iff
+    its conflict graph is acyclic, MVCSR iff its multiversion conflict graph
+    is acyclic (Theorem 1), and polygraph acyclicity reduces to repeated
+    digraph acyclicity checks. *)
+
+val is_acyclic : Digraph.t -> bool
+(** [is_acyclic g] is [true] iff [g] has no directed cycle. O(V + E). *)
+
+val has_cycle : Digraph.t -> bool
+(** Negation of {!is_acyclic}. *)
+
+val find_cycle : Digraph.t -> int list option
+(** [find_cycle g] is [Some [v0; v1; ...; vk]] where [v0 -> v1 -> ... -> vk
+    -> v0] is a directed cycle of [g], or [None] if [g] is acyclic. *)
+
+val reachable : Digraph.t -> int -> int -> bool
+(** [reachable g u v] is [true] iff there is a directed path from [u] to
+    [v] (a path of length 0 counts: [reachable g u u = true]). *)
+
+val creates_cycle : Digraph.t -> int -> int -> bool
+(** [creates_cycle g u v] is [true] iff adding the edge [u -> v] to [g]
+    would create a new directed cycle, i.e. iff [v] already reaches [u].
+    The graph is not modified. *)

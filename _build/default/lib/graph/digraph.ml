@@ -1,0 +1,86 @@
+type t = {
+  n : int;
+  adj : (int, unit) Hashtbl.t array; (* adj.(u) holds successors of u *)
+  mutable m : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  { n; adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0 }
+
+let n_nodes g = g.n
+let n_edges g = g.m
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: node out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.adj.(u) v
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (Hashtbl.mem g.adj.(u) v) then begin
+    Hashtbl.replace g.adj.(u) v ();
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if Hashtbl.mem g.adj.(u) v then begin
+    Hashtbl.remove g.adj.(u) v;
+    g.m <- g.m - 1
+  end
+
+let succ g u =
+  check g u;
+  Hashtbl.fold (fun v () acc -> v :: acc) g.adj.(u) []
+
+let out_degree g u =
+  check g u;
+  Hashtbl.length g.adj.(u)
+
+let iter_edges f g =
+  Array.iteri (fun u tbl -> Hashtbl.iter (fun v () -> f u v) tbl) g.adj
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let pred g u =
+  check g u;
+  fold_edges (fun a b acc -> if b = u then a :: acc else acc) g []
+
+let edges g = fold_edges (fun u v acc -> (u, v) :: acc) g []
+
+let copy g =
+  let g' = create g.n in
+  iter_edges (fun u v -> add_edge g' u v) g;
+  g'
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let transpose g =
+  let g' = create g.n in
+  iter_edges (fun u v -> add_edge g' v u) g;
+  g'
+
+let equal g1 g2 =
+  g1.n = g2.n
+  && g1.m = g2.m
+  && fold_edges (fun u v ok -> ok && mem_edge g2 u v) g1 true
+
+let pp ppf g =
+  let es = List.sort compare (edges g) in
+  Format.fprintf ppf "digraph(%d;@ %a)" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d->%d" u v))
+    es

@@ -1,0 +1,20 @@
+let to_dot ?(name = "g") ?node_label ?edge_label g =
+  let node_label = Option.value node_label ~default:string_of_int in
+  let edge_label = Option.value edge_label ~default:(fun _ _ -> None) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for u = 0 to Digraph.n_nodes g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=%S];\n" u (node_label u))
+  done;
+  let es = List.sort compare (Digraph.edges g) in
+  List.iter
+    (fun (u, v) ->
+      match edge_label u v with
+      | None -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v)
+      | Some l ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=%S];\n" u v l))
+    es;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

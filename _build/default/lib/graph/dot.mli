@@ -1,0 +1,11 @@
+(** Graphviz DOT export, for inspecting conflict graphs and polygraph
+    solutions produced by the examples and the CLI. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(int -> int -> string option) ->
+  Digraph.t ->
+  string
+(** [to_dot g] renders [g] as a DOT digraph. [node_label] defaults to the
+    node index; [edge_label] defaults to no label. *)

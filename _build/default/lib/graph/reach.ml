@@ -1,0 +1,35 @@
+type t = bool array array
+
+let closure g =
+  let n = Digraph.n_nodes g in
+  let m = Array.make_matrix n n false in
+  for u = 0 to n - 1 do
+    (* BFS from u *)
+    let queue = Queue.create () in
+    Queue.add u queue;
+    m.(u).(u) <- true;
+    while not (Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not m.(u).(v) then begin
+            m.(u).(v) <- true;
+            Queue.add v queue
+          end)
+        (Digraph.succ g w)
+    done
+  done;
+  m
+
+let reaches c u v = c.(u).(v)
+
+let closure_graph g =
+  let n = Digraph.n_nodes g in
+  let c = closure g in
+  let g' = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && c.(u).(v) then Digraph.add_edge g' u v
+    done
+  done;
+  g'

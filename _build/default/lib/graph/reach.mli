@@ -1,0 +1,19 @@
+(** Transitive closure / reachability matrices.
+
+    The polygraph solver and the OLS checker ask many reachability queries
+    against slowly growing graphs; a precomputed closure answers them in
+    O(1). *)
+
+type t
+(** An immutable reachability matrix snapshot of a graph. *)
+
+val closure : Digraph.t -> t
+(** [closure g] computes all-pairs reachability (paths of length >= 0, so
+    every node reaches itself). O(V * (V + E)). *)
+
+val reaches : t -> int -> int -> bool
+(** [reaches c u v] is [true] iff [v] is reachable from [u]. *)
+
+val closure_graph : Digraph.t -> Digraph.t
+(** The transitive closure as a graph: edge [u -> v] iff [u <> v] and [v]
+    is reachable from [u] in the input. *)

@@ -1,0 +1,57 @@
+(* Tarjan's algorithm, iterative stack kept implicit via recursion (schedule
+   graphs are small; depth is bounded by node count). *)
+
+let components g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Digraph.succ g v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !comps
+
+let component_ids g =
+  let n = Digraph.n_nodes g in
+  let ids = Array.make n (-1) in
+  List.iteri
+    (fun i comp -> List.iter (fun v -> ids.(v) <- i) comp)
+    (components g);
+  ids
+
+let nontrivial g =
+  List.filter
+    (function
+      | [] -> false
+      | [ v ] -> Digraph.mem_edge g v v
+      | _ -> true)
+    (components g)

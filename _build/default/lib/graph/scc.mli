@@ -1,0 +1,18 @@
+(** Strongly connected components (Tarjan).
+
+    Used to report *why* a schedule fails a serializability test: the
+    non-trivial components of its conflict graph are exactly the sets of
+    transactions that cannot be serialized relative to each other. *)
+
+val components : Digraph.t -> int list list
+(** [components g] lists the strongly connected components of [g] in
+    reverse topological order of the condensation (callees first). Every
+    node appears in exactly one component. *)
+
+val component_ids : Digraph.t -> int array
+(** [component_ids g] maps each node to a dense component id; nodes share
+    an id iff they are in the same strongly connected component. *)
+
+val nontrivial : Digraph.t -> int list list
+(** Components that witness a cycle: size [>= 2], or a single node with a
+    self-loop. *)

@@ -1,0 +1,65 @@
+module Int_set = Set.Make (Int)
+
+(* Kahn's algorithm with a sorted frontier for determinism. *)
+let sort g =
+  let n = Digraph.n_nodes g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
+  let frontier = ref Int_set.empty in
+  for u = 0 to n - 1 do
+    if indeg.(u) = 0 then frontier := Int_set.add u !frontier
+  done;
+  let rec loop acc count =
+    match Int_set.min_elt_opt !frontier with
+    | None -> if count = n then Some (List.rev acc) else None
+    | Some u ->
+        frontier := Int_set.remove u !frontier;
+        List.iter
+          (fun v ->
+            indeg.(v) <- indeg.(v) - 1;
+            if indeg.(v) = 0 then frontier := Int_set.add v !frontier)
+          (Digraph.succ g u);
+        loop (u :: acc) (count + 1)
+  in
+  loop [] 0
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: cyclic graph"
+
+let is_topological g order =
+  let n = Digraph.n_nodes g in
+  List.length order = n
+  && List.sort_uniq compare order = List.init n Fun.id
+  &&
+  let pos = Array.make n 0 in
+  List.iteri (fun i u -> pos.(u) <- i) order;
+  Digraph.fold_edges (fun u v ok -> ok && pos.(u) < pos.(v)) g true
+
+let all_sorts ?(limit = 10_000) g =
+  let n = Digraph.n_nodes g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
+  let placed = Array.make n false in
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go acc depth =
+    if !count < limit then
+      if depth = n then begin
+        incr count;
+        results := List.rev acc :: !results
+      end
+      else
+        for u = 0 to n - 1 do
+          if (not placed.(u)) && indeg.(u) = 0 then begin
+            placed.(u) <- true;
+            List.iter (fun v -> indeg.(v) <- indeg.(v) - 1) (Digraph.succ g u);
+            go (u :: acc) (depth + 1);
+            List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) (Digraph.succ g u);
+            placed.(u) <- false
+          end
+        done
+  in
+  go [] 0;
+  List.rev !results

@@ -1,0 +1,22 @@
+(** Topological sorting.
+
+    Theorem 1's (if) direction and all serialization-witness constructions
+    order transactions by a topological sort of an acyclic (multiversion)
+    conflict graph. *)
+
+val sort : Digraph.t -> int list option
+(** [sort g] is [Some order] where [order] lists every node of [g] and each
+    edge [u -> v] has [u] before [v]; [None] if [g] is cyclic. The order is
+    deterministic: among available nodes the smallest index comes first. *)
+
+val sort_exn : Digraph.t -> int list
+(** Like {!sort}.
+    @raise Invalid_argument if the graph is cyclic. *)
+
+val is_topological : Digraph.t -> int list -> bool
+(** [is_topological g order] checks that [order] is a permutation of the
+    nodes of [g] placing sources before targets for every edge. *)
+
+val all_sorts : ?limit:int -> Digraph.t -> int list list
+(** All topological orders of [g] (empty if cyclic), for exhaustive small
+    instances. [limit] (default 10_000) caps the number returned. *)

@@ -1,0 +1,1 @@
+lib/ols/examples.ml: Mvcc_core Schedule

@@ -1,0 +1,1 @@
+lib/ols/examples.mli: Mvcc_core

@@ -1,0 +1,1 @@
+lib/ols/maximal.ml: Array Conflict List Mvcc_classes Mvcc_core Mvcc_graph Mvcc_sched Schedule Step Version_fn

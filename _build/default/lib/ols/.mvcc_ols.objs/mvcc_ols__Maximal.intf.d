@@ -1,0 +1,1 @@
+lib/ols/maximal.mli: Mvcc_core Mvcc_sched

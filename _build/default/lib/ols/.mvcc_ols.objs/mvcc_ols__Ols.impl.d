@@ -1,0 +1,1 @@
+lib/ols/ols.ml: Hashtbl List Mvcc_classes Mvcc_core Schedule Seq String Version_fn

@@ -1,0 +1,1 @@
+lib/ols/ols.mli: Mvcc_core

@@ -1,0 +1,1 @@
+lib/ols/subsets.ml: List Mvcc_classes Mvcc_core Ols Schedule

@@ -1,0 +1,1 @@
+lib/ols/subsets.mli: Mvcc_core

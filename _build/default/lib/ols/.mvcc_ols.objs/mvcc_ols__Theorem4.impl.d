@@ -1,0 +1,1 @@
+lib/ols/theorem4.ml: List Mvcc_core Mvcc_polygraph Ols Printf Schedule Step

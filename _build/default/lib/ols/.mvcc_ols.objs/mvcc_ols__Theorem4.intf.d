@@ -1,0 +1,1 @@
+lib/ols/theorem4.mli: Mvcc_core Mvcc_polygraph

@@ -1,0 +1,1 @@
+lib/ols/theorem5.ml: Array List Maximal Mvcc_core Mvcc_polygraph Mvcc_sched Printf Schedule Step String Version_fn

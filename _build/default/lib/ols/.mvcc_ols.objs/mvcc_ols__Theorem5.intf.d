@@ -1,0 +1,1 @@
+lib/ols/theorem5.mli: Mvcc_core Mvcc_polygraph

@@ -1,0 +1,1 @@
+lib/ols/theorem6.ml: Array List Mvcc_classes Mvcc_core Mvcc_polygraph Mvcc_sched Printf Schedule Step String Version_fn

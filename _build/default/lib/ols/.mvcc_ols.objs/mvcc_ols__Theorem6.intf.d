@@ -1,0 +1,1 @@
+lib/ols/theorem6.mli: Mvcc_core Mvcc_polygraph Mvcc_sched

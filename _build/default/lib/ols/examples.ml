@@ -1,0 +1,7 @@
+open Mvcc_core
+
+let mvcsr_not_ols_pair =
+  ( Schedule.of_string "R1(x) W1(x) R2(x) R1(y) W1(y) R2(y) W2(y)",
+    Schedule.of_string "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)" )
+
+let common_prefix = Schedule.of_string "R1(x) W1(x) R2(x)"

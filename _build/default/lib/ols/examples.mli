@@ -1,0 +1,20 @@
+(** The paper's Section 4 example: a pair of MVCSR schedules that is not
+    OLS, proving MVCSR (a superset of DMVSR) is not on-line schedulable. *)
+
+val mvcsr_not_ols_pair : Mvcc_core.Schedule.t * Mvcc_core.Schedule.t
+(** The pair (s, s') over A: R(x) W(x) R(y) W(y) and B: R(x) R(y) W(y):
+
+    {v
+    s  = RA(x) WA(x) RB(x) RA(y) WA(y) RB(y) WB(y)
+    s' = RA(x) WA(x) RB(x) RB(y) WB(y) RA(y) WA(y)
+    v}
+
+    [s] is serializable only as AB, forcing [R_B(x)] to read [x_A];
+    [s'] only as BA, forcing [R_B(x)] to read the initial version — yet
+    [R_B(x)] lies in their common prefix, so no scheduler can assign it a
+    version compatible with both continuations. The test suite verifies
+    all of: both MVCSR, each uniquely serializable, and the pair not
+    OLS. *)
+
+val common_prefix : Mvcc_core.Schedule.t
+(** The longest common prefix [RA(x) WA(x) RB(x)] of the pair. *)

@@ -1,0 +1,82 @@
+open Mvcc_core
+module Scheduler = Mvcc_sched.Scheduler
+module Driver = Mvcc_sched.Driver
+module Mvsr = Mvcc_classes.Mvsr
+module Cycle = Mvcc_graph.Cycle
+
+let extend prefix (st : Step.t) =
+  Schedule.of_steps
+    ~n_txns:(max (Schedule.n_txns prefix) (st.txn + 1))
+    (Array.to_list (Schedule.steps prefix) @ [ st ])
+
+type policy = Latest_first | Earliest_first
+
+(* Candidate sources for the read at the end of [extended], ordered by the
+   scheduler's version policy. *)
+let candidates ~policy extended pos =
+  let sources = Version_fn.choices extended pos in
+  let writes =
+    List.filter_map
+      (function Version_fn.From p -> Some p | Version_fn.Initial -> None)
+      sources
+  in
+  match policy with
+  | Latest_first ->
+      List.map
+        (fun p -> Version_fn.From p)
+        (List.sort (fun a b -> compare b a) writes)
+      @ [ Version_fn.Initial ]
+  | Earliest_first ->
+      Version_fn.Initial
+      :: List.map (fun p -> Version_fn.From p) (List.sort compare writes)
+
+let make ~name ~policy ~restrict =
+  {
+    Scheduler.name;
+    fresh =
+      (fun () ->
+        let pins = ref Version_fn.empty in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn:_ (st : Step.t) ->
+              let extended = extend prefix st in
+              if not (restrict extended) then Scheduler.Rejected
+              else
+                match st.action with
+                | Step.Write ->
+                    if Mvsr.test_pinned extended ~pinned:!pins then
+                      Scheduler.Accepted None
+                    else Scheduler.Rejected
+                | Step.Read ->
+                    let pos = Schedule.length prefix in
+                    let viable =
+                      List.find_opt
+                        (fun src ->
+                          Mvsr.test_pinned extended
+                            ~pinned:(Version_fn.add pos src !pins))
+                        (candidates ~policy extended pos)
+                    in
+                    (match viable with
+                    | None -> Scheduler.Rejected
+                    | Some src ->
+                        pins := Version_fn.add pos src !pins;
+                        Scheduler.Accepted (Some src)));
+        });
+  }
+
+let mvsr_maximal =
+  make ~name:"maximal-mvsr" ~policy:Latest_first ~restrict:(fun _ -> true)
+
+let mvsr_maximal_earliest =
+  make ~name:"maximal-mvsr-earliest" ~policy:Earliest_first
+    ~restrict:(fun _ -> true)
+
+let mvcsr_maximal =
+  make ~name:"maximal-mvcsr" ~policy:Latest_first ~restrict:(fun extended ->
+      Cycle.is_acyclic (Conflict.mv_graph extended))
+
+let mvcsr_maximal_earliest =
+  make ~name:"maximal-mvcsr-earliest" ~policy:Earliest_first
+    ~restrict:(fun extended -> Cycle.is_acyclic (Conflict.mv_graph extended))
+
+let assigned_sources sched s = (Driver.run sched s).Driver.version_fn

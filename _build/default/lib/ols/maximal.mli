@@ -1,0 +1,39 @@
+(** Reference maximal multiversion schedulers (Section 5, Lemmas 1-2).
+
+    A maximal multiversion scheduler rejects a step only when the prefix
+    output so far, with the versions already assigned to its reads, has no
+    serializable completion (Lemma 1; Lemma 2 adds "within MVCSR"). These
+    instances realize exactly that behaviour by running the exact pinned
+    MVSR test at every step — NP-hard work per step, which is Theorem 5/6's
+    point: no maximal scheduler can be efficient unless P = NP.
+
+    Version policy: a read is served the first version, in the policy's
+    preference order, that keeps the pinned prefix serializable. Different
+    policies realize {e different} maximal OLS sets (Section 5: there are
+    infinitely many, and on the Section 4 pair the latest-first scheduler
+    accepts [s] and rejects [s'] while the earliest-first one does the
+    opposite — the test suite pins this). *)
+
+val mvsr_maximal : Mvcc_sched.Scheduler.t
+(** Accepts a step iff the extended prefix is MVSR with the pinned
+    read-froms, serving reads the latest workable version; its output set
+    is a maximal OLS subset of MVSR. *)
+
+val mvsr_maximal_earliest : Mvcc_sched.Scheduler.t
+(** Same acceptance rule with the opposite version preference (initial
+    version first) — a {e different} maximal OLS subset of MVSR. *)
+
+val mvcsr_maximal : Mvcc_sched.Scheduler.t
+(** Additionally requires the extended prefix to stay MVCSR (MVCG
+    acyclic) — the Lemma 2 scheduler; its output set is a maximal OLS
+    subset of MVCSR. *)
+
+val mvcsr_maximal_earliest : Mvcc_sched.Scheduler.t
+(** The Lemma 2 scheduler with the earliest-first version policy — a
+    different maximal OLS subset of MVCSR, used to exercise Theorem 6's
+    adaptive gadget reshaping. *)
+
+val assigned_sources :
+  Mvcc_sched.Scheduler.t -> Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t
+(** Run the scheduler on a schedule and report the versions it assigned to
+    the accepted reads (a convenience over {!Mvcc_sched.Driver.run}). *)

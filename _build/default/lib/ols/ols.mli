@@ -1,0 +1,33 @@
+(** On-line schedulability (Section 4).
+
+    A set [S] of MVSR schedules is OLS if for any prefix [p] of a schedule
+    in [S] there is a version function [V] on [p]'s reads such that every
+    schedule [pq] in [S] has a serializing version function extending [V]
+    — i.e. no two continuations of a common prefix demand incompatible
+    version assignments. OLS is necessary for a set to be recognizable by
+    a multiversion scheduler, and deciding it is NP-complete even for
+    pairs of MVCSR schedules (Theorem 4). This module is the exact
+    (exponential) decision procedure. *)
+
+type failure = {
+  prefix : Mvcc_core.Schedule.t;
+      (** a common prefix with no universally extendable version function *)
+  members : Mvcc_core.Schedule.t list;
+      (** the schedules of the set sharing that prefix *)
+}
+
+val check : Mvcc_core.Schedule.t list -> failure option
+(** [check s_list] is [None] if the set is OLS, or a witness prefix
+    otherwise.
+    @raise Invalid_argument if some member is not MVSR (OLS is defined for
+    subsets of MVSR). *)
+
+val is_ols : Mvcc_core.Schedule.t list -> bool
+
+val compatible_prefix_fn :
+  Mvcc_core.Schedule.t list ->
+  Mvcc_core.Schedule.t ->
+  Mvcc_core.Version_fn.t option
+(** [compatible_prefix_fn members p]: a version function on [p]'s reads
+    that every member (each having prefix [p]) can extend to a serializing
+    version function, if one exists. *)

@@ -1,0 +1,41 @@
+open Mvcc_core
+
+let greedy universe =
+  List.iter
+    (fun s ->
+      if not (Mvcc_classes.Mvsr.test s) then
+        invalid_arg "Subsets.greedy: universe contains a non-MVSR schedule")
+    universe;
+  List.fold_left
+    (fun acc s -> if Ols.is_ols (s :: acc) then s :: acc else acc)
+    [] universe
+  |> List.rev
+
+let is_maximal_within set ~universe =
+  Ols.is_ols set
+  && List.for_all
+       (fun s ->
+         List.exists (Schedule.equal s) set || not (Ols.is_ols (s :: set)))
+       universe
+
+let distinct_maximal_subsets universe =
+  let normalize set =
+    List.sort compare (List.map Schedule.to_string set)
+  in
+  let rec rotations l k =
+    if k = 0 then []
+    else
+      match l with
+      | [] -> []
+      | x :: rest -> (rest @ [ x ]) :: rotations (rest @ [ x ]) (k - 1)
+  in
+  let candidates =
+    universe :: List.rev universe :: rotations universe (List.length universe)
+  in
+  let first = greedy universe in
+  let key = normalize first in
+  List.find_map
+    (fun order ->
+      let other = greedy order in
+      if normalize other <> key then Some (first, other) else None)
+    candidates

@@ -1,0 +1,28 @@
+(** Maximal OLS subsets of a finite schedule set (Section 5).
+
+    Within MVSR there are infinitely many maximal on-line schedulable
+    subsets, every one NP-hard to recognize (Theorem 5). Restricted to a
+    {e finite} universe of schedules the structure is already visible:
+    greedy closure produces a subset that is maximal within the universe,
+    and different insertion orders produce genuinely different maximal
+    subsets — the non-uniqueness that forces a scheduler designer to pick
+    one arbitrarily. *)
+
+val greedy : Mvcc_core.Schedule.t list -> Mvcc_core.Schedule.t list
+(** [greedy universe] adds schedules in the given order, keeping each one
+    that leaves the set OLS. The result is OLS and maximal within
+    [universe] (no rejected schedule can be added back — verified by
+    construction order; the test suite re-checks).
+    @raise Invalid_argument if some schedule is not MVSR. *)
+
+val is_maximal_within :
+  Mvcc_core.Schedule.t list -> universe:Mvcc_core.Schedule.t list -> bool
+(** Is the set OLS and does adding any universe schedule outside it break
+    OLS? Exponential in everything; small universes only. *)
+
+val distinct_maximal_subsets :
+  Mvcc_core.Schedule.t list -> (Mvcc_core.Schedule.t list * Mvcc_core.Schedule.t list) option
+(** Two different maximal-within-universe OLS subsets of the given
+    universe, if insertion order can produce them ([None] when every order
+    yields the same set — e.g. when the whole universe is OLS). Tries the
+    given order and its reverse first, then rotations. *)

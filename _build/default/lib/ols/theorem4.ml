@@ -1,0 +1,39 @@
+open Mvcc_core
+module Polygraph = Mvcc_polygraph.Polygraph
+
+(* Entities are named after the piece of the polygraph they encode:
+   "a:i-j" for arcs, "b:j-k-i" / "b':j-k-i" for choices. *)
+
+let build p =
+  let p = Polygraph.normalize p in
+  if not (Polygraph.assumption_b p) then
+    invalid_arg "Theorem4.build: choices' first branches are cyclic";
+  if not (Polygraph.assumption_c p) then
+    invalid_arg "Theorem4.build: arc graph is cyclic";
+  let part_i = ref [] in
+  (* both schedules *)
+  let part_ii1 = ref [] and part_ii2 = ref [] in
+  let part_iii1 = ref [] and part_iii2 = ref [] in
+  List.iter
+    (fun { Polygraph.j; k; i } ->
+      let b = Printf.sprintf "b:%d-%d-%d" j k i in
+      let b' = Printf.sprintf "b':%d-%d-%d" j k i in
+      part_i := !part_i @ [ Step.write k b; Step.write i b; Step.read j b ];
+      part_ii1 :=
+        !part_ii1 @ [ Step.write i b'; Step.write k b'; Step.read j b' ];
+      part_ii2 :=
+        !part_ii2 @ [ Step.write i b'; Step.read j b'; Step.write k b' ])
+    p.choices;
+  List.iter
+    (fun (i, j) ->
+      let a = Printf.sprintf "a:%d-%d" i j in
+      part_iii1 := !part_iii1 @ [ Step.read i a; Step.write j a ];
+      part_iii2 := !part_iii2 @ [ Step.write j a; Step.read i a ])
+    p.arcs;
+  let s1 = Schedule.of_steps ~n_txns:p.n (!part_i @ !part_ii1 @ !part_iii1) in
+  let s2 = Schedule.of_steps ~n_txns:p.n (!part_i @ !part_ii2 @ !part_iii2) in
+  (s1, s2)
+
+let is_ols_of_polygraph p =
+  let s1, s2 = build p in
+  Ols.is_ols [ s1; s2 ]

@@ -1,0 +1,28 @@
+(** The Theorem 4 construction: polygraph acyclicity reduces to on-line
+    schedulability of a pair of MVCSR schedules.
+
+    Given a polygraph [P = (N, A, C)] satisfying assumptions (a) every arc
+    has a corresponding choice, (b) the choices' first branches are
+    acyclic, and (c) the arcs are acyclic, two schedules over [|N|]
+    transactions are built from three kinds of segments — for each arc
+    [a = (i, j)] with corresponding choice [b = (j, k, i)]:
+
+    - (i)   [W_k(b) W_i(b) R_j(b)] in both schedules;
+    - (ii)  [W_i(b') W_k(b') R_j(b')] in [s1], [W_i(b') R_j(b') W_k(b')]
+            in [s2];
+    - (iii) [R_i(a) W_j(a)] in [s1], [W_j(a) R_i(a)] in [s2] (once per
+            arc).
+
+    [s1 = p q1 r1] and [s2 = p q2 r2] where [p], [q], [r] concatenate the
+    (i), (ii), (iii) parts in a fixed order. Both schedules are MVCSR
+    (MVCG(s1) = (N, A) by (c), MVCG(s2) = the first branches by (b)), and
+    [{s1, s2}] is OLS iff [P] is acyclic. *)
+
+val build :
+  Mvcc_polygraph.Polygraph.t -> Mvcc_core.Schedule.t * Mvcc_core.Schedule.t
+(** Build [(s1, s2)]. The polygraph is normalized to assumption (a) first.
+    @raise Invalid_argument if assumption (b) or (c) fails. *)
+
+val is_ols_of_polygraph : Mvcc_polygraph.Polygraph.t -> bool
+(** Run the exact OLS checker on the constructed pair (the reduction's
+    right-hand side). Equal to polygraph acyclicity by Theorem 4. *)

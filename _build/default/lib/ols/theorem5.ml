@@ -1,0 +1,55 @@
+open Mvcc_core
+module Polygraph = Mvcc_polygraph.Polygraph
+module Driver = Mvcc_sched.Driver
+
+let build p =
+  let p = Polygraph.normalize p in
+  if not (Polygraph.assumption_b p) then
+    invalid_arg "Theorem5.build: choices' first branches are cyclic";
+  if not (Polygraph.assumption_c p) then
+    invalid_arg "Theorem5.build: arc graph is cyclic";
+  (* One segment per (arc, corresponding choice); the arc steps repeat per
+     choice as in the paper ("for each arc and corresponding choices ...
+     we add the following segment"), with a distinct entity per segment. *)
+  let steps = ref [] in
+  List.iter
+    (fun { Polygraph.j; k; i } ->
+      let tag = Printf.sprintf "%d-%d-%d" j k i in
+      let a = "a:" ^ tag and b = "b:" ^ tag and b' = "b':" ^ tag in
+      steps :=
+        !steps
+        @ [
+            Step.read i a;
+            Step.write j a;
+            Step.write i b;
+            Step.read j b;
+            Step.write k b;
+            Step.write k b';
+            Step.write i b';
+            Step.read j b';
+          ])
+    p.choices;
+  Schedule.of_steps ~n_txns:p.n !steps
+
+let forced_version_fn _p s =
+  (* Reconstruct the forced sources from the segment structure: each
+     segment contributes R_i(a) <- Initial, R_j(b) <- W_i(b) (4 positions
+     earlier is W_i(b)? no: b's write is one position earlier),
+     R_j(b') <- W_i(b'). *)
+  let v = ref Version_fn.empty in
+  let steps = Schedule.steps s in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      if Step.is_read st then
+        if String.length st.entity > 1 && st.entity.[0] = 'a' then
+          v := Version_fn.add pos Version_fn.Initial !v
+        else begin
+          (* R_j(b) at segment offset 3 reads W_i(b) at offset 2;
+             R_j(b') at offset 7 reads W_i(b') at offset 6. *)
+          v := Version_fn.add pos (Version_fn.From (pos - 1)) !v
+        end)
+    steps;
+  !v
+
+let accepted_by_maximal p =
+  (Driver.run Maximal.mvsr_maximal (build p)).Driver.accepted

@@ -1,0 +1,34 @@
+(** The Theorem 5 construction: membership in any maximal OLS subset of
+    MVSR is NP-hard.
+
+    Given a polygraph [P] (assumptions as in Theorem 4), a single schedule
+    is built whose read-froms are {e forced} — every serializing version
+    function must assign them — so by Corollary 1 it is accepted by every
+    maximal multiversion scheduler iff it is MVSR, and it is MVSR iff [P]
+    is acyclic. Per arc [a = (i, j)] with corresponding choice
+    [b = (j, k, i)], the segment
+
+    {v R_i(a) W_j(a) W_i(b) R_j(b) W_k(b) W_k(b') W_i(b') R_j(b') v}
+
+    forces [R_i(a) <- a_0] (the only preceding write), hence [T_i] before
+    [T_j]; then [R_j(b) <- b_i] (reading the initial version would put
+    [T_j] before the [b]-writer [T_i]); hence [T_k] before [T_i] or after
+    [T_j]; and finally [R_j(b') <- b'_i] ([T_0] and [T_k] are ruled out) —
+    encoding exactly the compatibility decision for the choice. *)
+
+val build : Mvcc_polygraph.Polygraph.t -> Mvcc_core.Schedule.t
+(** Build the schedule (the polygraph is normalized to assumption (a)
+    first).
+    @raise Invalid_argument if assumption (b) or (c) fails. *)
+
+val forced_version_fn :
+  Mvcc_polygraph.Polygraph.t ->
+  Mvcc_core.Schedule.t ->
+  Mvcc_core.Version_fn.t
+(** The intended (and provably unique serializing) version function of the
+    built schedule: [R_i(a) <- T0], [R_j(b) <- b_i], [R_j(b') <- b'_i]. *)
+
+val accepted_by_maximal : Mvcc_polygraph.Polygraph.t -> bool
+(** Does the reference maximal MVSR scheduler ({!Maximal.mvsr_maximal})
+    accept the built schedule? Equal to polygraph acyclicity by
+    Theorem 5. *)

@@ -1,0 +1,172 @@
+open Mvcc_core
+module Polygraph = Mvcc_polygraph.Polygraph
+module Driver = Mvcc_sched.Driver
+
+exception Defeated of string
+
+type result = { schedule : Schedule.t; accepted : bool }
+
+(* Position of transaction [i]'s write of [entity] in the step list. *)
+let write_pos steps i entity =
+  let rec find pos = function
+    | [] -> None
+    | (st : Step.t) :: rest ->
+        if st.txn = i && Step.is_write st && st.entity = entity then Some pos
+        else find (pos + 1) rest
+  in
+  find 0 steps
+
+let run (p : Polygraph.t) ~scheduler =
+  if not (Polygraph.assumption_b p) then
+    invalid_arg "Theorem6.run: choices' first branches are cyclic";
+  if not (Polygraph.assumption_c p) then
+    invalid_arg "Theorem6.run: arc graph is cyclic";
+  if not (Polygraph.choice_disjoint p) then
+    invalid_arg
+      "Theorem6.run: choices must be node-disjoint (the paper's crucial \
+       structural property; polygraphs from the satisfiability reduction \
+       have it)";
+  let next_txn = ref p.n in
+  let fresh_txn () =
+    let t = !next_txn in
+    incr next_txn;
+    t
+  in
+  let steps = ref [] in
+  let schedule_of extra =
+    Schedule.of_steps ~n_txns:!next_txn (!steps @ extra)
+  in
+  (* The arc segments come first: R_i(a) has no preceding write of [a], so
+     every scheduler must serve it the initial version, pinning T_i before
+     T_j for each arc (i, j). This already kills the "read b from T0"
+     escape for every choice gadget, whatever the scheduler's version
+     policy. Feeding them may already reject when the polygraph's fixed
+     part plus forced reads is inconsistent — impossible under assumption
+     (c), but checked anyway. *)
+  List.iter
+    (fun (i, j) ->
+      let a = Printf.sprintf "a:%d-%d" i j in
+      steps := !steps @ [ Step.read i a; Step.write j a ])
+    p.arcs;
+  (* intended read-froms placed so far: gadget entity -> source writer *)
+  let placed_pins = ref [] in
+  (* The intended pin system for a candidate schedule: every arc read
+     takes the initial version (forced), every gadget read its T_i
+     version. Used to distinguish "the scheduler dodged us" from "the
+     pins are contradictory, i.e. the polygraph is cyclic". *)
+  let intended_pins cand =
+    let pins = ref Version_fn.empty in
+    Array.iteri
+      (fun pos (st : Step.t) ->
+        if Step.is_read st then
+          if String.length st.entity >= 2 && String.sub st.entity 0 2 = "a:"
+          then pins := Version_fn.add pos Version_fn.Initial !pins
+          else
+            match List.assoc_opt st.entity !placed_pins with
+            | Some owner -> (
+                match
+                  write_pos
+                    (Array.to_list (Schedule.steps cand))
+                    owner st.entity
+                with
+                | Some q -> pins := Version_fn.add pos (Version_fn.From q) !pins
+                | None -> ())
+            | None -> ())
+      (Schedule.steps cand);
+    !pins
+  in
+  (* Try to finalize one choice gadget so that R assigns R_j(b) <- b_i. *)
+  let place_gadget { Polygraph.j; k; i } =
+    let tag = Printf.sprintf "%d-%d-%d" j k i in
+    let variants =
+      [
+        (* latest-preferring policies read W_i(b) when it is last *)
+        (fun () -> [ Step.write k ("b:" ^ tag); Step.write i ("b:" ^ tag);
+                     Step.read j ("b:" ^ tag) ]);
+        (* earliest-preferring policies read W_i(b) when it is first
+           (the initial version is already unserializable here) *)
+        (fun () -> [ Step.write i ("b2:" ^ tag); Step.write k ("b2:" ^ tag);
+                     Step.read j ("b2:" ^ tag) ]);
+        (* a helper transaction writing a private entity that T_j reads
+           right after T_i's write, for policies preferring neither end *)
+        (fun () ->
+          let l = fresh_txn () in
+          [ Step.write l ("h:" ^ tag); Step.write i ("h:" ^ tag);
+            Step.read j ("h:" ^ tag); Step.write k ("b3:" ^ tag);
+            Step.write i ("b3:" ^ tag); Step.read j ("b3:" ^ tag) ]);
+      ]
+    in
+    let try_variant make =
+      let extra = make () in
+      let cand = schedule_of extra in
+      let outcome = Driver.run scheduler cand in
+      if not outcome.Driver.accepted then
+        (* A maximal scheduler rejects only when no serializable MVCSR
+           completion exists: the constraints pinned so far are already
+           contradictory, so the polygraph is cyclic and the run is over. *)
+        `Rejected cand
+      else begin
+        (* the gadget's read of the b-entity is the last step *)
+        let all = !steps @ extra in
+        let read_pos = List.length all - 1 in
+        let b_entity = (List.nth all read_pos).Step.entity in
+        match
+          ( Version_fn.get outcome.Driver.version_fn read_pos,
+            write_pos all i b_entity )
+        with
+        | Some (Version_fn.From q), Some q' when q = q' -> `Placed extra
+        | _ -> `Wrong_assignment
+      end
+    in
+    let rec attempt = function
+      | [] ->
+          (* every variant was accepted with a different version: either
+             pinning b_i is outright impossible (the polygraph is cyclic;
+             a scheduler of OUR intended maximal class would reject here)
+             or the scheduler's policy genuinely evaded us *)
+          let extra = (List.hd variants) () in
+          let cand = schedule_of extra in
+          let b_entity =
+            (List.nth extra (List.length extra - 1)).Step.entity
+          in
+          placed_pins := (b_entity, i) :: !placed_pins;
+          let pins = intended_pins cand in
+          placed_pins := List.tl !placed_pins;
+          if not (Mvcc_classes.Mvsr.test_pinned cand ~pinned:pins) then
+            `Rejected cand
+          else
+            raise
+              (Defeated
+                 (Printf.sprintf
+                    "scheduler %s evaded every gadget for choice (%d,%d,%d)"
+                    scheduler.Mvcc_sched.Scheduler.name j k i))
+      | v :: rest -> (
+          match try_variant v with
+          | `Placed extra ->
+              steps := !steps @ extra;
+              placed_pins :=
+                ((List.nth extra (List.length extra - 1)).Step.entity, i)
+                :: !placed_pins;
+              `Ok
+          | `Rejected cand -> `Rejected cand
+          | `Wrong_assignment -> attempt rest)
+    in
+    attempt variants
+  in
+  let rejected =
+    List.fold_left
+      (fun acc choice ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match place_gadget choice with
+            | `Ok -> None
+            | `Rejected cand -> Some cand))
+      None p.choices
+  in
+  match rejected with
+  | Some cand -> { schedule = cand; accepted = false }
+  | None ->
+      let schedule = schedule_of [] in
+      let outcome = Driver.run scheduler schedule in
+      { schedule; accepted = outcome.Driver.accepted }

@@ -1,0 +1,32 @@
+(** The Theorem 6 adaptive construction: no maximal OLS subset of MVCSR
+    has a polynomial-time scheduler.
+
+    Unlike Theorem 5, the schedule here is built {e interactively} against
+    a concrete scheduler [R]: the adversary submits a gadget
+    [W_k(b) W_i(b) R_j(b)] per choice [(j, k, i)], observes which version
+    [R] assigns to [R_j(b)], and reshapes the gadget until the assignment
+    is [b_i] (the paper renames transactions / adds helper transactions
+    for the same purpose). Once every gadget pins [R_j(b) <- b_i], the
+    segments [R_i(a) W_j(a)] per arc are appended; the resulting schedule
+    is MVCSR (its MVCG is the arc graph), and a scheduler obeying Lemma 2
+    accepts it iff the polygraph is acyclic.
+
+    The gadget ladder implemented here covers schedulers whose version
+    policy prefers the latest serializable version (the reference
+    {!Maximal.mvcsr_maximal}), the earliest write, or the initial version;
+    a policy defeating all three raises {!Defeated}. *)
+
+exception Defeated of string
+(** The scheduler's version policy evaded every gadget variant. *)
+
+type result = {
+  schedule : Mvcc_core.Schedule.t;  (** the adaptively built schedule *)
+  accepted : bool;  (** did [R] accept it in full? *)
+}
+
+val run : Mvcc_polygraph.Polygraph.t -> scheduler:Mvcc_sched.Scheduler.t -> result
+(** Drive the adaptive construction against [scheduler]. Assumptions (b)
+    and (c) and choice-disjointness are required (assumption (a) is not
+    needed here); [Invalid_argument] otherwise. By Theorem 6, [accepted]
+    equals the polygraph's acyclicity for any scheduler recognizing a
+    maximal OLS subset of MVCSR. *)

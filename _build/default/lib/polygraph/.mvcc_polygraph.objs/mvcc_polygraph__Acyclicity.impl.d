@@ -1,0 +1,1 @@
+lib/polygraph/acyclicity.ml: Array Mvcc_graph Option Polygraph

@@ -1,0 +1,1 @@
+lib/polygraph/acyclicity.mli: Mvcc_graph Polygraph

@@ -1,0 +1,1 @@
+lib/polygraph/polygraph.ml: Format Hashtbl List Mvcc_graph

@@ -1,0 +1,1 @@
+lib/polygraph/polygraph.mli: Format Mvcc_graph

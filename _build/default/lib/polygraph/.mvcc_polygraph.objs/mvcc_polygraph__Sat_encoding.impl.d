@@ -1,0 +1,1 @@
+lib/polygraph/sat_encoding.ml: Array Fun List Mvcc_sat Polygraph

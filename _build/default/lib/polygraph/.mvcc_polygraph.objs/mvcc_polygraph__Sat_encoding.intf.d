@@ -1,0 +1,1 @@
+lib/polygraph/sat_encoding.mli: Mvcc_sat Polygraph

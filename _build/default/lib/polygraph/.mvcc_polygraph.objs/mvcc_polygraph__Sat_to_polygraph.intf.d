@@ -1,0 +1,1 @@
+lib/polygraph/sat_to_polygraph.mli: Mvcc_graph Mvcc_sat Polygraph

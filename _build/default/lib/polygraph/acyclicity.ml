@@ -1,0 +1,86 @@
+module Digraph = Mvcc_graph.Digraph
+module Cycle = Mvcc_graph.Cycle
+module Topo = Mvcc_graph.Topo
+
+type stats = { branches : int; propagated : int }
+
+(* Try to add arc (u, v); on success return whether an undo is needed
+   (false if the arc was already present). None if it would close a
+   cycle. *)
+let try_add g u v =
+  if Digraph.mem_edge g u v then Some false
+  else if Cycle.creates_cycle g u v then None
+  else begin
+    Digraph.add_edge g u v;
+    Some true
+  end
+
+let solve_stats ?(propagate = true) (p : Polygraph.t) =
+  let g = Digraph.of_edges p.n p.arcs in
+  let branches = ref 0 in
+  let propagated = ref 0 in
+  if Cycle.has_cycle g then (None, { branches = 0; propagated = 0 })
+  else begin
+    (* A choice is satisfied already if one of its arcs is present. *)
+    let rec search choices =
+      match choices with
+      | [] -> true
+      | { Polygraph.j; k; i } :: rest ->
+          if Digraph.mem_edge g j k || Digraph.mem_edge g k i then search rest
+          else if not propagate then begin
+            incr branches;
+            attempt j k rest || attempt k i rest
+          end
+          else begin
+            let first_ok = not (Cycle.creates_cycle g j k) in
+            let second_ok = not (Cycle.creates_cycle g k i) in
+            match (first_ok, second_ok) with
+            | false, false -> false
+            | false, true ->
+                incr propagated;
+                attempt k i rest
+            | true, false ->
+                incr propagated;
+                attempt j k rest
+            | true, true ->
+                incr branches;
+                attempt j k rest || attempt k i rest
+          end
+    and attempt u v rest =
+      match try_add g u v with
+      | None -> false
+      | Some added ->
+          if search rest then true
+          else begin
+            if added then Digraph.remove_edge g u v;
+            false
+          end
+    in
+    if search p.choices then
+      (Some g, { branches = !branches; propagated = !propagated })
+    else (None, { branches = !branches; propagated = !propagated })
+  end
+
+let solve ?propagate p = fst (solve_stats ?propagate p)
+let is_acyclic p = Option.is_some (solve p)
+
+let is_acyclic_brute (p : Polygraph.t) =
+  let choices = Array.of_list p.choices in
+  let m = Array.length choices in
+  let rec go mask =
+    if mask >= 1 lsl m then false
+    else begin
+      let g = Digraph.of_edges p.n p.arcs in
+      Array.iteri
+        (fun idx { Polygraph.j; k; i } ->
+          if mask land (1 lsl idx) <> 0 then Digraph.add_edge g j k
+          else Digraph.add_edge g k i)
+        choices;
+      Cycle.is_acyclic g || go (mask + 1)
+    end
+  in
+  if m > 20 then invalid_arg "Acyclicity.is_acyclic_brute: too many choices";
+  if m = 0 then Cycle.is_acyclic (Digraph.of_edges p.n p.arcs) else go 0
+
+let witness_order p =
+  match solve p with None -> None | Some g -> Topo.sort g

@@ -1,0 +1,32 @@
+(** Exact polygraph acyclicity testing.
+
+    Deciding whether a polygraph has a compatible acyclic digraph is
+    NP-complete [6]; these are exact exponential procedures for the small,
+    structured instances produced by the paper's constructions.
+
+    The main solver backtracks over the choices, adding one arc per choice
+    and pruning any branch whose partial digraph already has a cycle, with
+    unit propagation (a choice whose first option closes a cycle is forced
+    to its second). *)
+
+type stats = { branches : int; propagated : int }
+
+val solve : ?propagate:bool -> Polygraph.t -> Mvcc_graph.Digraph.t option
+(** [solve p] is [Some g] with [g] a compatible acyclic digraph using
+    exactly one added arc per choice, or [None] if [p] is not acyclic.
+    [propagate] (default [true]) enables unit propagation; disabling it is
+    for the ablation bench — the result is unchanged, only the search
+    effort differs. *)
+
+val solve_stats :
+  ?propagate:bool -> Polygraph.t -> Mvcc_graph.Digraph.t option * stats
+(** Like {!solve}, with search-effort counters for the scaling benches. *)
+
+val is_acyclic : Polygraph.t -> bool
+
+val is_acyclic_brute : Polygraph.t -> bool
+(** Enumerate all [2^|C|] selections — cross-validation oracle for tiny
+    instances. *)
+
+val witness_order : Polygraph.t -> int list option
+(** A topological order of some compatible acyclic digraph, if any. *)

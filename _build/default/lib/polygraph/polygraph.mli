@@ -1,0 +1,49 @@
+(** Polygraphs (Papadimitriou [6], Section 2 of the paper).
+
+    A polygraph [(N, A, C)] has nodes [N], arcs [A], and choices [C]:
+    ordered triples [(j, k, i)] such that [(i, j)] is an arc. A digraph
+    [(N', A')] is compatible when [N ⊆ N'], [A ⊆ A'], and for each choice
+    [(j, k, i)] at least one of [(j, k)], [(k, i)] is in [A']. A polygraph
+    is acyclic iff it has a compatible acyclic digraph — an NP-complete
+    question, and the source of all the paper's hardness results. *)
+
+type choice = { j : int; k : int; i : int }
+(** The choice [(j, k, i)]: given the arc [i -> j], node [k] must go either
+    after [j] (arc [j -> k]) or before [i] (arc [k -> i]). *)
+
+type t = private {
+  n : int;  (** nodes are [0 .. n-1] *)
+  arcs : (int * int) list;  (** sorted, duplicate-free *)
+  choices : choice list;
+}
+
+val make : n:int -> arcs:(int * int) list -> choices:choice list -> t
+(** @raise Invalid_argument if a node is out of range or a choice
+    [(j, k, i)] has no arc [(i, j)]. *)
+
+val arc_graph : t -> Mvcc_graph.Digraph.t
+(** The fixed part [(N, A)] as a digraph. *)
+
+val is_compatible : t -> Mvcc_graph.Digraph.t -> bool
+(** Does the digraph contain all arcs and satisfy every choice? *)
+
+val normalize : t -> t
+(** Enforce the paper's assumption (a): every arc has at least one
+    corresponding choice. For each arc [(i, j)] without one, a fresh node
+    [k] and choice [(j, k, i)] are added — this preserves acyclicity both
+    ways (proof in Theorem 4). *)
+
+val assumption_a : t -> bool
+(** Every arc [(i, j)] has some choice [(j, _, i)]. *)
+
+val assumption_b : t -> bool
+(** The first branches [(j, k)] of the choices form an acyclic graph. *)
+
+val assumption_c : t -> bool
+(** The fixed part [(N, A)] is acyclic. *)
+
+val choice_disjoint : t -> bool
+(** No node appears in more than one choice — the structural property of
+    the [6, 7] reduction that Theorem 6's proof leans on. *)
+
+val pp : Format.formatter -> t -> unit

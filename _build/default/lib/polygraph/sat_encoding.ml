@@ -1,0 +1,52 @@
+module Cnf = Mvcc_sat.Cnf
+module Dpll = Mvcc_sat.Dpll
+
+(* Variable numbering: pairs (u, v) with u < v get ids 1.. in row-major
+   order. The literal for "u before v" is positive when u < v, else the
+   negation of (v, u)'s variable. *)
+
+let var_id n u v =
+  assert (u < v);
+  (* id of pair (u,v), 1-based: sum_{a<u} (n-1-a) + (v-u) *)
+  let base = (u * (2 * n - u - 1)) / 2 in
+  base + (v - u)
+
+let before n u v = if u < v then var_id n u v else -var_id n v u
+
+let encode (p : Polygraph.t) =
+  let n = p.n in
+  let n_vars = n * (n - 1) / 2 in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  (* transitivity: before u v & before v w -> before u w *)
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      for w = 0 to n - 1 do
+        if u <> v && v <> w && u <> w then
+          add [ -before n u v; -before n v w; before n u w ]
+      done
+    done
+  done;
+  List.iter (fun (u, v) -> add [ before n u v ]) p.arcs;
+  List.iter
+    (fun { Polygraph.j; k; i } -> add [ before n j k; before n k i ])
+    p.choices;
+  Cnf.make ~n_vars !clauses
+
+let order_of_assignment (p : Polygraph.t) a =
+  let n = p.n in
+  let key u =
+    (* number of nodes before u *)
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> u then begin
+        let l = before n v u in
+        let value = if l > 0 then a.(l) else not a.(-l) in
+        if value then incr count
+      end
+    done;
+    !count
+  in
+  List.sort (fun u v -> compare (key u) (key v)) (List.init n Fun.id)
+
+let is_acyclic_sat p = Dpll.satisfiable (encode p)

@@ -1,0 +1,19 @@
+(** Polygraph acyclicity as satisfiability (the reverse direction of the
+    reduction chain), used to cross-validate the backtracking solver.
+
+    A linear order on the nodes is encoded with one Boolean per unordered
+    pair ([before u v] for [u < v]); transitivity clauses over all node
+    triples force a total order, each arc asserts its endpoints' order, and
+    each choice [(j, k, i)] becomes the binary clause
+    [before j k ∨ before k i]. A compatible acyclic digraph exists iff some
+    compatible selection embeds in a linear order. *)
+
+val encode : Polygraph.t -> Mvcc_sat.Cnf.t
+(** CNF over [n(n-1)/2] order variables with O(n^3) transitivity
+    clauses. *)
+
+val is_acyclic_sat : Polygraph.t -> bool
+(** Decide acyclicity by DPLL on {!encode}. *)
+
+val order_of_assignment : Polygraph.t -> Mvcc_sat.Cnf.assignment -> int list
+(** Decode a satisfying assignment into the linear order it encodes. *)

@@ -1,0 +1,94 @@
+module Monotone = Mvcc_sat.Monotone
+module Digraph = Mvcc_graph.Digraph
+
+type gadget = { i : int; j : int; k : int }
+
+type layout = {
+  polygraph : Polygraph.t;
+  variables : gadget array;
+  copies : (int * gadget list) list;
+}
+
+let reduce (f : Monotone.t) =
+  let next = ref 0 in
+  let fresh_gadget () =
+    let i = !next and j = !next + 1 and k = !next + 2 in
+    next := !next + 3;
+    { i; j; k }
+  in
+  let arcs = ref [] in
+  let choices = ref [] in
+  let arc u v = arcs := (u, v) :: !arcs in
+  let gadget () =
+    let g = fresh_gadget () in
+    arc g.i g.j;
+    choices := { Polygraph.j = g.j; k = g.k; i = g.i } :: !choices;
+    g
+  in
+  let variables = Array.init f.n_vars (fun _ -> gadget ()) in
+  let var v = variables.(v - 1) in
+  let copies =
+    List.mapi
+      (fun ci (c : Monotone.clause) ->
+        let gadgets =
+          List.map
+            (fun v ->
+              let o = gadget () in
+              let x = var v in
+              (match c.polarity with
+              | Monotone.All_positive ->
+                  (* copy true while variable false would be a cycle *)
+                  arc o.k x.k;
+                  arc x.i o.j
+              | Monotone.All_negative ->
+                  (* copy true while variable true would be a cycle *)
+                  arc o.k x.j;
+                  arc x.k o.j);
+              o)
+            c.vars
+        in
+        (* clause template: i_{o_t} -> k_{o_{t+1 mod m}} *)
+        let m = List.length gadgets in
+        let arr = Array.of_list gadgets in
+        for t = 0 to m - 1 do
+          arc arr.(t).i arr.((t + 1) mod m).k
+        done;
+        (ci, gadgets))
+      f.clauses
+  in
+  let polygraph = Polygraph.make ~n:!next ~arcs:!arcs ~choices:!choices in
+  { polygraph; variables; copies }
+
+let reduce_cnf cnf = reduce (Monotone.of_cnf cnf)
+
+let literal_true (c : Monotone.clause) a v =
+  match c.polarity with
+  | Monotone.All_positive -> a.(v)
+  | Monotone.All_negative -> not a.(v)
+
+let selection_of_assignment layout (f : Monotone.t) a =
+  let p = layout.polygraph in
+  let g = Digraph.of_edges p.n p.arcs in
+  let select gadget value =
+    if value then Digraph.add_edge g gadget.j gadget.k
+    else Digraph.add_edge g gadget.k gadget.i
+  in
+  Array.iteri (fun idx gd -> select gd a.(idx + 1)) layout.variables;
+  let clause_arr = Array.of_list f.clauses in
+  List.iter
+    (fun (ci, gadgets) ->
+      let c = clause_arr.(ci) in
+      List.iter2
+        (fun gd v -> select gd (literal_true c a v))
+        gadgets c.vars)
+    layout.copies;
+  g
+
+let assignment_of_dag layout (f : Monotone.t) dag =
+  let a = Array.make (f.n_vars + 1) false in
+  Array.iteri
+    (fun idx gd ->
+      (* variable true unless the dag commits k before i *)
+      a.(idx + 1) <- not (Digraph.mem_edge dag gd.k gd.i))
+    layout.variables;
+  a

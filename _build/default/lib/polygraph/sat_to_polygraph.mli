@@ -1,0 +1,51 @@
+(** The reduction from restricted satisfiability to polygraph acyclicity
+    ([6, 7]), the root of Theorems 4-6.
+
+    Following the structure the paper describes (Section 5): the polygraph
+    has one choice per variable, one choice per literal occurrence
+    ("copy"), arcs tying each copy to its variable, and arcs closing each
+    clause's copies into a cycle template (a "hexagon" for 3-literal
+    clauses) that becomes a real cycle exactly when every literal in the
+    clause is chosen false. No node appears in more than one choice, the
+    first branches of the choices are disjoint edges, and the fixed arcs
+    are acyclic — assumptions (b), (c) and the disjointness property that
+    Theorem 6 requires. Assumption (a) can then be enforced with
+    {!Polygraph.normalize}.
+
+    Gadget layout: each choice is a triple [(i, j, k)] with fixed arc
+    [i -> j]; selecting [j -> k] means {e true}, selecting [k -> i] means
+    {e false}. Consistency arcs make an inconsistent copy/variable pair
+    cyclic: for a positive copy [o] of variable [x], arcs [k_o -> k_x] and
+    [i_x -> j_o] (copy true while variable false is a cycle); for a
+    negative copy, arcs [k_o -> j_x] and [k_x -> j_o] (copy true while
+    variable true is a cycle). Clause arcs [i_{o_t} -> k_{o_{t+1 mod m}}]
+    over the clause's copies close the all-false cycle. *)
+
+type gadget = { i : int; j : int; k : int }
+(** The three nodes of one choice gadget. *)
+
+type layout = {
+  polygraph : Polygraph.t;
+  variables : gadget array;  (** gadget of variable [v] at index [v - 1] *)
+  copies : (int * gadget list) list;
+      (** per clause (by index): the gadgets of its literal copies *)
+}
+
+val reduce : Mvcc_sat.Monotone.t -> layout
+(** Build the polygraph of a monotone formula. Satisfiable iff the
+    polygraph is acyclic. *)
+
+val reduce_cnf : Mvcc_sat.Cnf.t -> layout
+(** Convenience: [reduce] after {!Mvcc_sat.Monotone.of_cnf}. *)
+
+val selection_of_assignment :
+  layout -> Mvcc_sat.Monotone.t -> bool array -> Mvcc_graph.Digraph.t
+(** The compatible digraph selecting each gadget's arc according to a
+    satisfying assignment ([a.(v)] is variable [v]'s value) — acyclic when
+    the assignment satisfies the formula (checked by the test suite). *)
+
+val assignment_of_dag :
+  layout -> Mvcc_sat.Monotone.t -> Mvcc_graph.Digraph.t -> bool array
+(** Read a satisfying assignment back off a compatible acyclic digraph:
+    variable [v] is true iff the dag contains [j_v -> k_v]'s side, i.e.
+    does not place [k_v] before [i_v]. *)

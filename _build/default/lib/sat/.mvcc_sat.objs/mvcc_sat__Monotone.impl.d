@@ -1,0 +1,1 @@
+lib/sat/monotone.ml: Array Cnf List

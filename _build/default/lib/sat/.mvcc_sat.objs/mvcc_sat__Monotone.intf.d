@@ -1,0 +1,1 @@
+lib/sat/monotone.mli: Cnf Format

@@ -1,0 +1,53 @@
+type lit = int
+type clause = lit list
+type t = { n_vars : int; clauses : clause list }
+
+let var l = abs l
+let positive l = l > 0
+let negate l = -l
+
+let make ~n_vars clauses =
+  if n_vars < 0 then invalid_arg "Cnf.make: negative variable count";
+  List.iter
+    (List.iter (fun l ->
+         if l = 0 || abs l > n_vars then
+           invalid_arg "Cnf.make: literal out of range"))
+    clauses;
+  { n_vars; clauses }
+
+type assignment = bool array
+
+let eval_lit a l = if l > 0 then a.(l) else not a.(-l)
+let eval_clause a c = List.exists (eval_lit a) c
+let eval a t = List.for_all (eval_clause a) t.clauses
+let n_clauses t = List.length t.clauses
+
+let pp_lit ppf l =
+  if l > 0 then Format.fprintf ppf "x%d" l
+  else Format.fprintf ppf "~x%d" (-l)
+
+let pp ppf t =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+         pp_lit)
+      c
+  in
+  match t.clauses with
+  | [] -> Format.fprintf ppf "true"
+  | cs ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+        pp_clause ppf cs
+
+let to_dimacs t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.n_vars (n_clauses t));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf

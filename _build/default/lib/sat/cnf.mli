@@ -1,0 +1,48 @@
+(** Propositional formulas in conjunctive normal form.
+
+    Satisfiability is the root of the paper's hardness results: [6, 7]
+    reduce a restricted satisfiability problem to polygraph acyclicity, and
+    Theorems 4-6 build on that reduction. Variables are positive integers
+    [1 .. n_vars]; a literal is a non-zero integer whose sign is its
+    polarity (DIMACS convention). *)
+
+type lit = int
+(** A literal: [v > 0] is the variable [v], [-v] its negation. *)
+
+type clause = lit list
+(** A disjunction of literals. The empty clause is unsatisfiable. *)
+
+type t = private { n_vars : int; clauses : clause list }
+(** A formula: conjunction of [clauses] over variables [1 .. n_vars]. *)
+
+val make : n_vars:int -> clause list -> t
+(** [make ~n_vars clauses] checks every literal mentions a variable in
+    [1 .. n_vars].
+    @raise Invalid_argument on a zero or out-of-range literal. *)
+
+val var : lit -> int
+(** Variable of a literal (always positive). *)
+
+val positive : lit -> bool
+(** [true] iff the literal is a positive occurrence. *)
+
+val negate : lit -> lit
+(** Complementary literal. *)
+
+type assignment = bool array
+(** [a.(v)] is the value of variable [v]; index 0 is unused. *)
+
+val eval_clause : assignment -> clause -> bool
+(** Truth value of a clause under a (total) assignment. *)
+
+val eval : assignment -> t -> bool
+(** Truth value of the formula under a (total) assignment. *)
+
+val n_clauses : t -> int
+(** Number of clauses. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, e.g. [(x1 | ~x2) & (x3)]. *)
+
+val to_dimacs : t -> string
+(** DIMACS CNF rendering. *)

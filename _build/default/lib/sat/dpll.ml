@@ -1,0 +1,128 @@
+type stats = { decisions : int; propagations : int }
+
+(* Partial assignment: 0 = unassigned, 1 = true, -1 = false. *)
+
+type state = {
+  value : int array;
+  mutable trail : int list; (* assigned literals, most recent first *)
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let lit_value st l =
+  let v = st.value.(abs l) in
+  if v = 0 then 0 else if (l > 0) = (v = 1) then 1 else -1
+
+let assign st l =
+  st.value.(abs l) <- (if l > 0 then 1 else -1);
+  st.trail <- l :: st.trail
+
+let unassign_to st mark =
+  let rec loop () =
+    match st.trail with
+    | [] -> ()
+    | l :: rest ->
+        if List.length st.trail = mark then ()
+        else begin
+          st.value.(abs l) <- 0;
+          st.trail <- rest;
+          loop ()
+        end
+  in
+  loop ()
+
+(* Simplified clause status under the current assignment. *)
+type status = Sat | Conflict | Unit of Cnf.lit | Unresolved
+
+let clause_status st c =
+  let rec loop unassigned = function
+    | [] -> begin
+        match unassigned with
+        | [ l ] -> Unit l
+        | [] -> Conflict
+        | _ -> Unresolved
+      end
+    | l :: rest -> begin
+        match lit_value st l with
+        | 1 -> Sat
+        | -1 -> loop unassigned rest
+        | _ -> loop (l :: unassigned) rest
+      end
+  in
+  loop [] c
+
+(* Repeat unit propagation to fixpoint. Returns false on conflict. *)
+let rec propagate st clauses =
+  let progress = ref false in
+  let ok =
+    List.for_all
+      (fun c ->
+        match clause_status st c with
+        | Conflict -> false
+        | Unit l ->
+            assign st l;
+            st.propagations <- st.propagations + 1;
+            progress := true;
+            true
+        | Sat | Unresolved -> true)
+      clauses
+  in
+  if not ok then false else if !progress then propagate st clauses else true
+
+let pick_branch_var st n =
+  let rec loop v = if v > n then None else if st.value.(v) = 0 then Some v else loop (v + 1) in
+  loop 1
+
+let solve_stats (f : Cnf.t) =
+  let st =
+    {
+      value = Array.make (f.n_vars + 1) 0;
+      trail = [];
+      decisions = 0;
+      propagations = 0;
+    }
+  in
+  let rec search () =
+    if not (propagate st f.clauses) then false
+    else
+      match pick_branch_var st f.n_vars with
+      | None -> true
+      | Some v ->
+          let mark = List.length st.trail in
+          st.decisions <- st.decisions + 1;
+          let try_branch l =
+            assign st l;
+            if search () then true
+            else begin
+              unassign_to st mark;
+              false
+            end
+          in
+          try_branch v || try_branch (-v)
+  in
+  if search () then begin
+    let a = Array.make (f.n_vars + 1) false in
+    for v = 1 to f.n_vars do
+      a.(v) <- st.value.(v) = 1
+      (* unassigned vars (value 0) default to false; any completion works *)
+    done;
+    (Some a, { decisions = st.decisions; propagations = st.propagations })
+  end
+  else (None, { decisions = st.decisions; propagations = st.propagations })
+
+let solve f = fst (solve_stats f)
+let satisfiable f = Option.is_some (solve f)
+
+let count_models (f : Cnf.t) =
+  let a = Array.make (f.n_vars + 1) false in
+  let rec go v =
+    if v > f.n_vars then if Cnf.eval a f then 1 else 0
+    else begin
+      a.(v) <- false;
+      let c0 = go (v + 1) in
+      a.(v) <- true;
+      let c1 = go (v + 1) in
+      c0 + c1
+    end
+  in
+  go 1

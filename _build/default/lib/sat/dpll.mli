@@ -1,0 +1,24 @@
+(** A DPLL satisfiability solver.
+
+    Complete backtracking search with unit propagation and pure-literal
+    elimination. This is the reference solver for the reduction experiments
+    (E6, E12) and for the order-encoding cross-check of the polygraph
+    acyclicity solver. It is meant for the small, structured instances the
+    constructions produce, not for industrial SAT. *)
+
+type stats = { decisions : int; propagations : int }
+(** Search-effort counters for the scaling benches. *)
+
+val solve : Cnf.t -> Cnf.assignment option
+(** [solve f] is [Some a] with [Cnf.eval a f = true], or [None] if [f] is
+    unsatisfiable. *)
+
+val solve_stats : Cnf.t -> Cnf.assignment option * stats
+(** Like {!solve}, also reporting search effort. *)
+
+val satisfiable : Cnf.t -> bool
+(** [satisfiable f] iff some assignment satisfies [f]. *)
+
+val count_models : Cnf.t -> int
+(** Number of satisfying total assignments, by exhaustive DPLL splitting.
+    Exponential; intended for formulas with at most ~20 variables. *)

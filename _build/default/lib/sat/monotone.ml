@@ -1,0 +1,87 @@
+type polarity = All_positive | All_negative
+type clause = { polarity : polarity; vars : int list }
+type t = { n_vars : int; clauses : clause list }
+
+let make ~n_vars clauses =
+  List.iter
+    (fun c ->
+      let k = List.length c.vars in
+      if k < 1 || k > 3 then
+        invalid_arg "Monotone.make: clause must have 1-3 variables";
+      List.iter
+        (fun v ->
+          if v < 1 || v > n_vars then
+            invalid_arg "Monotone.make: variable out of range")
+        c.vars)
+    clauses;
+  { n_vars; clauses }
+
+let clause_to_lits c =
+  match c.polarity with
+  | All_positive -> c.vars
+  | All_negative -> List.map (fun v -> -v) c.vars
+
+let to_cnf t = Cnf.make ~n_vars:t.n_vars (List.map clause_to_lits t.clauses)
+
+let of_cnf (f : Cnf.t) =
+  let next_var = ref f.n_vars in
+  let fresh () =
+    incr next_var;
+    !next_var
+  in
+  (* Split a clause into pieces of at most 3 literals, linked by fresh
+     variables: (l1 l2 l3 l4 l5) -> (l1 l2 a) (~a l3 b) (~b l4 l5). *)
+  let rec split3 lits =
+    match lits with
+    | [] | [ _ ] | [ _; _ ] | [ _; _; _ ] -> [ lits ]
+    | l1 :: l2 :: rest ->
+        let a = fresh () in
+        (* a is the "rest is responsible" flag *)
+        [ l1; l2; a ] :: split3 (-a :: rest)
+  in
+  (* Split a <=3-literal clause into monotone parts. *)
+  let monotone lits =
+    let pos = List.filter Cnf.positive lits in
+    let neg = List.filter (fun l -> not (Cnf.positive l)) lits in
+    match (pos, neg) with
+    | [], [] ->
+        (* Empty clause: unsatisfiable. Encode as (a) & (~a). *)
+        let a = fresh () in
+        [
+          { polarity = All_positive; vars = [ a ] };
+          { polarity = All_negative; vars = [ a ] };
+        ]
+    | _, [] -> [ { polarity = All_positive; vars = pos } ]
+    | [], _ -> [ { polarity = All_negative; vars = List.map Cnf.var neg } ]
+    | _, _ ->
+        let a = fresh () in
+        [
+          { polarity = All_positive; vars = pos @ [ a ] };
+          { polarity = All_negative; vars = List.map Cnf.var neg @ [ a ] };
+        ]
+  in
+  (* A mixed 3-clause splits into a positive part of <= 3 vars (2 literals
+     + link) and a negative part of <= 3 vars, so sizes stay within 3. *)
+  let clauses =
+    List.concat_map
+      (fun c -> List.concat_map monotone (split3 c))
+      f.clauses
+  in
+  { n_vars = !next_var; clauses }
+
+let satisfiable_brute t =
+  let f = to_cnf t in
+  let a = Array.make (t.n_vars + 1) false in
+  let rec go v =
+    if v > t.n_vars then Cnf.eval a f
+    else begin
+      a.(v) <- false;
+      go (v + 1)
+      ||
+      (a.(v) <- true;
+       go (v + 1))
+    end
+  in
+  go 1
+
+let pp ppf t = Cnf.pp ppf (to_cnf t)

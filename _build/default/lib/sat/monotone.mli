@@ -1,0 +1,37 @@
+(** The restricted satisfiability fragment of [6, 7].
+
+    The NP-completeness proof of polygraph acyclicity (Papadimitriou 1979,
+    used by Theorems 4-6) starts from satisfiability "restricted to
+    formulas consisting of clauses of two or three literals either all
+    positive or all negative". This module defines that fragment and the
+    standard equisatisfiable conversion into it. *)
+
+type polarity = All_positive | All_negative
+
+type clause = { polarity : polarity; vars : int list }
+(** A monotone clause: the variables, all occurring with [polarity].
+    [vars] has between 1 and 3 entries (a unit clause is represented
+    directly rather than by a duplicated literal). *)
+
+type t = { n_vars : int; clauses : clause list }
+
+val make : n_vars:int -> clause list -> t
+(** @raise Invalid_argument if a clause is empty, longer than 3, or
+    mentions a variable outside [1 .. n_vars]. *)
+
+val to_cnf : t -> Cnf.t
+(** Forget the restriction; the semantics are unchanged. *)
+
+val of_cnf : Cnf.t -> t
+(** Equisatisfiable conversion: clauses longer than 3 are split with fresh
+    linking variables, and mixed-polarity clauses are split into an
+    all-positive and an all-negative part joined by a fresh variable
+    ([c = P ∪ N] becomes [(P ∨ a) ∧ (N ∨ ¬a)]). The result may have more
+    variables than the input; it is satisfiable iff the input is. Formulas
+    containing an empty clause are represented by the trivially
+    unsatisfiable pair [(a) ∧ (¬a)]. *)
+
+val satisfiable_brute : t -> bool
+(** Exhaustive check, for cross-validation on small instances. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/driver.ml: Array List Mvcc_core Schedule Scheduler Step Version_fn

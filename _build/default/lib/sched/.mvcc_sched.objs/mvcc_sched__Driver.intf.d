@@ -1,0 +1,1 @@
+lib/sched/driver.mli: Mvcc_core Scheduler

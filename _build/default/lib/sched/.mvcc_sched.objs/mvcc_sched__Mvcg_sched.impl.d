@@ -1,0 +1,1 @@
+lib/sched/mvcg_sched.ml: Array Conflict Mvcc_core Mvcc_graph Schedule Scheduler Step

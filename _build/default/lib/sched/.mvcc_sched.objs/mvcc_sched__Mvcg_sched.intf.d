@@ -1,0 +1,1 @@
+lib/sched/mvcg_sched.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sched/mvto.ml: Hashtbl List Mvcc_core Option Schedule Scheduler Step Version_fn

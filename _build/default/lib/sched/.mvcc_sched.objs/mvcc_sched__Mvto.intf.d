@@ -1,0 +1,1 @@
+lib/sched/mvto.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Mvcc_core Schedule Step Version_fn

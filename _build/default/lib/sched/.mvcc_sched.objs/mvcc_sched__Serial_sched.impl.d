@@ -1,0 +1,1 @@
+lib/sched/serial_sched.ml: Hashtbl Mvcc_core Scheduler Step

@@ -1,0 +1,1 @@
+lib/sched/sgt.ml: Array Conflict Mvcc_core Mvcc_graph Schedule Scheduler Step

@@ -1,0 +1,1 @@
+lib/sched/sgt.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sched/si.ml: Hashtbl List Mvcc_core Schedule Scheduler Step Version_fn

@@ -1,0 +1,1 @@
+lib/sched/si.mli: Mvcc_core Scheduler

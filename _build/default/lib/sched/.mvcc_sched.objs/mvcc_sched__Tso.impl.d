@@ -1,0 +1,1 @@
+lib/sched/tso.ml: Hashtbl Mvcc_core Option Scheduler Step

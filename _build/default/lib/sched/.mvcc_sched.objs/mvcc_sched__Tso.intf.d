@@ -1,0 +1,1 @@
+lib/sched/tso.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/sched/two_pl.ml: List Map Mvcc_core Option Scheduler Step String

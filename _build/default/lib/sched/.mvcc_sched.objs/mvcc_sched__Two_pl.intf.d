@@ -1,0 +1,1 @@
+lib/sched/two_pl.mli: Scheduler

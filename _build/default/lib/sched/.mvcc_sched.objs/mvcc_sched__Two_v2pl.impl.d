@@ -1,0 +1,1 @@
+lib/sched/two_v2pl.ml: Hashtbl List Mvcc_core Schedule Scheduler Step Version_fn

@@ -1,0 +1,1 @@
+lib/sched/two_v2pl.mli: Scheduler

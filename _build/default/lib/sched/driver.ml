@@ -1,0 +1,47 @@
+open Mvcc_core
+
+type outcome = {
+  accepted : bool;
+  accepted_steps : int;
+  version_fn : Version_fn.t;
+}
+
+let run (sched : Scheduler.t) s =
+  let inst = sched.fresh () in
+  let steps = Schedule.steps s in
+  let n = Array.length steps in
+  (* remaining step count per transaction, to flag last steps *)
+  let remaining = Array.make (Schedule.n_txns s) 0 in
+  Array.iter
+    (fun (st : Step.t) -> remaining.(st.txn) <- remaining.(st.txn) + 1)
+    steps;
+  let rec go pos vf =
+    if pos >= n then { accepted = true; accepted_steps = pos; version_fn = vf }
+    else begin
+      let st = steps.(pos) in
+      remaining.(st.txn) <- remaining.(st.txn) - 1;
+      let prefix = Schedule.prefix s pos in
+      match
+        inst.offer ~prefix ~last_of_txn:(remaining.(st.txn) = 0) st
+      with
+      | Scheduler.Rejected ->
+          { accepted = false; accepted_steps = pos; version_fn = vf }
+      | Scheduler.Accepted src ->
+          let vf =
+            match src with
+            | Some src -> Version_fn.add pos src vf
+            | None -> vf
+          in
+          go (pos + 1) vf
+    end
+  in
+  go 0 Version_fn.empty
+
+let accepts sched s = (run sched s).accepted
+
+let acceptance_fraction sched schedules =
+  match schedules with
+  | [] -> 0.
+  | _ ->
+      let ok = List.filter (accepts sched) schedules in
+      float_of_int (List.length ok) /. float_of_int (List.length schedules)

@@ -1,0 +1,17 @@
+(** Feeding schedules to scheduler instances. *)
+
+type outcome = {
+  accepted : bool;  (** every step was accepted *)
+  accepted_steps : int;  (** length of the accepted prefix *)
+  version_fn : Mvcc_core.Version_fn.t;
+      (** versions assigned to the reads of the accepted prefix *)
+}
+
+val run : Scheduler.t -> Mvcc_core.Schedule.t -> outcome
+(** Submit the schedule step by step to a fresh instance, stopping at the
+    first rejection. *)
+
+val accepts : Scheduler.t -> Mvcc_core.Schedule.t -> bool
+
+val acceptance_fraction : Scheduler.t -> Mvcc_core.Schedule.t list -> float
+(** Fraction of the given schedules fully accepted. *)

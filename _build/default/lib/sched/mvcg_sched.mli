@@ -1,0 +1,13 @@
+(** The generic multiversion conflict scheduler (Section 6 / [3]): accept
+    a step iff the multiversion conflict graph of the extended prefix
+    stays acyclic.
+
+    This recognizer accepts exactly the MVCSR schedules (MVCG arcs of a
+    prefix are a subset of the full schedule's, so MVCSR is prefix-closed).
+    Reads are served the latest version; note that MVCSR is not OLS
+    (Section 4), so this fixed assignment policy cannot serialize every
+    accepted schedule — the reference schedulers in [Mvcc_ols.Maximal]
+    add the (NP-hard, Theorem 6) completability check that a sound maximal
+    scheduler needs. *)
+
+val scheduler : Scheduler.t

@@ -1,0 +1,73 @@
+open Mvcc_core
+
+(* A version of an entity: writer timestamp, position of the write in the
+   schedule (None for the initial version), and the largest timestamp that
+   has read it. *)
+type version = { wts : int; pos : int option; mutable max_rts : int }
+
+let scheduler =
+  {
+    Scheduler.name = "mvto";
+    fresh =
+      (fun () ->
+        let ts = Hashtbl.create 8 in
+        let next_ts = ref 0 in
+        let versions : (string, version list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let versions_of e =
+          match Hashtbl.find_opt versions e with
+          | Some l -> l
+          | None ->
+              let l = ref [ { wts = -1; pos = None; max_rts = -1 } ] in
+              Hashtbl.replace versions e l;
+              l
+        in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn:_ (st : Step.t) ->
+              let t =
+                match Hashtbl.find_opt ts st.txn with
+                | Some t -> t
+                | None ->
+                    let t = !next_ts in
+                    incr next_ts;
+                    Hashtbl.replace ts st.txn t;
+                    t
+              in
+              let vs = versions_of st.entity in
+              match st.action with
+              | Step.Read ->
+                  (* the version with the largest wts <= t; the initial
+                     version (wts = -1) always qualifies *)
+                  let best = ref None in
+                  List.iter
+                    (fun w ->
+                      if w.wts <= t then
+                        match !best with
+                        | Some b when b.wts >= w.wts -> ()
+                        | _ -> best := Some w)
+                    !vs;
+                  let v = Option.get !best in
+                  v.max_rts <- max v.max_rts t;
+                  let src =
+                    match v.pos with
+                    | None -> Version_fn.Initial
+                    | Some p -> Version_fn.From p
+                  in
+                  Scheduler.Accepted (Some src)
+              | Step.Write ->
+                  (* reject iff a younger transaction read an older version *)
+                  let invalidates =
+                    List.exists (fun v -> v.wts < t && v.max_rts > t) !vs
+                  in
+                  if invalidates then Scheduler.Rejected
+                  else begin
+                    vs :=
+                      { wts = t; pos = Some (Schedule.length prefix);
+                        max_rts = -1 }
+                      :: !vs;
+                    Scheduler.Accepted None
+                  end);
+        });
+  }

@@ -1,0 +1,13 @@
+(** Multiversion timestamp ordering (Reed; Bernstein & Goodman [2]).
+
+    Transactions are timestamped by arrival. A read is {e never} rejected:
+    it is served the version with the largest write timestamp not
+    exceeding the reader's — this is the concrete payoff of multiple
+    versions, a "read that arrived too late" is sent to an old version. A
+    write [W_i(x)] is rejected iff some transaction younger than [T_i]
+    already read a version of [x] older than [T_i]'s timestamp (the new
+    version would have invalidated that read). Accepted schedules are
+    view-equivalent, via the assigned versions, to the timestamp-order
+    serial schedule, hence MVSR. *)
+
+val scheduler : Scheduler.t

@@ -1,0 +1,19 @@
+open Mvcc_core
+
+type verdict = Accepted of Version_fn.source option | Rejected
+
+type instance = {
+  offer :
+    prefix:Schedule.t -> last_of_txn:bool -> Step.t -> verdict;
+}
+
+type t = { name : string; fresh : unit -> instance }
+
+let standard_source prefix (st : Step.t) =
+  let src = ref Version_fn.Initial in
+  Array.iteri
+    (fun pos (w : Step.t) ->
+      if Step.is_write w && w.entity = st.entity then
+        src := Version_fn.From pos)
+    (Schedule.steps prefix);
+  !src

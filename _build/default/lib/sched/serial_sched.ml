@@ -1,0 +1,33 @@
+open Mvcc_core
+
+let scheduler =
+  {
+    Scheduler.name = "serial";
+    fresh =
+      (fun () ->
+        (* transactions that have finished; the one currently running *)
+        let finished = Hashtbl.create 8 in
+        let current = ref None in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn (st : Step.t) ->
+              let ok =
+                match !current with
+                | Some t when t = st.txn -> true
+                | Some _ -> false
+                | None -> not (Hashtbl.mem finished st.txn)
+              in
+              if not ok then Scheduler.Rejected
+              else begin
+                if last_of_txn then begin
+                  Hashtbl.replace finished st.txn ();
+                  current := None
+                end
+                else current := Some st.txn;
+                Scheduler.Accepted
+                  (if Step.is_read st then
+                     Some (Scheduler.standard_source prefix st)
+                   else None)
+              end);
+        });
+  }

@@ -1,0 +1,5 @@
+(** The most conservative scheduler: accepts only serial prefixes
+    (transactions strictly one after another). Baseline of the
+    permissiveness ladder. *)
+
+val scheduler : Scheduler.t

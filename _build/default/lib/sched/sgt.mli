@@ -1,0 +1,6 @@
+(** Serialization graph testing: accept a step iff the conflict graph of
+    the extended prefix stays acyclic. Recognizes exactly the CSR
+    schedules (prefixes of CSR schedules are CSR), making it the most
+    permissive single-version conflict-based scheduler. *)
+
+val scheduler : Scheduler.t

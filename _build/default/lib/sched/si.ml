@@ -1,0 +1,91 @@
+open Mvcc_core
+
+type txn_state = {
+  start_ts : int;
+  mutable written : (string * int) list; (* entity -> last write position *)
+}
+
+let write_skew = Schedule.of_string "R1(x) R2(y) W1(y) W2(x)"
+
+let scheduler =
+  {
+    Scheduler.name = "si";
+    fresh =
+      (fun () ->
+        let clock = ref 0 in
+        (* committed versions: entity -> (commit ts, write position) list *)
+        let committed : (string, (int * int) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let versions_of e =
+          match Hashtbl.find_opt committed e with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace committed e l;
+              l
+        in
+        let active : (int, txn_state) Hashtbl.t = Hashtbl.create 8 in
+        let state_of txn =
+          match Hashtbl.find_opt active txn with
+          | Some st -> st
+          | None ->
+              let st = { start_ts = !clock; written = [] } in
+              Hashtbl.replace active txn st;
+              st
+        in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn (st : Step.t) ->
+              let txn = state_of st.txn in
+              let source () =
+                match List.assoc_opt st.entity txn.written with
+                | Some pos -> Version_fn.From pos
+                | None ->
+                    (* newest version committed before the snapshot *)
+                    let best = ref None in
+                    List.iter
+                      (fun (ts, pos) ->
+                        if ts <= txn.start_ts then
+                          match !best with
+                          | Some (ts', _) when ts' >= ts -> ()
+                          | _ -> best := Some (ts, pos))
+                      !(versions_of st.entity);
+                    (match !best with
+                    | Some (_, pos) -> Version_fn.From pos
+                    | None -> Version_fn.Initial)
+              in
+              (match st.action with
+              | Step.Read -> ()
+              | Step.Write ->
+                  txn.written <-
+                    (st.entity, Schedule.length prefix)
+                    :: List.remove_assoc st.entity txn.written);
+              if not last_of_txn then
+                Scheduler.Accepted
+                  (if Step.is_read st then Some (source ()) else None)
+              else begin
+                (* first-committer-wins certification *)
+                let conflict =
+                  List.exists
+                    (fun (e, _) ->
+                      List.exists
+                        (fun (ts, _) -> ts > txn.start_ts)
+                        !(versions_of e))
+                    txn.written
+                in
+                if conflict then Scheduler.Rejected
+                else begin
+                  incr clock;
+                  List.iter
+                    (fun (e, pos) ->
+                      let l = versions_of e in
+                      l := (!clock, pos) :: !l)
+                    txn.written;
+                  Hashtbl.remove active st.txn;
+                  Scheduler.Accepted
+                    (if Step.is_read st then Some (source ()) else None)
+                end
+              end);
+        });
+  }

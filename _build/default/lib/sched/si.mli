@@ -1,0 +1,18 @@
+(** Snapshot isolation as a recognizer — a deliberately {e unsound}
+    multiversion scheduler, included for contrast with the paper's thesis.
+
+    Each transaction reads from the snapshot of versions committed before
+    its first step (plus its own writes); at its last step it commits
+    unless some transaction that committed meanwhile also wrote one of its
+    entities (first-committer-wins). Readers never block or abort — the
+    multiversion payoff — but unlike MVTO or the maximal schedulers, SI
+    accepts non-MVSR schedules: write skew (two transactions each reading
+    the entity the other blindly updates) passes both snapshot reads and
+    the write-disjointness check. The ladder experiment reports how often
+    SI steps outside MVSR. *)
+
+val scheduler : Scheduler.t
+
+val write_skew : Mvcc_core.Schedule.t
+(** The classic anomaly: [R1(x) R2(y) W1(y) W2(x)] — accepted by SI,
+    not MVSR (the test suite asserts both). *)

@@ -1,0 +1,41 @@
+open Mvcc_core
+
+let scheduler =
+  {
+    Scheduler.name = "tso";
+    fresh =
+      (fun () ->
+        let ts = Hashtbl.create 8 in
+        let next_ts = ref 0 in
+        let rts = Hashtbl.create 8 in
+        let wts = Hashtbl.create 8 in
+        let get tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:(-1) in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn:_ (st : Step.t) ->
+              let t =
+                match Hashtbl.find_opt ts st.txn with
+                | Some t -> t
+                | None ->
+                    let t = !next_ts in
+                    incr next_ts;
+                    Hashtbl.replace ts st.txn t;
+                    t
+              in
+              match st.action with
+              | Step.Read ->
+                  if t < get wts st.entity then Scheduler.Rejected
+                  else begin
+                    Hashtbl.replace rts st.entity (max t (get rts st.entity));
+                    Scheduler.Accepted
+                      (Some (Scheduler.standard_source prefix st))
+                  end
+              | Step.Write ->
+                  if t < get rts st.entity || t < get wts st.entity then
+                    Scheduler.Rejected
+                  else begin
+                    Hashtbl.replace wts st.entity t;
+                    Scheduler.Accepted None
+                  end);
+        });
+  }

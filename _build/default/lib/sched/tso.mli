@@ -1,0 +1,9 @@
+(** Single-version timestamp ordering (Bernstein & Goodman).
+
+    Transactions are timestamped by arrival (first step). A read is
+    rejected when the entity was already written by a younger transaction;
+    a write is rejected when the entity was read or written by a younger
+    transaction. Accepted schedules are conflict-equivalent to the
+    timestamp-order serial schedule, hence CSR. *)
+
+val scheduler : Scheduler.t

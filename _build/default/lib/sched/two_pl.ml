@@ -1,0 +1,64 @@
+open Mvcc_core
+
+module String_map = Map.Make (String)
+
+type lock = { readers : int list; writer : int option }
+
+let no_lock = { readers = []; writer = None }
+
+let scheduler =
+  {
+    Scheduler.name = "2pl";
+    fresh =
+      (fun () ->
+        let locks = ref String_map.empty in
+        let lock_of e =
+          Option.value (String_map.find_opt e !locks) ~default:no_lock
+        in
+        let release txn =
+          locks :=
+            String_map.map
+              (fun l ->
+                {
+                  readers = List.filter (( <> ) txn) l.readers;
+                  writer =
+                    (match l.writer with
+                    | Some t when t = txn -> None
+                    | w -> w);
+                })
+              !locks
+        in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn (st : Step.t) ->
+              let l = lock_of st.entity in
+              let grantable =
+                match st.action with
+                | Step.Read -> (
+                    match l.writer with
+                    | None -> true
+                    | Some t -> t = st.txn)
+                | Step.Write ->
+                    (match l.writer with
+                    | None -> true
+                    | Some t -> t = st.txn)
+                    && List.for_all (( = ) st.txn) l.readers
+              in
+              if not grantable then Scheduler.Rejected
+              else begin
+                let l' =
+                  match st.action with
+                  | Step.Read ->
+                      if List.mem st.txn l.readers then l
+                      else { l with readers = st.txn :: l.readers }
+                  | Step.Write -> { l with writer = Some st.txn }
+                in
+                locks := String_map.add st.entity l' !locks;
+                if last_of_txn then release st.txn;
+                Scheduler.Accepted
+                  (if Step.is_read st then
+                     Some (Scheduler.standard_source prefix st)
+                   else None)
+              end);
+        });
+  }

@@ -1,0 +1,8 @@
+(** Strict two-phase locking as a recognizer.
+
+    Locks are acquired immediately before each access and all of a
+    transaction's locks are released at its last step. A step is rejected
+    when its lock is unavailable (the recognizer analogue of blocking).
+    Yannakakis [11]: locking schedulers output only CSR schedules. *)
+
+val scheduler : Scheduler.t

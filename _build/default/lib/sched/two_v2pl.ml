@@ -1,0 +1,94 @@
+open Mvcc_core
+
+let scheduler =
+  {
+    Scheduler.name = "2v2pl";
+    fresh =
+      (fun () ->
+        (* committed version position per entity *)
+        let committed : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        (* uncommitted writer and its last write position per entity *)
+        let writer : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+        (* active readers of the committed version, per entity *)
+        let readers : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+        let readers_of e =
+          match Hashtbl.find_opt readers e with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace readers e l;
+              l
+        in
+        (* entities written by each active transaction *)
+        let written : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+        let written_of txn =
+          match Hashtbl.find_opt written txn with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace written txn l;
+              l
+        in
+        let finish txn =
+          (* commit: promote the transaction's versions, release slots *)
+          List.iter
+            (fun e ->
+              match Hashtbl.find_opt writer e with
+              | Some (t, pos) when t = txn ->
+                  Hashtbl.replace committed e pos;
+                  Hashtbl.remove writer e
+              | _ -> ())
+            !(written_of txn);
+          Hashtbl.remove written txn;
+          Hashtbl.iter (fun _ l -> l := List.filter (( <> ) txn) !l) readers
+        in
+        {
+          Scheduler.offer =
+            (fun ~prefix ~last_of_txn (st : Step.t) ->
+              let verdict =
+                match st.action with
+                | Step.Read ->
+                    let source =
+                      match Hashtbl.find_opt writer st.entity with
+                      | Some (t, pos) when t = st.txn -> Version_fn.From pos
+                      | _ -> (
+                          match Hashtbl.find_opt committed st.entity with
+                          | Some pos -> Version_fn.From pos
+                          | None -> Version_fn.Initial)
+                    in
+                    let l = readers_of st.entity in
+                    if not (List.mem st.txn !l) then l := st.txn :: !l;
+                    Some (Scheduler.Accepted (Some source))
+                | Step.Write -> (
+                    match Hashtbl.find_opt writer st.entity with
+                    | Some (t, _) when t <> st.txn ->
+                        Some Scheduler.Rejected
+                    | _ ->
+                        Hashtbl.replace writer st.entity
+                          (st.txn, Schedule.length prefix);
+                        let l = written_of st.txn in
+                        if not (List.mem st.entity !l) then
+                          l := st.entity :: !l;
+                        Some (Scheduler.Accepted None))
+              in
+              match verdict with
+              | Some Scheduler.Rejected -> Scheduler.Rejected
+              | Some (Scheduler.Accepted src) ->
+                  if not last_of_txn then Scheduler.Accepted src
+                  else begin
+                    (* certify: no other active reader of a written entity *)
+                    let blocked =
+                      List.exists
+                        (fun e ->
+                          List.exists (( <> ) st.txn) !(readers_of e))
+                        !(written_of st.txn)
+                    in
+                    if blocked then Scheduler.Rejected
+                    else begin
+                      finish st.txn;
+                      Scheduler.Accepted src
+                    end
+                  end
+              | None -> Scheduler.Rejected);
+        });
+  }

@@ -1,0 +1,14 @@
+(** Two-version two-phase locking (Bayer, Heller & Reiser [1]) as a
+    recognizer.
+
+    Each entity keeps its last committed version plus at most one
+    uncommitted version. Reads are never delayed: they take the committed
+    version (or the transaction's own uncommitted write). A write needs
+    the single uncommitted slot — a second concurrent writer is rejected.
+    Commit certifies: a transaction that wrote [x] cannot finish while
+    another active transaction has read [x]'s committed version (it would
+    have read stale data relative to the new version); the recognizer
+    rejects the commit step instead of delaying it. Outputs are
+    serializable in commit order. *)
+
+val scheduler : Scheduler.t

@@ -1,0 +1,1 @@
+lib/workload/enumerate.ml: Float Fun List Mvcc_core Printf Schedule Seq Step

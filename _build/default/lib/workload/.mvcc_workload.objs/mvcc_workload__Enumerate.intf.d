@@ -1,0 +1,1 @@
+lib/workload/enumerate.mli: Mvcc_core Seq

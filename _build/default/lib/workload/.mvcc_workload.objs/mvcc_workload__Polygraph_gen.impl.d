@@ -1,0 +1,1 @@
+lib/workload/polygraph_gen.ml: Array Fun List Mvcc_graph Mvcc_polygraph Mvcc_sat Random

@@ -1,0 +1,1 @@
+lib/workload/polygraph_gen.mli: Mvcc_polygraph Mvcc_sat Random

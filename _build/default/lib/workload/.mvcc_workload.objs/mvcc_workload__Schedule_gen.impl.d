@@ -1,0 +1,1 @@
+lib/workload/schedule_gen.ml: Array Hashtbl List Mvcc_core Printf Random Schedule Step Zipf

@@ -1,0 +1,1 @@
+lib/workload/schedule_gen.mli: Mvcc_core Random

@@ -1,0 +1,53 @@
+open Mvcc_core
+
+let entity_name k = Printf.sprintf "e%d" k
+
+let step_pool n_entities =
+  List.concat_map
+    (fun k -> [ Step.read 0 (entity_name k); Step.write 0 (entity_name k) ])
+    (List.init n_entities Fun.id)
+
+let allowed ~distinct prefix (st : Step.t) =
+  (not distinct)
+  || not
+       (List.exists
+          (fun (p : Step.t) ->
+            p.action = st.action && p.entity = st.entity)
+          prefix)
+
+let programs ~n_entities ~max_steps ?(distinct = true) () =
+  let pool = step_pool n_entities in
+  let rec extend prefix len =
+    let here = if prefix = [] then [] else [ List.rev prefix ] in
+    if len = max_steps then here
+    else
+      here
+      @ List.concat_map
+          (fun st ->
+            if allowed ~distinct prefix st then
+              extend (st :: prefix) (len + 1)
+            else [])
+          pool
+  in
+  extend [] 0
+
+let systems ~n_txns ~n_entities ~max_steps ?(distinct = true) () =
+  let progs = programs ~n_entities ~max_steps ~distinct () in
+  let rec tuples k : Step.t list list Seq.t =
+    if k = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun p -> Seq.map (fun rest -> p :: rest) (tuples (k - 1)))
+        (List.to_seq progs)
+  in
+  tuples n_txns
+
+let schedules ~n_txns ~n_entities ~max_steps ?(distinct = true) () =
+  systems ~n_txns ~n_entities ~max_steps ~distinct ()
+  |> Seq.concat_map (fun progs ->
+         Schedule.interleavings
+           (List.map (fun p -> Schedule.of_steps ~n_txns:1 p) progs))
+
+let count_bound ~n_txns ~n_entities ~max_steps ?(distinct = true) () =
+  let n = List.length (programs ~n_entities ~max_steps ~distinct ()) in
+  int_of_float (Float.pow (float_of_int n) (float_of_int n_txns))

@@ -1,0 +1,34 @@
+(** Exhaustive enumeration of small schedule universes.
+
+    The strongest form of cross-validation in the test suite: rather than
+    sampling, enumerate {e every} schedule of a bounded shape — all
+    programs over a fixed entity set up to a step bound, all transaction
+    systems over those programs, all interleavings — and check the
+    decision procedures against each other on each one. Universe sizes
+    grow multi-exponentially; bounds of 2-3 transactions and 2 steps are
+    the practical range. *)
+
+val programs :
+  n_entities:int -> max_steps:int -> ?distinct:bool -> unit ->
+  Mvcc_core.Step.t list list
+(** Every non-empty program of at most [max_steps] steps over entities
+    [e0 .. e(n-1)] (transaction index 0; retagged on use). With
+    [~distinct:true] (default), an entity is read at most once and
+    written at most once per program. *)
+
+val systems :
+  n_txns:int -> n_entities:int -> max_steps:int -> ?distinct:bool -> unit ->
+  Mvcc_core.Step.t list list Seq.t
+(** Every [n_txns]-tuple of programs (with repetition, order significant
+    up to the first transaction's programs being enumerated in order). *)
+
+val schedules :
+  n_txns:int -> n_entities:int -> max_steps:int -> ?distinct:bool -> unit ->
+  Mvcc_core.Schedule.t Seq.t
+(** Every interleaving of every system — lazily. *)
+
+val count_bound :
+  n_txns:int -> n_entities:int -> max_steps:int -> ?distinct:bool -> unit ->
+  int
+(** Number of systems ([|programs|^n_txns]), to sanity-check universe
+    sizes before iterating. *)

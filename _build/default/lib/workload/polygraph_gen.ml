@@ -1,0 +1,135 @@
+module Polygraph = Mvcc_polygraph.Polygraph
+module Monotone = Mvcc_sat.Monotone
+module Cnf = Mvcc_sat.Cnf
+module Digraph = Mvcc_graph.Digraph
+module Cycle = Mvcc_graph.Cycle
+
+type params = {
+  n_nodes : int;
+  arc_density : float;
+  choices_per_arc : float;
+}
+
+let default = { n_nodes = 6; arc_density = 0.3; choices_per_arc = 1.0 }
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let generate params rng =
+  let n = params.n_nodes in
+  let perm = Array.init n Fun.id in
+  shuffle rng perm;
+  let arcs = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Random.State.float rng 1. < params.arc_density then
+        arcs := (perm.(a), perm.(b)) :: !arcs
+    done
+  done;
+  (* first-branch graph, kept acyclic as choices are added *)
+  let fb = Digraph.create n in
+  let choices = ref [] in
+  List.iter
+    (fun (i, j) ->
+      let n_choices =
+        let base = int_of_float params.choices_per_arc in
+        let frac = params.choices_per_arc -. float_of_int base in
+        base + (if Random.State.float rng 1. < frac then 1 else 0)
+      in
+      for _ = 1 to n_choices do
+        (* pick k distinct from i, j keeping (j, k) acyclic *)
+        let candidates =
+          List.filter
+            (fun k ->
+              k <> i && k <> j
+              && (not (Digraph.mem_edge fb j k))
+              && not (Cycle.creates_cycle fb j k))
+            (List.init n Fun.id)
+        in
+        match candidates with
+        | [] -> ()
+        | l ->
+            let k = List.nth l (Random.State.int rng (List.length l)) in
+            Digraph.add_edge fb j k;
+            choices := { Polygraph.j; k; i } :: !choices
+      done)
+    !arcs;
+  Polygraph.make ~n ~arcs:!arcs ~choices:!choices
+
+let generate_disjoint params rng =
+  let n = params.n_nodes in
+  let perm = Array.init n Fun.id in
+  shuffle rng perm;
+  (* carve disjoint (i, j, k) triples out of the permutation *)
+  let wanted =
+    max 1 (int_of_float (params.choices_per_arc *. float_of_int n /. 3.))
+  in
+  let n_triples = min wanted (n / 3) in
+  let choices = ref [] in
+  let arcs = ref [] in
+  for t = 0 to n_triples - 1 do
+    let i = perm.(3 * t) and j = perm.((3 * t) + 1) and k = perm.((3 * t) + 2) in
+    arcs := (i, j) :: !arcs;
+    choices := { Polygraph.j; k; i } :: !choices
+  done;
+  (* Extra arcs go forward along a random position vector; each triple's
+     (i, j) arc is made forward by swapping the two positions (triples are
+     node-disjoint, so the swaps never interfere), keeping the whole arc
+     graph acyclic by construction. *)
+  let order = Array.init n Fun.id in
+  shuffle rng order;
+  let position = Array.make n 0 in
+  Array.iteri (fun idx v -> position.(v) <- idx) order;
+  List.iter
+    (fun (i, j) ->
+      if position.(i) > position.(j) then begin
+        let tmp = position.(i) in
+        position.(i) <- position.(j);
+        position.(j) <- tmp
+      end)
+    !arcs;
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if
+        position.(a) < position.(b)
+        && (not (List.mem (a, b) !arcs))
+        && Random.State.float rng 1. < params.arc_density
+      then arcs := (a, b) :: !arcs
+    done
+  done;
+  Polygraph.make ~n ~arcs:!arcs ~choices:!choices
+
+let random_monotone ~n_vars ~n_clauses rng =
+  let clauses =
+    List.init n_clauses (fun _ ->
+        let width = 1 + Random.State.int rng (min 3 n_vars) in
+        let rec draw acc remaining =
+          if remaining = 0 then acc
+          else
+            let v = 1 + Random.State.int rng n_vars in
+            if List.mem v acc then draw acc remaining
+            else draw (v :: acc) (remaining - 1)
+        in
+        let vars = draw [] width in
+        let polarity =
+          if Random.State.bool rng then Monotone.All_positive
+          else Monotone.All_negative
+        in
+        { Monotone.polarity; vars })
+  in
+  Monotone.make ~n_vars clauses
+
+let random_cnf ~n_vars ~n_clauses ~max_width rng =
+  let clauses =
+    List.init n_clauses (fun _ ->
+        let width = 1 + Random.State.int rng max_width in
+        List.init width (fun _ ->
+            let v = 1 + Random.State.int rng n_vars in
+            if Random.State.bool rng then v else -v))
+  in
+  Cnf.make ~n_vars clauses

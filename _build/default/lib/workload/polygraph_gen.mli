@@ -1,0 +1,36 @@
+(** Random polygraphs satisfying the structural assumptions of
+    Theorems 4-6 (acyclic arcs, acyclic first branches), for the reduction
+    validation experiments. *)
+
+type params = {
+  n_nodes : int;
+  arc_density : float;  (** probability of each forward arc *)
+  choices_per_arc : float;  (** expected choices attached to each arc *)
+}
+
+val default : params
+
+val generate : params -> Random.State.t -> Mvcc_polygraph.Polygraph.t
+(** Arcs are drawn forward along a random permutation (so assumption (c)
+    holds); each choice's [k] is drawn so that the first branches stay
+    acyclic (assumption (b)). Assumption (a) is {e not} enforced; apply
+    [Polygraph.normalize] if needed. *)
+
+val generate_disjoint : params -> Random.State.t -> Mvcc_polygraph.Polygraph.t
+(** Like {!generate}, but choices are built over node-disjoint triples
+    (each node in at most one choice) — the structural property of the
+    satisfiability-reduction polygraphs that Theorem 6 requires. The
+    choice count is [choices_per_arc * n_nodes / 3] rounded down, capped
+    by the available disjoint triples; extra arcs between triples are then
+    added at [arc_density], keeping the arc graph acyclic. *)
+
+val random_monotone :
+  n_vars:int -> n_clauses:int -> Random.State.t -> Mvcc_sat.Monotone.t
+(** A random restricted-satisfiability formula: each clause picks 1-3
+    distinct variables and a polarity. *)
+
+val random_cnf :
+  n_vars:int -> n_clauses:int -> max_width:int -> Random.State.t ->
+  Mvcc_sat.Cnf.t
+(** A random general CNF formula with clauses of 1 to [max_width]
+    literals. *)

@@ -1,0 +1,128 @@
+open Mvcc_core
+
+type params = {
+  n_txns : int;
+  n_entities : int;
+  min_steps : int;
+  max_steps : int;
+  read_fraction : float;
+  no_blind_writes : bool;
+  distinct_accesses : bool;
+  two_step : bool;
+  zipf_theta : float;
+}
+
+let default =
+  {
+    n_txns = 3;
+    n_entities = 2;
+    min_steps = 2;
+    max_steps = 4;
+    read_fraction = 0.5;
+    no_blind_writes = false;
+    distinct_accesses = false;
+    two_step = false;
+    zipf_theta = 0.;
+  }
+
+let entity_name k = Printf.sprintf "e%d" k
+
+(* The 2-step model of [8]: each transaction reads a set of entities and
+   then writes a set of entities. *)
+let two_step_program params zipf rng i =
+  let n_steps =
+    params.min_steps
+    + Random.State.int rng (params.max_steps - params.min_steps + 1)
+  in
+  let draw_set k =
+    let set = Hashtbl.create 4 in
+    for _ = 1 to k do
+      Hashtbl.replace set (entity_name (Zipf.sample zipf rng)) ()
+    done;
+    Hashtbl.fold (fun e () acc -> e :: acc) set [] |> List.sort compare
+  in
+  let n_reads = max 1 (int_of_float (params.read_fraction *. float_of_int n_steps)) in
+  let reads = draw_set n_reads in
+  let writes =
+    if params.no_blind_writes then
+      (* write a subset of what was read *)
+      List.filter (fun _ -> Random.State.bool rng) reads
+    else draw_set (max 1 (n_steps - n_reads))
+  in
+  List.map (fun e -> Step.read i e) reads
+  @ List.map (fun e -> Step.write i e) writes
+
+let programs params rng =
+  let zipf = Zipf.make ~n:params.n_entities ~theta:params.zipf_theta in
+  if params.two_step then
+    List.init params.n_txns (two_step_program params zipf rng)
+  else
+  List.init params.n_txns (fun i ->
+      let n_steps =
+        params.min_steps
+        + Random.State.int rng (params.max_steps - params.min_steps + 1)
+      in
+      let seen_read = Hashtbl.create 4 in
+      let seen_write = Hashtbl.create 4 in
+      let blocked seen e = params.distinct_accesses && Hashtbl.mem seen e in
+      let rec gen acc remaining =
+        if remaining = 0 then List.rev acc
+        else begin
+          let e = entity_name (Zipf.sample zipf rng) in
+          let want_read =
+            Random.State.float rng 1. < params.read_fraction
+          in
+          if want_read then
+            if blocked seen_read e then gen acc (remaining - 1)
+            else begin
+              Hashtbl.replace seen_read e ();
+              gen (Step.read i e :: acc) (remaining - 1)
+            end
+          else if blocked seen_write e then gen acc (remaining - 1)
+          else if params.no_blind_writes && not (Hashtbl.mem seen_read e)
+          then
+            if remaining >= 2 && not (blocked seen_read e) then begin
+              (* emit the covering read, then the write *)
+              Hashtbl.replace seen_read e ();
+              Hashtbl.replace seen_write e ();
+              gen (Step.write i e :: Step.read i e :: acc) (remaining - 2)
+            end
+            else begin
+              Hashtbl.replace seen_read e ();
+              gen (Step.read i e :: acc) (remaining - 1)
+            end
+          else begin
+            Hashtbl.replace seen_write e ();
+            gen (Step.write i e :: acc) (remaining - 1)
+          end
+        end
+      in
+      gen [] n_steps)
+
+let interleave progs rng =
+  let arrays = Array.of_list (List.map Array.of_list progs) in
+  let idx = Array.make (Array.length arrays) 0 in
+  let total =
+    Array.fold_left (fun acc a -> acc + Array.length a) 0 arrays
+  in
+  let steps = ref [] in
+  for _ = 1 to total do
+    (* choose a transaction with weight = remaining steps, which yields a
+       uniformly random shuffle *)
+    let remaining i = Array.length arrays.(i) - idx.(i) in
+    let weights = Array.init (Array.length arrays) remaining in
+    let sum = Array.fold_left ( + ) 0 weights in
+    let r = Random.State.int rng sum in
+    let rec pick i acc =
+      let acc = acc + weights.(i) in
+      if r < acc then i else pick (i + 1) acc
+    in
+    let i = pick 0 0 in
+    steps := arrays.(i).(idx.(i)) :: !steps;
+    idx.(i) <- idx.(i) + 1
+  done;
+  Schedule.of_steps ~n_txns:(Array.length arrays) (List.rev !steps)
+
+let schedule params rng = interleave (programs params rng) rng
+
+let sample params rng count = List.init count (fun _ -> schedule params rng)

@@ -1,0 +1,44 @@
+(** Random schedule generation.
+
+    The paper reports no workload traces, so the census (E1), ladder (E9)
+    and scaling (E11) experiments sample synthetic schedules from this
+    generator. All sampling is deterministic given the [Random.State]. *)
+
+type params = {
+  n_txns : int;
+  n_entities : int;
+  min_steps : int;  (** per transaction, inclusive *)
+  max_steps : int;  (** per transaction, inclusive *)
+  read_fraction : float;  (** probability a generated step is a read *)
+  no_blind_writes : bool;
+      (** if set, every write is preceded by a read of the same entity by
+          the same transaction (the restricted model of [8]) *)
+  distinct_accesses : bool;
+      (** if set, a transaction reads an entity at most once and writes it
+          at most once — the paper's implicit model, where the version
+          [x_j] is well defined; duplicate draws are skipped, so programs
+          may come out shorter than [min_steps] *)
+  two_step : bool;
+      (** if set, every transaction performs all its reads before all its
+          writes — the 2-step model of [8] ([distinct_accesses] is
+          implied). Combined with [no_blind_writes] this is the model in
+          which [8] proves DMVSR is not OLS. *)
+  zipf_theta : float;  (** entity-selection skew; 0 = uniform *)
+}
+
+val default : params
+(** 3 transactions, 2 entities, 2-4 steps, 50% reads, blind writes
+    allowed, uniform entities. *)
+
+val programs : params -> Random.State.t -> Mvcc_core.Step.t list list
+(** Random transaction programs (transaction [i]'s steps use index [i]). *)
+
+val schedule : params -> Random.State.t -> Mvcc_core.Schedule.t
+(** A uniformly random interleaving of random programs. *)
+
+val sample : params -> Random.State.t -> int -> Mvcc_core.Schedule.t list
+(** [sample params rng count] draws [count] independent schedules. *)
+
+val interleave :
+  Mvcc_core.Step.t list list -> Random.State.t -> Mvcc_core.Schedule.t
+(** A uniformly random interleaving of the given programs. *)

@@ -1,0 +1,29 @@
+type t = { cumulative : float array }
+
+let make ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.make: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.make: theta must be non-negative";
+  let weights =
+    Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) theta)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cumulative.(k) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.;
+  { cumulative }
+
+let sample t rng =
+  let u = Random.State.float rng 1. in
+  (* first index with cumulative >= u *)
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) >= u then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 (Array.length t.cumulative - 1)

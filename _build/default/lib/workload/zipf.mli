@@ -1,0 +1,11 @@
+(** Zipfian sampling, for skewed (hot-spot) entity selection in the
+    permissiveness and engine experiments. *)
+
+type t
+
+val make : n:int -> theta:float -> t
+(** Distribution over [0 .. n-1] where item [k]'s weight is
+    [1 / (k+1)^theta]. [theta = 0] is uniform; larger is more skewed.
+    @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val sample : t -> Random.State.t -> int

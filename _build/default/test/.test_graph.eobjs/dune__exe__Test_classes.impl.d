@@ -1,0 +1,1 @@
+test/test_classes.ml: Alcotest Array Equiv Format Fun List Liveness Mvcc_classes Mvcc_core Mvcc_polygraph Mvcc_workload QCheck2 QCheck_alcotest Random Schedule Seq Step String Version_fn

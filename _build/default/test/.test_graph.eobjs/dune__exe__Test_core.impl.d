@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Equiv Fun List Liveness Mvcc_core Mvcc_workload Padding QCheck2 QCheck_alcotest Random Read_from Schedule Seq Step Version_fn

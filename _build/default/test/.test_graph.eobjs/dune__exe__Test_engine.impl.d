@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Fun List Mvcc_engine Printf QCheck2 QCheck_alcotest

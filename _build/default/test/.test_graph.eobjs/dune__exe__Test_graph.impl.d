@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cycle Digraph Dot List Mvcc_graph QCheck2 QCheck_alcotest Reach Scc String Topo

@@ -1,0 +1,1 @@
+test/test_polygraph.ml: Alcotest Array List Mvcc_graph Mvcc_polygraph Mvcc_sat Mvcc_workload QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest List Mvcc_sat Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fun Hashtbl List Mvcc_classes Mvcc_core Mvcc_sched Mvcc_workload QCheck2 QCheck_alcotest Random Schedule Step Version_fn

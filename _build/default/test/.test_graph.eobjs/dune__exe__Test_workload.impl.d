@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun List Mvcc_classes Mvcc_core Mvcc_polygraph Mvcc_sat Mvcc_workload Random Schedule Step

@@ -1,0 +1,355 @@
+(* Tests for the storage engine: the version store, program semantics, and
+   end-to-end runs under every policy with semantic invariants. *)
+
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+module S = Mvcc_engine.Store
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Store -- *)
+
+let test_store_initial () =
+  let st = S.create ~initial:[ ("x", 5) ] in
+  check_int "initial value" 5 (S.latest st "x").S.value;
+  check_int "lazy entity defaults to 0" 0 (S.latest st "y").S.value;
+  check_int "one version" 1 (S.version_count st "x")
+
+let test_store_versions () =
+  let st = S.create ~initial:[ ("x", 1) ] in
+  S.install st "x" ~value:10 ~wts:2;
+  S.install st "x" ~value:20 ~wts:5;
+  check_int "latest" 20 (S.latest st "x").S.value;
+  check_int "read at 3 sees wts 2" 10 (S.read_at st "x" 3).S.value;
+  check_int "read at 1 sees initial" 1 (S.read_at st "x" 1).S.value;
+  check_int "chain length" 3 (S.version_count st "x")
+
+let test_store_validation () =
+  let st = S.create ~initial:[] in
+  check "non-positive wts rejected" true
+    (try S.install st "x" ~value:0 ~wts:0; false
+     with Invalid_argument _ -> true);
+  S.install st "x" ~value:1 ~wts:3;
+  check "duplicate wts rejected" true
+    (try S.install st "x" ~value:2 ~wts:3; false
+     with Invalid_argument _ -> true)
+
+let test_store_invalidation () =
+  let st = S.create ~initial:[ ("x", 0) ] in
+  (* a transaction with ts 5 reads the initial version *)
+  let v = S.read_at st "x" 5 in
+  v.S.max_rts <- 5;
+  check "older write would invalidate" true (S.would_invalidate st "x" ~wts:3);
+  check "younger write fine" false (S.would_invalidate st "x" ~wts:7)
+
+let test_store_value_map () =
+  let st = S.create ~initial:[ ("a", 1); ("b", 2) ] in
+  S.install st "a" ~value:9 ~wts:1;
+  check "map reflects latest" true
+    (S.value_map st = [ ("a", 9); ("b", 2) ])
+
+(* -- Program -- *)
+
+let test_program_eval () =
+  let regs = function "x" -> 10 | "y" -> 3 | _ -> raise Not_found in
+  check_int "arith" 13 (P.eval regs (P.Add (P.Reg "x", P.Reg "y")));
+  check_int "sub const" 7 (P.eval regs (P.Sub (P.Reg "x", P.Const 3)))
+
+let test_program_builders () =
+  let t = P.transfer ~label:"t" ~from_:"a" ~to_:"b" 5 in
+  check_int "transfer ops" 4 (List.length t.P.ops);
+  Alcotest.(check (list string)) "entities" [ "a"; "b" ] (P.entities t);
+  let r = P.read_all ~label:"r" [ "a"; "b"; "c" ] in
+  check_int "read all" 3 (List.length r.P.ops);
+  let b = P.blind_write ~label:"b" "x" 1 in
+  check "blind write has no read" true
+    (match b.P.ops with [ P.Write _ ] -> true | _ -> false)
+
+(* -- Engine runs -- *)
+
+let accounts = List.init 6 (fun i -> Printf.sprintf "a%d" i)
+let initial = List.map (fun a -> (a, 100)) accounts
+
+let bank_workload =
+  List.init 4 (fun i ->
+      P.transfer
+        ~label:(Printf.sprintf "t%d" i)
+        ~from_:(List.nth accounts (i mod 6))
+        ~to_:(List.nth accounts ((i + 2) mod 6))
+        7)
+  @ List.init 4 (fun i -> P.read_all ~label:(Printf.sprintf "r%d" i) accounts)
+
+let total state = List.fold_left (fun acc (_, v) -> acc + v) 0 state
+
+let test_all_policies_commit_and_conserve () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let r = E.run ~policy ~initial ~programs:bank_workload ~seed () in
+          check_int
+            (Printf.sprintf "%s seed %d commits" (E.policy_name policy) seed)
+            (List.length bank_workload)
+            r.E.stats.E.commits;
+          check_int
+            (Printf.sprintf "%s seed %d conserves" (E.policy_name policy) seed)
+            600
+            (total r.E.final_state))
+        [ 1; 2; 3; 11; 99 ])
+    [ E.S2pl; E.To; E.Mvto ]
+
+let test_deterministic () =
+  let run () = E.run ~policy:E.S2pl ~initial ~programs:bank_workload ~seed:5 () in
+  let a = run () and b = run () in
+  check "same stats" true (a.E.stats = b.E.stats);
+  check "same state" true (a.E.final_state = b.E.final_state)
+
+let test_mvto_readers_never_abort () =
+  let readers = List.init 8 (fun i -> P.read_all ~label:(string_of_int i) accounts) in
+  let r = E.run ~policy:E.Mvto ~initial ~programs:readers ~seed:3 () in
+  check_int "no aborts in read-only workload" 0 r.E.stats.E.aborts;
+  check_int "no blocking" 0 r.E.stats.E.blocked_ticks
+
+let test_mvto_no_blocking_ever () =
+  let r = E.run ~policy:E.Mvto ~initial ~programs:bank_workload ~seed:4 () in
+  check_int "mvto never blocks" 0 r.E.stats.E.blocked_ticks
+
+let test_s2pl_deadlock_resolved () =
+  (* two transfers in opposite directions force lock cycles eventually *)
+  let programs =
+    [
+      P.transfer ~label:"ab" ~from_:"a0" ~to_:"a1" 1;
+      P.transfer ~label:"ba" ~from_:"a1" ~to_:"a0" 1;
+    ]
+  in
+  (* try many seeds: all must terminate with both committed *)
+  List.iter
+    (fun seed ->
+      let r = E.run ~policy:E.S2pl ~initial ~programs ~seed () in
+      check_int "both commit" 2 r.E.stats.E.commits;
+      check_int "balances conserved" 600 (total r.E.final_state))
+    (List.init 20 Fun.id)
+
+let test_version_chains_grow_under_mvto () =
+  let programs =
+    List.init 5 (fun i -> P.increment ~label:(string_of_int i) "a0" 1)
+  in
+  let r = E.run ~policy:E.Mvto ~initial ~programs ~seed:1 () in
+  check "chains grew" true (r.E.stats.E.max_version_chain > 1);
+  check_int "all increments applied" 105
+    (List.assoc "a0" r.E.final_state)
+
+let test_blind_writes () =
+  let programs =
+    [ P.blind_write ~label:"w1" "a0" 42; P.blind_write ~label:"w2" "a0" 43 ]
+  in
+  List.iter
+    (fun policy ->
+      let r = E.run ~policy ~initial ~programs ~seed:2 () in
+      check_int "both commit" 2 r.E.stats.E.commits;
+      check "one of the writes is final" true
+        (let v = List.assoc "a0" r.E.final_state in
+         v = 42 || v = 43))
+    [ E.S2pl; E.To; E.Mvto ]
+
+let test_si_commits_and_conserves_transfers () =
+  (* transfers read what they write, so SI's first-committer-wins keeps
+     them serializable and the invariant holds *)
+  List.iter
+    (fun seed ->
+      let r = E.run ~policy:E.Si ~initial ~programs:bank_workload ~seed () in
+      check_int "commits" (List.length bank_workload) r.E.stats.E.commits;
+      check_int "conserved" 600 (total r.E.final_state))
+    [ 1; 2; 3 ]
+
+let test_si_write_skew_anomaly () =
+  (* the copy-skew workload: T1 copies x into y, T2 copies y into x.
+     Serial outcomes from (x=1, y=2) are (1,1) or (2,2); under SI both
+     transactions can read their snapshots and commit (disjoint write
+     sets), producing the non-serializable (2,1). *)
+  let programs =
+    [
+      { P.label = "copy-x-to-y"; ops = [ P.Read "x"; P.Write ("y", P.Reg "x") ] };
+      { P.label = "copy-y-to-x"; ops = [ P.Read "y"; P.Write ("x", P.Reg "y") ] };
+    ]
+  in
+  let initial = [ ("x", 1); ("y", 2) ] in
+  let serial_outcomes = [ [ ("x", 1); ("y", 1) ]; [ ("x", 2); ("y", 2) ] ] in
+  let outcome policy seed =
+    (E.run ~policy ~initial ~programs ~seed ()).E.final_state
+  in
+  let seeds = List.init 30 Fun.id in
+  (* every serializable policy always lands on a serial outcome *)
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          check "serializable policies produce serial outcomes" true
+            (List.mem (outcome policy seed) serial_outcomes))
+        seeds)
+    [ E.S2pl; E.To; E.Mvto ];
+  (* some interleaving exhibits the anomaly under SI *)
+  let anomalous =
+    List.exists
+      (fun seed -> not (List.mem (outcome E.Si seed) serial_outcomes))
+      seeds
+  in
+  check "SI exhibits write skew" true anomalous
+
+let test_gc_prunes_versions () =
+  let programs =
+    List.init 8 (fun i -> P.increment ~label:(string_of_int i) "a0" 1)
+  in
+  let without = E.run ~policy:E.Mvto ~initial ~programs ~seed:9 () in
+  let with_gc = E.run ~policy:E.Mvto ~initial ~programs ~gc:true ~seed:9 () in
+  check "same final state" true (without.E.final_state = with_gc.E.final_state);
+  check "gc pruned something" true (with_gc.E.stats.E.gc_pruned > 0);
+  check "no gc prunes nothing" true (without.E.stats.E.gc_pruned = 0);
+  check "chains shorter with gc" true
+    (with_gc.E.stats.E.max_version_chain
+    <= without.E.stats.E.max_version_chain)
+
+let test_crash_injection () =
+  (* invariants survive arbitrary mid-flight failures under every policy:
+     crashed attempts discard their buffers and restart *)
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let r =
+            E.run ~policy ~initial ~programs:bank_workload
+              ~crash_probability:0.05 ~seed ()
+          in
+          check_int
+            (Printf.sprintf "%s crash seed %d conserves"
+               (E.policy_name policy) seed)
+            600
+            (total r.E.final_state);
+          check_int "all programs still commit"
+            (List.length bank_workload)
+            r.E.stats.E.commits;
+          check "crashes recorded as aborts" true (r.E.stats.E.aborts > 0))
+        [ 1; 2; 3 ])
+    [ E.S2pl; E.To; E.Mvto; E.Si ]
+
+let test_deadlock_policies () =
+  (* opposed transfers force lock conflicts; every resolution policy must
+     terminate with all commits and conserved balances *)
+  let programs =
+    [
+      P.transfer ~label:"ab" ~from_:"a0" ~to_:"a1" 1;
+      P.transfer ~label:"ba" ~from_:"a1" ~to_:"a0" 1;
+      P.transfer ~label:"ab2" ~from_:"a0" ~to_:"a1" 2;
+    ]
+  in
+  List.iter
+    (fun deadlock ->
+      List.iter
+        (fun seed ->
+          let r = E.run ~policy:E.S2pl ~initial ~programs ~deadlock ~seed () in
+          check_int
+            (Printf.sprintf "%s seed %d commits"
+               (E.deadlock_policy_name deadlock) seed)
+            3 r.E.stats.E.commits;
+          check_int "conserved" 600 (total r.E.final_state))
+        (List.init 15 Fun.id))
+    [ E.Detect; E.Wait_die; E.Wound_wait ]
+
+let test_wound_wait_preempts () =
+  (* an older requester wounds a younger lock holder rather than waiting:
+     with wound-wait there must be runs with aborts but zero blocked ticks
+     spent by the older transaction on that lock; at minimum the policies
+     must differ somewhere on this contended workload *)
+  let programs =
+    List.init 4 (fun i -> P.increment ~label:(string_of_int i) "a0" 1)
+  in
+  let stats deadlock seed =
+    (E.run ~policy:E.S2pl ~initial ~programs ~deadlock ~seed ()).E.stats
+  in
+  let differs =
+    List.exists
+      (fun seed -> stats E.Wound_wait seed <> stats E.Detect seed)
+      (List.init 20 Fun.id)
+  in
+  check "policies behave differently somewhere" true differs;
+  List.iter
+    (fun seed ->
+      check_int "wound-wait still completes" 4
+        (stats E.Wound_wait seed).E.commits)
+    (List.init 10 Fun.id)
+
+let test_store_prune () =
+  let st = S.create ~initial:[ ("x", 1) ] in
+  S.install st "x" ~value:2 ~wts:2;
+  S.install st "x" ~value:3 ~wts:5;
+  let dropped = S.prune st "x" ~watermark:3 in
+  check_int "dropped below-watermark history" 1 dropped;
+  check_int "snapshot base kept" 2 (S.read_at st "x" 3).S.value;
+  check_int "latest kept" 3 (S.latest st "x").S.value
+
+(* -- properties -- *)
+
+let prop_conservation =
+  QCheck2.Test.make ~name:"transfers conserve total balance under all policies"
+    ~count:60
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* n_transfers = int_range 1 6 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto ] in
+      return (seed, n_transfers, policy))
+    (fun (seed, n_transfers, policy) ->
+      let programs =
+        List.init n_transfers (fun i ->
+            P.transfer
+              ~label:(string_of_int i)
+              ~from_:(List.nth accounts (i mod 6))
+              ~to_:(List.nth accounts ((i + 1) mod 6))
+              (1 + (i * 3)))
+      in
+      let r = E.run ~policy ~initial ~programs ~seed () in
+      r.E.stats.E.commits = n_transfers && total r.E.final_state = 600)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "initial" `Quick test_store_initial;
+          Alcotest.test_case "versions" `Quick test_store_versions;
+          Alcotest.test_case "validation" `Quick test_store_validation;
+          Alcotest.test_case "invalidation rule" `Quick test_store_invalidation;
+          Alcotest.test_case "value map" `Quick test_store_value_map;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "eval" `Quick test_program_eval;
+          Alcotest.test_case "builders" `Quick test_program_builders;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "commit and conserve" `Quick
+            test_all_policies_commit_and_conserve;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "mvto readers never abort" `Quick
+            test_mvto_readers_never_abort;
+          Alcotest.test_case "mvto never blocks" `Quick test_mvto_no_blocking_ever;
+          Alcotest.test_case "s2pl deadlocks resolved" `Quick
+            test_s2pl_deadlock_resolved;
+          Alcotest.test_case "version chains" `Quick
+            test_version_chains_grow_under_mvto;
+          Alcotest.test_case "blind writes" `Quick test_blind_writes;
+          Alcotest.test_case "si transfers" `Quick
+            test_si_commits_and_conserves_transfers;
+          Alcotest.test_case "si write skew anomaly" `Quick
+            test_si_write_skew_anomaly;
+          Alcotest.test_case "gc prunes" `Quick test_gc_prunes_versions;
+          Alcotest.test_case "crash injection" `Quick test_crash_injection;
+          Alcotest.test_case "deadlock policies" `Quick test_deadlock_policies;
+          Alcotest.test_case "wound-wait preempts" `Quick
+            test_wound_wait_preempts;
+          Alcotest.test_case "store prune" `Quick test_store_prune;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_conservation ] );
+    ]

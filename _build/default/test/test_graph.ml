@@ -1,0 +1,236 @@
+(* Tests for the graph substrate: digraphs, cycles, topological sorting,
+   strongly connected components, reachability. *)
+
+open Mvcc_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Digraph -- *)
+
+let test_digraph_basics () =
+  let g = Digraph.create 4 in
+  check_int "no edges" 0 (Digraph.n_edges g);
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  check_int "idempotent add" 1 (Digraph.n_edges g);
+  check "mem" true (Digraph.mem_edge g 0 1);
+  check "not mem reverse" false (Digraph.mem_edge g 1 0);
+  Digraph.add_edge g 1 2;
+  Alcotest.(check (list int)) "succ" [ 1 ] (Digraph.succ g 0);
+  Alcotest.(check (list int)) "pred" [ 1 ] (Digraph.pred g 2);
+  Digraph.remove_edge g 0 1;
+  check "removed" false (Digraph.mem_edge g 0 1);
+  check_int "edge count after removal" 1 (Digraph.n_edges g)
+
+let test_digraph_bounds () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Digraph: node out of range")
+    (fun () -> Digraph.add_edge g 0 2)
+
+let test_digraph_copy_transpose () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let g' = Digraph.copy g in
+  Digraph.add_edge g' 2 0;
+  check "copy is independent" false (Digraph.mem_edge g 2 0);
+  let t = Digraph.transpose g in
+  check "transposed" true (Digraph.mem_edge t 1 0 && Digraph.mem_edge t 2 1);
+  check "equal self" true (Digraph.equal g (Digraph.copy g));
+  check "not equal transpose" false (Digraph.equal g t)
+
+(* -- Cycle -- *)
+
+let test_cycle_detection () =
+  let acyclic = Digraph.of_edges 4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  check "acyclic" true (Cycle.is_acyclic acyclic);
+  let cyclic = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check "cyclic" false (Cycle.is_acyclic cyclic);
+  let self_loop = Digraph.of_edges 2 [ (1, 1) ] in
+  check "self loop is a cycle" false (Cycle.is_acyclic self_loop)
+
+let test_find_cycle () =
+  let cyclic = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  (match Cycle.find_cycle cyclic with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some nodes ->
+      check "cycle nonempty" true (List.length nodes >= 2);
+      (* every consecutive pair (and the wrap-around) is an edge *)
+      let arr = Array.of_list nodes in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        check "cycle edge" true
+          (Digraph.mem_edge cyclic arr.(i) arr.((i + 1) mod n))
+      done);
+  check "none on acyclic" true
+    (Cycle.find_cycle (Digraph.of_edges 3 [ (0, 1) ]) = None)
+
+let test_reachable_creates_cycle () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2) ] in
+  check "reach 0->2" true (Cycle.reachable g 0 2);
+  check "no reach 2->0" false (Cycle.reachable g 2 0);
+  check "self reach" true (Cycle.reachable g 3 3);
+  check "creates cycle" true (Cycle.creates_cycle g 2 0);
+  check "no new cycle" false (Cycle.creates_cycle g 0 2);
+  check "still acyclic" true (Cycle.is_acyclic g)
+
+(* -- Topo -- *)
+
+let test_topo_sort () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (0, 3) ] in
+  (match Topo.sort g with
+  | None -> Alcotest.fail "expected an order"
+  | Some order ->
+      check "valid" true (Topo.is_topological g order));
+  check "cyclic has none" true
+    (Topo.sort (Digraph.of_edges 2 [ (0, 1); (1, 0) ]) = None)
+
+let test_topo_deterministic () =
+  let g = Digraph.of_edges 4 [ (2, 0) ] in
+  Alcotest.(check (list int)) "smallest-first tie break" [ 1; 2; 0; 3 ]
+    (Topo.sort_exn g)
+
+let test_all_sorts () =
+  let free = Digraph.create 3 in
+  check_int "3! orders" 6 (List.length (Topo.all_sorts free));
+  let chain = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  check_int "single order" 1 (List.length (Topo.all_sorts chain));
+  check_int "cyclic none" 0
+    (List.length (Topo.all_sorts (Digraph.of_edges 2 [ (0, 1); (1, 0) ])));
+  List.iter
+    (fun order -> check "each valid" true (Topo.is_topological chain order))
+    (Topo.all_sorts chain)
+
+let test_is_topological_rejects () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  check "wrong order" false (Topo.is_topological g [ 1; 0; 2 ]);
+  check "not a permutation" false (Topo.is_topological g [ 0; 1 ]);
+  check "duplicate" false (Topo.is_topological g [ 0; 1; 1 ])
+
+(* -- Scc -- *)
+
+let test_scc () =
+  let g = Digraph.of_edges 5 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ] in
+  let ids = Scc.component_ids g in
+  check "0 and 1 together" true (ids.(0) = ids.(1));
+  check "2 and 3 together" true (ids.(2) = ids.(3));
+  check "different components" true (ids.(0) <> ids.(2) && ids.(2) <> ids.(4));
+  check_int "two nontrivial" 2 (List.length (Scc.nontrivial g));
+  let all = List.concat (Scc.components g) in
+  check_int "every node once" 5 (List.length (List.sort_uniq compare all))
+
+let test_scc_self_loop () =
+  let g = Digraph.of_edges 2 [ (0, 0) ] in
+  check_int "self loop nontrivial" 1 (List.length (Scc.nontrivial g));
+  check_int "acyclic none" 0
+    (List.length (Scc.nontrivial (Digraph.of_edges 2 [ (0, 1) ])))
+
+(* -- Reach -- *)
+
+let test_reach_closure () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2) ] in
+  let c = Reach.closure g in
+  check "0 reaches 2" true (Reach.reaches c 0 2);
+  check "2 not 0" false (Reach.reaches c 2 0);
+  check "self" true (Reach.reaches c 3 3);
+  let cg = Reach.closure_graph g in
+  check "closure edge" true (Digraph.mem_edge cg 0 2);
+  check "no self loops in closure graph" false (Digraph.mem_edge cg 0 0)
+
+(* -- Dot -- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let test_dot () =
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let s = Dot.to_dot ~name:"test" g in
+  check "has edge line" true (contains s "n0 -> n1");
+  check "has node labels" true (contains s "label")
+
+(* -- qcheck properties -- *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 7 in
+    let* edges =
+      list_size (int_range 0 12) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (n, edges))
+
+let prop_topo_iff_acyclic =
+  QCheck2.Test.make ~name:"topo sort exists iff acyclic" ~count:300 gen_graph
+    (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      match Topo.sort g with
+      | Some order -> Cycle.is_acyclic g && Topo.is_topological g order
+      | None -> not (Cycle.is_acyclic g))
+
+let prop_scc_condensation_acyclic =
+  QCheck2.Test.make ~name:"scc condensation is acyclic" ~count:300 gen_graph
+    (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      let ids = Scc.component_ids g in
+      let k = Array.fold_left max 0 ids + 1 in
+      let cond = Digraph.create k in
+      Digraph.iter_edges
+        (fun u v -> if ids.(u) <> ids.(v) then Digraph.add_edge cond ids.(u) ids.(v))
+        g;
+      Cycle.is_acyclic cond)
+
+let prop_creates_cycle_consistent =
+  QCheck2.Test.make ~name:"creates_cycle predicts actual addition" ~count:300
+    QCheck2.Gen.(
+      let* n = int_range 2 6 in
+      let* edges =
+        list_size (int_range 0 8)
+          (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      let* u = int_range 0 (n - 1) in
+      let* v = int_range 0 (n - 1) in
+      return (n, edges, u, v))
+    (fun (n, edges, u, v) ->
+      let g = Digraph.of_edges n edges in
+      QCheck2.assume (Cycle.is_acyclic g);
+      let predicted = Cycle.creates_cycle g u v in
+      Digraph.add_edge g u v;
+      predicted = not (Cycle.is_acyclic g))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick test_digraph_basics;
+          Alcotest.test_case "bounds" `Quick test_digraph_bounds;
+          Alcotest.test_case "copy and transpose" `Quick test_digraph_copy_transpose;
+        ] );
+      ( "cycle",
+        [
+          Alcotest.test_case "detection" `Quick test_cycle_detection;
+          Alcotest.test_case "find cycle" `Quick test_find_cycle;
+          Alcotest.test_case "reachability" `Quick test_reachable_creates_cycle;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "sort" `Quick test_topo_sort;
+          Alcotest.test_case "deterministic" `Quick test_topo_deterministic;
+          Alcotest.test_case "all sorts" `Quick test_all_sorts;
+          Alcotest.test_case "rejects invalid" `Quick test_is_topological_rejects;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "components" `Quick test_scc;
+          Alcotest.test_case "self loop" `Quick test_scc_self_loop;
+        ] );
+      ("reach", [ Alcotest.test_case "closure" `Quick test_reach_closure ]);
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_topo_iff_acyclic;
+            prop_scc_condensation_acyclic;
+            prop_creates_cycle_consistent;
+          ] );
+    ]

@@ -1,0 +1,354 @@
+(* Tests for on-line schedulability: the exact checker, the Section 4
+   counterexample pair, the reference maximal schedulers, and the
+   Theorem 4/5/6 constructions. *)
+
+open Mvcc_core
+open Mvcc_ols
+module P = Mvcc_polygraph.Polygraph
+module A = Mvcc_polygraph.Acyclicity
+module Driver = Mvcc_sched.Driver
+
+let check = Alcotest.(check bool)
+let sched = Schedule.of_string
+let choice j k i = { P.j; k; i }
+
+let p_acyclic = P.make ~n:3 ~arcs:[ (0, 1) ] ~choices:[ choice 1 2 0 ]
+
+let p_cyclic =
+  P.make ~n:3 ~arcs:[ (0, 1); (0, 2); (2, 1) ] ~choices:[ choice 1 2 0 ]
+
+(* -- the Section 4 pair -- *)
+
+let test_pair_members () =
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  check "s is MVCSR" true (Mvcc_classes.Mvcsr.test s);
+  check "s' is MVCSR" true (Mvcc_classes.Mvcsr.test s');
+  check "s is MVSR" true (Mvcc_classes.Mvsr.test s);
+  check "s' is MVSR" true (Mvcc_classes.Mvsr.test s');
+  check "common prefix of both" true
+    (Schedule.is_prefix Examples.common_prefix ~of_:s
+    && Schedule.is_prefix Examples.common_prefix ~of_:s')
+
+let test_pair_unique_serializations () =
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  (* s only as T1 T2 (forcing R2(x) <- x_1), s' only as T2 T1 (<- T0) *)
+  check "s pinned initial fails" false
+    (Mvcc_classes.Mvsr.test_pinned s
+       ~pinned:(Version_fn.of_list [ (2, Version_fn.Initial) ]));
+  check "s' pinned x1 fails" false
+    (Mvcc_classes.Mvsr.test_pinned s'
+       ~pinned:(Version_fn.of_list [ (2, Version_fn.From 1) ]))
+
+let test_pair_not_ols () =
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  check "pair not OLS" false (Ols.is_ols [ s; s' ]);
+  (match Ols.check [ s; s' ] with
+  | None -> Alcotest.fail "expected a failure witness"
+  | Some f ->
+      check "witness prefix is common" true
+        (Schedule.is_prefix f.Ols.prefix ~of_:s
+        && Schedule.is_prefix f.Ols.prefix ~of_:s');
+      Alcotest.(check int) "both members" 2 (List.length f.Ols.members));
+  check "each singleton OLS" true (Ols.is_ols [ s ] && Ols.is_ols [ s' ])
+
+let test_ols_rejects_non_mvsr () =
+  let bad = sched "R1(x) R2(x) W1(x) W2(x)" in
+  check "raises" true
+    (try ignore (Ols.is_ols [ bad ]); false with Invalid_argument _ -> true)
+
+let test_ols_compatible_sets () =
+  (* two serial schedules of disjoint systems of the same prefix: OLS *)
+  let a = sched "R1(x) W1(x) R2(x) W2(x)" in
+  let b = sched "R1(x) W1(x) R2(x) R2(y)" in
+  check "compatible continuations" true (Ols.is_ols [ a; b ]);
+  check "duplicates ols" true (Ols.is_ols [ a; a ])
+
+let test_compatible_prefix_fn () =
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  (* the empty prefix is trivially extendable *)
+  check "empty prefix ok" true
+    (Ols.compatible_prefix_fn [ s; s' ] (Schedule.prefix s 0) <> None);
+  (* the full common prefix is not *)
+  check "common prefix conflicting" true
+    (Ols.compatible_prefix_fn [ s; s' ] Examples.common_prefix = None)
+
+(* -- maximal schedulers -- *)
+
+let test_maximal_accepts_serial () =
+  let s = sched "R1(x) W1(x) R2(x) W2(x)" in
+  check "mvsr maximal" true (Driver.accepts Maximal.mvsr_maximal s);
+  check "mvcsr maximal" true (Driver.accepts Maximal.mvcsr_maximal s)
+
+let test_maximal_rejects_non_mvsr () =
+  let s = sched "R1(x) R2(x) W1(x) W2(x)" in
+  check "mvsr maximal rejects" false (Driver.accepts Maximal.mvsr_maximal s);
+  check "mvcsr maximal rejects" false (Driver.accepts Maximal.mvcsr_maximal s)
+
+let test_maximal_version_assignment_serializes () =
+  let s = sched "W1(x) R2(x) R3(y) W2(y) W3(x)" in
+  let o = Driver.run Maximal.mvsr_maximal s in
+  check "accepted" true o.Driver.accepted;
+  check "assigned versions serialize the schedule" true
+    (Mvcc_classes.Mvsr.serializable_with s o.Driver.version_fn)
+
+let test_two_maximal_schedulers_differ () =
+  (* Section 5's infinitude, concretely: the latest-first and
+     earliest-first maximal MVSR schedulers resolve the Section 4 pair's
+     shared read in opposite ways, so each accepts exactly one member *)
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  check "latest-first takes s" true (Driver.accepts Maximal.mvsr_maximal s);
+  check "latest-first drops s'" false
+    (Driver.accepts Maximal.mvsr_maximal s');
+  check "earliest-first drops s" false
+    (Driver.accepts Maximal.mvsr_maximal_earliest s);
+  check "earliest-first takes s'" true
+    (Driver.accepts Maximal.mvsr_maximal_earliest s')
+
+let test_maximal_mvcsr_subset () =
+  (* the Lemma 2 scheduler never accepts outside MVCSR *)
+  let non_mvcsr = sched "W1(x) R2(x) R3(y) W2(y) W3(x)" in
+  check "fixture is MVSR not MVCSR" true
+    (Mvcc_classes.Mvsr.test non_mvcsr
+    && not (Mvcc_classes.Mvcsr.test non_mvcsr));
+  check "mvcsr-maximal rejects it" false
+    (Driver.accepts Maximal.mvcsr_maximal non_mvcsr);
+  check "mvsr-maximal accepts it" true
+    (Driver.accepts Maximal.mvsr_maximal non_mvcsr)
+
+(* -- Theorem 4 -- *)
+
+let test_theorem4_fixtures () =
+  let s1, s2 = Theorem4.build p_acyclic in
+  check "s1 MVCSR" true (Mvcc_classes.Mvcsr.test s1);
+  check "s2 MVCSR" true (Mvcc_classes.Mvcsr.test s2);
+  check "acyclic gives OLS" true (Theorem4.is_ols_of_polygraph p_acyclic);
+  check "cyclic gives non-OLS" false (Theorem4.is_ols_of_polygraph p_cyclic);
+  let c1, c2 = Theorem4.build p_cyclic in
+  check "cyclic pair still MVCSR" true
+    (Mvcc_classes.Mvcsr.test c1 && Mvcc_classes.Mvcsr.test c2)
+
+let test_theorem4_structure () =
+  (* s1 = p q1 r1 and s2 = p q2 r2: the common prefix is the whole of
+     part (i) — three steps per choice of the normalized polygraph *)
+  let p = Mvcc_polygraph.Polygraph.normalize p_acyclic in
+  let s1, s2 = Theorem4.build p_acyclic in
+  let n_choices = List.length p.Mvcc_polygraph.Polygraph.choices in
+  let common = Schedule.prefix s1 (3 * n_choices) in
+  check "part (i) shared" true (Schedule.is_prefix common ~of_:s2);
+  (* both (ii) variants start with W_i(b'), so the divergence is at the
+     second step of the first (ii) segment *)
+  check "first (ii) step still shared" true
+    (Schedule.is_prefix (Schedule.prefix s1 ((3 * n_choices) + 1)) ~of_:s2);
+  check "divergence at the second (ii) step" false
+    (Schedule.is_prefix (Schedule.prefix s1 ((3 * n_choices) + 2)) ~of_:s2);
+  check "same transaction system" true (Schedule.same_system s1 s2)
+
+let test_theorem4_rejects_bad_input () =
+  let bad = P.make ~n:2 ~arcs:[ (0, 1); (1, 0) ] ~choices:[] in
+  check "cyclic arcs rejected" true
+    (try ignore (Theorem4.build bad); false with Invalid_argument _ -> true)
+
+(* -- Theorem 5 -- *)
+
+let test_theorem5_fixtures () =
+  let s = Theorem5.build p_acyclic in
+  check "acyclic gives MVSR" true (Mvcc_classes.Mvsr.test s);
+  check "maximal accepts" true (Theorem5.accepted_by_maximal p_acyclic);
+  let s' = Theorem5.build p_cyclic in
+  check "cyclic gives non-MVSR" false (Mvcc_classes.Mvsr.test s');
+  check "maximal rejects" false (Theorem5.accepted_by_maximal p_cyclic)
+
+let test_theorem5_forced_reads () =
+  let s = Theorem5.build p_acyclic in
+  let forced = Theorem5.forced_version_fn p_acyclic s in
+  check "forced fn legal" true (Version_fn.legal s forced);
+  check "forced fn serializes" true
+    (Mvcc_classes.Mvsr.serializable_with s forced);
+  (* uniqueness: every serializing total version function equals it *)
+  let all_serializing =
+    Seq.filter
+      (fun v -> Mvcc_classes.Mvsr.serializable_with s v)
+      (Version_fn.enumerate s)
+  in
+  Seq.iter
+    (fun v -> check "unique serializing fn" true (Version_fn.equal v forced))
+    all_serializing
+
+(* -- Theorem 6 -- *)
+
+let test_theorem6_fixtures () =
+  (* the adaptive construction must corner schedulers of either version
+     policy (the gadget ladder reshapes around the observed assignment) *)
+  List.iter
+    (fun scheduler ->
+      let r = Theorem6.run p_acyclic ~scheduler in
+      check "acyclic accepted" true r.Theorem6.accepted;
+      check "built schedule MVCSR" true
+        (Mvcc_classes.Mvcsr.test r.Theorem6.schedule);
+      let r' = Theorem6.run p_cyclic ~scheduler in
+      check "cyclic rejected" false r'.Theorem6.accepted)
+    [ Maximal.mvcsr_maximal; Maximal.mvcsr_maximal_earliest ]
+
+let test_theorem6_requires_disjoint () =
+  let shared =
+    P.make ~n:4 ~arcs:[ (0, 1) ] ~choices:[ choice 1 2 0; choice 1 3 0 ]
+  in
+  check "non-disjoint rejected" true
+    (try ignore (Theorem6.run shared ~scheduler:Maximal.mvcsr_maximal); false
+     with Invalid_argument _ -> true)
+
+(* -- maximal OLS subsets (Section 5) -- *)
+
+let small_universe () =
+  let s, s' = Examples.mvcsr_not_ols_pair in
+  [ s; s'; sched "R1(x) W1(x) R2(x) W2(x)"; sched "W1(x) R2(x)" ]
+
+let test_greedy_subset () =
+  let universe = small_universe () in
+  let subset = Subsets.greedy universe in
+  check "subset is OLS" true (Ols.is_ols subset);
+  check "maximal within universe" true
+    (Subsets.is_maximal_within subset ~universe);
+  (* the universe itself is not OLS (it contains the Section 4 pair),
+     so the greedy subset is proper *)
+  check "proper subset" true
+    (List.length subset < List.length universe)
+
+let test_distinct_maximal_subsets () =
+  (* Section 5: maximal OLS subsets are not unique — the insertion order
+     decides which member of the Section 4 pair survives *)
+  match Subsets.distinct_maximal_subsets (small_universe ()) with
+  | None -> Alcotest.fail "expected two distinct maximal subsets"
+  | Some (a, b) ->
+      check "both OLS" true (Ols.is_ols a && Ols.is_ols b);
+      check "both maximal" true
+        (Subsets.is_maximal_within a ~universe:(small_universe ())
+        && Subsets.is_maximal_within b ~universe:(small_universe ()))
+
+let test_greedy_rejects_non_mvsr () =
+  check "raises" true
+    (try
+       ignore (Subsets.greedy [ sched "R1(x) R2(x) W1(x) W2(x)" ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- properties -- *)
+
+let gen_disjoint_polygraph =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n = int_range 3 5 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Polygraph_gen.generate_disjoint
+         { Mvcc_workload.Polygraph_gen.n_nodes = n;
+           arc_density = 0.5; choices_per_arc = 1.0 }
+         rng))
+
+let gen_small_schedules =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* k = int_range 2 4 in
+    let rng = Random.State.make [| seed |] in
+    let params =
+      { Mvcc_workload.Schedule_gen.default with
+        n_txns = 2; n_entities = 2; max_steps = 3 }
+    in
+    let candidates =
+      List.filter Mvcc_classes.Mvsr.test
+        (Mvcc_workload.Schedule_gen.sample params rng (2 * k))
+    in
+    return candidates)
+
+let prop_ols_monotone_under_subset =
+  QCheck2.Test.make ~name:"subsets of OLS sets are OLS" ~count:40
+    gen_small_schedules (fun schedules ->
+      QCheck2.assume (schedules <> []);
+      (not (Ols.is_ols schedules))
+      ||
+      match schedules with
+      | [] -> true
+      | _ :: rest -> Ols.is_ols rest)
+
+let prop_theorem4 =
+  QCheck2.Test.make ~name:"Theorem 4: acyclic iff pair OLS" ~count:25
+    gen_disjoint_polygraph (fun p ->
+      A.is_acyclic p = Theorem4.is_ols_of_polygraph p)
+
+let prop_theorem5 =
+  QCheck2.Test.make ~name:"Theorem 5: acyclic iff schedule MVSR" ~count:25
+    gen_disjoint_polygraph (fun p ->
+      A.is_acyclic p = Mvcc_classes.Mvsr.test (Theorem5.build p))
+
+let prop_theorem6 =
+  QCheck2.Test.make
+    ~name:"Theorem 6: acyclic iff adaptive schedule accepted" ~count:15
+    gen_disjoint_polygraph (fun p ->
+      let r = Theorem6.run p ~scheduler:Maximal.mvcsr_maximal in
+      A.is_acyclic p = r.Theorem6.accepted)
+
+let prop_theorem6_earliest =
+  QCheck2.Test.make
+    ~name:"Theorem 6 against the earliest-first maximal scheduler"
+    ~count:10 gen_disjoint_polygraph (fun p ->
+      let r = Theorem6.run p ~scheduler:Maximal.mvcsr_maximal_earliest in
+      A.is_acyclic p = r.Theorem6.accepted)
+
+let () =
+  Alcotest.run "ols"
+    [
+      ( "section 4 pair",
+        [
+          Alcotest.test_case "members" `Quick test_pair_members;
+          Alcotest.test_case "unique serializations" `Quick
+            test_pair_unique_serializations;
+          Alcotest.test_case "not OLS" `Quick test_pair_not_ols;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "rejects non-MVSR" `Quick test_ols_rejects_non_mvsr;
+          Alcotest.test_case "compatible sets" `Quick test_ols_compatible_sets;
+          Alcotest.test_case "prefix function" `Quick test_compatible_prefix_fn;
+        ] );
+      ( "maximal schedulers",
+        [
+          Alcotest.test_case "accept serial" `Quick test_maximal_accepts_serial;
+          Alcotest.test_case "reject non-MVSR" `Quick test_maximal_rejects_non_mvsr;
+          Alcotest.test_case "assignments serialize" `Quick
+            test_maximal_version_assignment_serializes;
+          Alcotest.test_case "MVCSR restriction" `Quick test_maximal_mvcsr_subset;
+          Alcotest.test_case "two maximal schedulers differ" `Quick
+            test_two_maximal_schedulers_differ;
+        ] );
+      ( "maximal subsets",
+        [
+          Alcotest.test_case "greedy closure" `Quick test_greedy_subset;
+          Alcotest.test_case "non-uniqueness" `Quick
+            test_distinct_maximal_subsets;
+          Alcotest.test_case "input validation" `Quick
+            test_greedy_rejects_non_mvsr;
+        ] );
+      ( "theorem 4",
+        [
+          Alcotest.test_case "fixtures" `Slow test_theorem4_fixtures;
+          Alcotest.test_case "structure" `Quick test_theorem4_structure;
+          Alcotest.test_case "input validation" `Quick test_theorem4_rejects_bad_input;
+        ] );
+      ( "theorem 5",
+        [
+          Alcotest.test_case "fixtures" `Quick test_theorem5_fixtures;
+          Alcotest.test_case "forced reads unique" `Quick test_theorem5_forced_reads;
+        ] );
+      ( "theorem 6",
+        [
+          Alcotest.test_case "fixtures" `Quick test_theorem6_fixtures;
+          Alcotest.test_case "disjointness required" `Quick
+            test_theorem6_requires_disjoint;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ols_monotone_under_subset; prop_theorem4; prop_theorem5;
+            prop_theorem6; prop_theorem6_earliest;
+          ] );
+    ]

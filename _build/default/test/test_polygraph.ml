@@ -1,0 +1,225 @@
+(* Tests for polygraphs: construction, assumptions, the exact acyclicity
+   solvers, and the satisfiability reduction of [6, 7]. *)
+
+module P = Mvcc_polygraph.Polygraph
+module A = Mvcc_polygraph.Acyclicity
+module E = Mvcc_polygraph.Sat_encoding
+module R = Mvcc_polygraph.Sat_to_polygraph
+module M = Mvcc_sat.Monotone
+module Dpll = Mvcc_sat.Dpll
+module Digraph = Mvcc_graph.Digraph
+module Cycle = Mvcc_graph.Cycle
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let choice j k i = { P.j; k; i }
+
+(* hand-made fixtures *)
+let p_trivial = P.make ~n:3 ~arcs:[ (0, 1) ] ~choices:[ choice 1 2 0 ]
+
+let p_cyclic =
+  (* both options of the single choice close a cycle with the arcs *)
+  P.make ~n:3 ~arcs:[ (0, 1); (0, 2); (2, 1) ] ~choices:[ choice 1 2 0 ]
+
+let p_arcs_cyclic = P.make ~n:2 ~arcs:[ (0, 1); (1, 0) ] ~choices:[]
+
+(* -- construction -- *)
+
+let test_make_validation () =
+  check "choice without arc rejected" true
+    (try ignore (P.make ~n:3 ~arcs:[] ~choices:[ choice 1 2 0 ]); false
+     with Invalid_argument _ -> true);
+  check "node out of range rejected" true
+    (try ignore (P.make ~n:2 ~arcs:[ (0, 2) ] ~choices:[]); false
+     with Invalid_argument _ -> true)
+
+let test_assumptions () =
+  check "a holds" true (P.assumption_a p_trivial);
+  check "b holds" true (P.assumption_b p_trivial);
+  check "c holds" true (P.assumption_c p_trivial);
+  check "disjoint" true (P.choice_disjoint p_trivial);
+  check "c fails on cyclic arcs" false (P.assumption_c p_arcs_cyclic);
+  let two_choices =
+    P.make ~n:4 ~arcs:[ (0, 1) ] ~choices:[ choice 1 2 0; choice 1 3 0 ]
+  in
+  check "shared nodes not disjoint" false (P.choice_disjoint two_choices)
+
+let test_normalize () =
+  let p = P.make ~n:3 ~arcs:[ (0, 1); (1, 2) ] ~choices:[ choice 1 2 0 ] in
+  check "missing choice for (1,2)" false (P.assumption_a p);
+  let p' = P.normalize p in
+  check "normalized satisfies (a)" true (P.assumption_a p');
+  check_int "one fresh node" 4 p'.P.n;
+  check "acyclicity preserved" true (A.is_acyclic p = A.is_acyclic p')
+
+(* -- acyclicity -- *)
+
+let test_solver_basics () =
+  check "trivial acyclic" true (A.is_acyclic p_trivial);
+  check "forced cyclic" false (A.is_acyclic p_cyclic);
+  check "cyclic arcs alone" false (A.is_acyclic p_arcs_cyclic);
+  check "no choices, acyclic arcs" true
+    (A.is_acyclic (P.make ~n:2 ~arcs:[ (0, 1) ] ~choices:[]))
+
+let test_solver_witness () =
+  match A.solve p_trivial with
+  | None -> Alcotest.fail "expected a compatible dag"
+  | Some g ->
+      check "compatible" true (P.is_compatible p_trivial g);
+      check "acyclic" true (Cycle.is_acyclic g);
+      (match A.witness_order p_trivial with
+      | None -> Alcotest.fail "expected an order"
+      | Some order -> check_int "covers all nodes" 3 (List.length order))
+
+let test_solver_stats () =
+  let _result, stats = A.solve_stats p_cyclic in
+  check "explored something" true (stats.A.branches + stats.A.propagated >= 0)
+
+let test_brute_limits () =
+  check "brute agrees on fixtures" true
+    (A.is_acyclic_brute p_trivial && not (A.is_acyclic_brute p_cyclic))
+
+(* -- SAT encoding -- *)
+
+let test_sat_encoding_basics () =
+  check "encoding agrees acyclic" true (E.is_acyclic_sat p_trivial);
+  check "encoding agrees cyclic" false (E.is_acyclic_sat p_cyclic);
+  (match Dpll.solve (E.encode p_trivial) with
+  | None -> Alcotest.fail "expected satisfiable encoding"
+  | Some a ->
+      let order = E.order_of_assignment p_trivial a in
+      check_int "order covers nodes" 3 (List.length (List.sort_uniq compare order)))
+
+(* -- the reduction -- *)
+
+let test_reduction_fixture () =
+  let f =
+    M.make ~n_vars:1
+      [
+        { M.polarity = M.All_positive; vars = [ 1 ] };
+        { M.polarity = M.All_negative; vars = [ 1 ] };
+      ]
+  in
+  let layout = R.reduce f in
+  let p = layout.R.polygraph in
+  check "unsat formula gives cyclic polygraph" false (A.is_acyclic p);
+  check "assumption b" true (P.assumption_b p);
+  check "assumption c" true (P.assumption_c p);
+  check "choice disjoint" true (P.choice_disjoint p)
+
+let test_reduction_assignment_roundtrip () =
+  let f =
+    M.make ~n_vars:2 [ { M.polarity = M.All_positive; vars = [ 1; 2 ] } ]
+  in
+  let layout = R.reduce f in
+  match Dpll.solve (M.to_cnf f) with
+  | None -> Alcotest.fail "satisfiable fixture"
+  | Some a ->
+      let dag = R.selection_of_assignment layout f a in
+      check "selection compatible" true (P.is_compatible layout.R.polygraph dag);
+      check "selection acyclic" true (Cycle.is_acyclic dag);
+      let a' = R.assignment_of_dag layout f dag in
+      check "assignment recovered satisfies" true (Mvcc_sat.Cnf.eval a' (M.to_cnf f))
+
+(* -- properties -- *)
+
+let gen_polygraph =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n = int_range 3 6 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Polygraph_gen.generate
+         { Mvcc_workload.Polygraph_gen.n_nodes = n;
+           arc_density = 0.4; choices_per_arc = 0.8 }
+         rng))
+
+let prop_solvers_agree =
+  QCheck2.Test.make ~name:"backtracking = brute force = SAT encoding"
+    ~count:150 gen_polygraph (fun p ->
+      let a = A.is_acyclic p in
+      a = A.is_acyclic_brute p && a = E.is_acyclic_sat p)
+
+let prop_solution_is_compatible_dag =
+  QCheck2.Test.make ~name:"solver output is a compatible acyclic digraph"
+    ~count:150 gen_polygraph (fun p ->
+      match A.solve p with
+      | None -> true
+      | Some g -> P.is_compatible p g && Cycle.is_acyclic g)
+
+let prop_sat_decode_is_topological =
+  QCheck2.Test.make
+    ~name:"decoded order of a satisfying assignment is compatible"
+    ~count:150 gen_polygraph (fun p ->
+      match Dpll.solve (E.encode p) with
+      | None -> true
+      | Some a ->
+          let order = E.order_of_assignment p a in
+          let pos = Array.make p.P.n 0 in
+          List.iteri (fun i v -> pos.(v) <- i) order;
+          List.for_all (fun (u, v) -> pos.(u) < pos.(v)) p.P.arcs
+          && List.for_all
+               (fun { P.j; k; i } -> pos.(j) < pos.(k) || pos.(k) < pos.(i))
+               p.P.choices)
+
+let prop_normalize_preserves =
+  QCheck2.Test.make ~name:"normalization preserves acyclicity" ~count:150
+    gen_polygraph (fun p ->
+      let p' = P.normalize p in
+      P.assumption_a p' && A.is_acyclic p = A.is_acyclic p')
+
+let gen_monotone =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Polygraph_gen.random_monotone ~n_vars:3 ~n_clauses:3 rng))
+
+let prop_reduction_correct =
+  QCheck2.Test.make ~name:"sat(F) iff acyclic(reduce F)" ~count:100
+    gen_monotone (fun f ->
+      let layout = R.reduce f in
+      Dpll.satisfiable (M.to_cnf f) = A.is_acyclic layout.R.polygraph)
+
+let prop_reduction_structure =
+  QCheck2.Test.make ~name:"reduction output satisfies (b), (c), disjointness"
+    ~count:100 gen_monotone (fun f ->
+      let p = (R.reduce f).R.polygraph in
+      P.assumption_b p && P.assumption_c p && P.choice_disjoint p)
+
+let () =
+  Alcotest.run "polygraph"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+        ] );
+      ( "acyclicity",
+        [
+          Alcotest.test_case "basics" `Quick test_solver_basics;
+          Alcotest.test_case "witness" `Quick test_solver_witness;
+          Alcotest.test_case "stats" `Quick test_solver_stats;
+          Alcotest.test_case "brute force" `Quick test_brute_limits;
+        ] );
+      ( "sat encoding",
+        [ Alcotest.test_case "basics" `Quick test_sat_encoding_basics ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "unsat fixture" `Quick test_reduction_fixture;
+          Alcotest.test_case "assignment round trip" `Quick
+            test_reduction_assignment_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_solvers_agree;
+            prop_solution_is_compatible_dag;
+            prop_sat_decode_is_topological;
+            prop_normalize_preserves;
+            prop_reduction_correct;
+            prop_reduction_structure;
+          ] );
+    ]

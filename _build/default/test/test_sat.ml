@@ -1,0 +1,159 @@
+(* Tests for the satisfiability substrate: CNF, DPLL, and the restricted
+   monotone fragment of [6, 7]. *)
+
+module Cnf = Mvcc_sat.Cnf
+module Dpll = Mvcc_sat.Dpll
+module Monotone = Mvcc_sat.Monotone
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Cnf -- *)
+
+let test_cnf_eval () =
+  let f = Cnf.make ~n_vars:3 [ [ 1; -2 ]; [ 3 ] ] in
+  let a = [| false; true; true; true |] in
+  check "satisfied" true (Cnf.eval a f);
+  let a' = [| false; false; true; false |] in
+  check "clause 2 falsified" false (Cnf.eval a' f);
+  check_int "clause count" 2 (Cnf.n_clauses f)
+
+let test_cnf_validation () =
+  Alcotest.check_raises "zero literal"
+    (Invalid_argument "Cnf.make: literal out of range") (fun () ->
+      ignore (Cnf.make ~n_vars:2 [ [ 0 ] ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cnf.make: literal out of range") (fun () ->
+      ignore (Cnf.make ~n_vars:2 [ [ 3 ] ]))
+
+let test_cnf_literals () =
+  check_int "var of negative" 3 (Cnf.var (-3));
+  check "positive" true (Cnf.positive 2);
+  check "negative" false (Cnf.positive (-2));
+  check_int "negate" (-2) (Cnf.negate 2)
+
+let test_cnf_dimacs () =
+  let f = Cnf.make ~n_vars:2 [ [ 1; -2 ] ] in
+  let d = Cnf.to_dimacs f in
+  check "header" true (String.length d > 0 && String.sub d 0 9 = "p cnf 2 1")
+
+(* -- Dpll -- *)
+
+let test_dpll_basic () =
+  let sat = Cnf.make ~n_vars:2 [ [ 1; 2 ]; [ -1 ] ] in
+  (match Dpll.solve sat with
+  | Some a -> check "model satisfies" true (Cnf.eval a sat)
+  | None -> Alcotest.fail "expected satisfiable");
+  let unsat = Cnf.make ~n_vars:1 [ [ 1 ]; [ -1 ] ] in
+  check "unsat" false (Dpll.satisfiable unsat);
+  let empty_clause = Cnf.make ~n_vars:1 [ [] ] in
+  check "empty clause unsat" false (Dpll.satisfiable empty_clause);
+  let trivial = Cnf.make ~n_vars:0 [] in
+  check "empty formula sat" true (Dpll.satisfiable trivial)
+
+let test_dpll_counts () =
+  (* (x1 | x2) has 3 models over 2 vars *)
+  check_int "models" 3 (Dpll.count_models (Cnf.make ~n_vars:2 [ [ 1; 2 ] ]));
+  check_int "tautology-free count" 4
+    (Dpll.count_models (Cnf.make ~n_vars:2 []))
+
+let test_dpll_stats () =
+  let f = Cnf.make ~n_vars:3 [ [ 1; 2; 3 ]; [ -1; -2 ]; [ -2; -3 ] ] in
+  let result, stats = Dpll.solve_stats f in
+  check "solved" true (Option.is_some result);
+  check "made progress" true (stats.Dpll.decisions + stats.Dpll.propagations > 0)
+
+(* -- Monotone -- *)
+
+let test_monotone_validation () =
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Monotone.make: clause must have 1-3 variables")
+    (fun () ->
+      ignore
+        (Monotone.make ~n_vars:4
+           [ { Monotone.polarity = Monotone.All_positive; vars = [ 1; 2; 3; 4 ] } ]))
+
+let test_monotone_roundtrip () =
+  let f =
+    Monotone.make ~n_vars:2
+      [
+        { Monotone.polarity = Monotone.All_positive; vars = [ 1; 2 ] };
+        { Monotone.polarity = Monotone.All_negative; vars = [ 1 ] };
+      ]
+  in
+  let cnf = Monotone.to_cnf f in
+  check "same satisfiability" true
+    (Dpll.satisfiable cnf = Monotone.satisfiable_brute f)
+
+let test_of_cnf_empty_clause () =
+  let f = Cnf.make ~n_vars:1 [ [] ] in
+  let m = Monotone.of_cnf f in
+  check "unsat preserved" false (Monotone.satisfiable_brute m)
+
+(* -- properties -- *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n_vars = int_range 1 5 in
+    let* n_clauses = int_range 0 6 in
+    let* clauses =
+      list_size (return n_clauses)
+        (list_size (int_range 1 4)
+           (let* v = int_range 1 n_vars in
+            let* sign = bool in
+            return (if sign then v else -v)))
+    in
+    return (Cnf.make ~n_vars clauses))
+
+let prop_dpll_vs_brute =
+  QCheck2.Test.make ~name:"DPLL agrees with brute-force model count"
+    ~count:400 gen_cnf (fun f ->
+      Dpll.satisfiable f = (Dpll.count_models f > 0))
+
+let prop_dpll_model_satisfies =
+  QCheck2.Test.make ~name:"DPLL models satisfy the formula" ~count:400 gen_cnf
+    (fun f ->
+      match Dpll.solve f with Some a -> Cnf.eval a f | None -> true)
+
+let prop_of_cnf_equisatisfiable =
+  QCheck2.Test.make ~name:"monotone conversion is equisatisfiable" ~count:300
+    gen_cnf (fun f ->
+      let m = Monotone.of_cnf f in
+      (* structural guarantees of the fragment *)
+      List.for_all
+        (fun (c : Monotone.clause) ->
+          let k = List.length c.vars in
+          k >= 1 && k <= 3)
+        m.Monotone.clauses
+      && Dpll.satisfiable f = Dpll.satisfiable (Monotone.to_cnf m))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "literals" `Quick test_cnf_literals;
+          Alcotest.test_case "dimacs" `Quick test_cnf_dimacs;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "basic" `Quick test_dpll_basic;
+          Alcotest.test_case "model counting" `Quick test_dpll_counts;
+          Alcotest.test_case "stats" `Quick test_dpll_stats;
+        ] );
+      ( "monotone",
+        [
+          Alcotest.test_case "validation" `Quick test_monotone_validation;
+          Alcotest.test_case "round trip" `Quick test_monotone_roundtrip;
+          Alcotest.test_case "empty clause" `Quick test_of_cnf_empty_clause;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dpll_vs_brute;
+            prop_dpll_model_satisfies;
+            prop_of_cnf_equisatisfiable;
+          ] );
+    ]

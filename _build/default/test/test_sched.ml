@@ -1,0 +1,363 @@
+(* Tests for the online schedulers: prefix behaviour, class containments
+   (every scheduler's output lies inside its claimed class), and the
+   permissiveness order. *)
+
+open Mvcc_core
+module Scheduler = Mvcc_sched.Scheduler
+module Driver = Mvcc_sched.Driver
+
+let check = Alcotest.(check bool)
+let sched_of = Schedule.of_string
+
+let all_schedulers =
+  [
+    Mvcc_sched.Serial_sched.scheduler;
+    Mvcc_sched.Two_pl.scheduler;
+    Mvcc_sched.Tso.scheduler;
+    Mvcc_sched.Sgt.scheduler;
+    Mvcc_sched.Mvto.scheduler;
+    Mvcc_sched.Mvcg_sched.scheduler;
+  ]
+
+(* -- generic behaviour -- *)
+
+let test_all_accept_serial () =
+  let serial = sched_of "R1(x) W1(x) R2(x) W2(x) R3(y) W3(y)" in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Scheduler.name ^ " accepts serial") true (Driver.accepts s serial))
+    all_schedulers
+
+let test_driver_prefix_length () =
+  (* 2PL rejects R2(x) while T1 holds its write lock *)
+  let s = sched_of "R1(x) W1(x) R2(x) W1(y)" in
+  let o = Driver.run Mvcc_sched.Two_pl.scheduler s in
+  check "rejected" false o.Driver.accepted;
+  Alcotest.(check int) "stopped at the lock conflict" 2 o.Driver.accepted_steps
+
+let test_standard_source () =
+  let prefix = sched_of "W1(x) W2(x)" in
+  check "latest write" true
+    (Scheduler.standard_source prefix (Step.read 2 "x") = Version_fn.From 1);
+  check "initial when none" true
+    (Scheduler.standard_source prefix (Step.read 2 "y") = Version_fn.Initial)
+
+(* -- individual schedulers -- *)
+
+let test_serial_scheduler () =
+  let s = Mvcc_sched.Serial_sched.scheduler in
+  check "rejects interleaving" false
+    (Driver.accepts s (sched_of "R1(x) R2(x) W1(x)"));
+  check "rejects return of finished txn" false
+    (Driver.accepts s (sched_of "R1(x) R2(x) R1(y)"))
+
+let test_two_pl () =
+  let s = Mvcc_sched.Two_pl.scheduler in
+  check "shared reads fine" true
+    (Driver.accepts s (sched_of "R1(x) R2(x) R1(y) R2(y)"));
+  check "write blocks reader" false
+    (Driver.accepts s (sched_of "W1(x) R2(x) W1(y)"));
+  check "locks released at last step" true
+    (Driver.accepts s (sched_of "W1(x) R2(x)"))
+
+let test_tso () =
+  let s = Mvcc_sched.Tso.scheduler in
+  (* T1 arrives first; T2 writes x; then T1's late read must be rejected *)
+  check "late read rejected" false
+    (Driver.accepts s (sched_of "R1(y) W2(x) R1(x)"));
+  check "timestamp order fine" true
+    (Driver.accepts s (sched_of "R1(x) W1(x) R2(x) W2(x)"))
+
+let test_sgt_is_csr () =
+  (* SGT recognizes exactly CSR on full schedules *)
+  List.iter
+    (fun text ->
+      let s = sched_of text in
+      Alcotest.(check bool) text (Mvcc_classes.Csr.test s)
+        (Driver.accepts Mvcc_sched.Sgt.scheduler s))
+    [
+      "R1(x) R2(x) W1(x) W2(x)";
+      "R1(x) W1(x) R2(x) W2(x)";
+      "R1(x) R2(y) W1(y) W2(x)";
+      "W1(x) R2(x) W2(y) R1(y)";
+    ]
+
+let test_mvto_reads_never_rejected () =
+  (* the read that arrives too late is served an old version *)
+  let s = sched_of "R1(y) W2(x) R1(x)" in
+  let o = Driver.run Mvcc_sched.Mvto.scheduler s in
+  check "accepted" true o.Driver.accepted;
+  (* R1(x) must read the initial version, not T2's younger write *)
+  check "old version served" true
+    (Version_fn.get o.Driver.version_fn 2 = Some Version_fn.Initial)
+
+let test_mvto_write_rule () =
+  (* T2 (younger) read the initial x; T1's (older) late write of x would
+     invalidate that read *)
+  let s = sched_of "R1(y) R2(x) W1(x)" in
+  check "invalidating write rejected" false
+    (Driver.accepts Mvcc_sched.Mvto.scheduler s)
+
+let test_mvto_escapes_mvcsr () =
+  (* Finding: MVTO is NOT contained in MVCSR as this paper defines it.
+     The paper's model appends each new version at the end of the entity's
+     version list (version order = write order in the schedule), and under
+     that reading "all known multiversion algorithms realize subsets of
+     MVCSR". But MVTO orders versions by timestamp: an old transaction's
+     write can arrive after a younger transaction's read of a newer
+     version — harmless for MVTO (the late version slots in behind), yet a
+     read-then-write MVCG arc. Minimal counterexample: T1 arrives first,
+     T2 writes x, T3 reads T2's x, T3 writes z after T1 read it, then T1's
+     late W(x) closes the MVCG cycle T1 -> T3 -> T1. *)
+  let s = sched_of "R1(z) W2(x) R3(x) W3(z) W1(x)" in
+  let o = Driver.run Mvcc_sched.Mvto.scheduler s in
+  check "MVTO accepts" true o.Driver.accepted;
+  check "but the schedule is not MVCSR" false (Mvcc_classes.Mvcsr.test s);
+  check "still sound: the assigned versions serialize it" true
+    (Mvcc_classes.Mvsr.serializable_with s o.Driver.version_fn)
+
+(* Writes of each entity appear in arrival-timestamp order — the paper's
+   model, where each write appends its version at the end of the chain. *)
+let writes_in_ts_order s =
+  let ts = Hashtbl.create 8 in
+  let next = ref 0 in
+  let last_w = Hashtbl.create 8 in
+  let ok = ref true in
+  Array.iter
+    (fun (st : Step.t) ->
+      if not (Hashtbl.mem ts st.Step.txn) then begin
+        Hashtbl.replace ts st.Step.txn !next;
+        incr next
+      end;
+      if Step.is_write st then begin
+        let t = Hashtbl.find ts st.Step.txn in
+        (match Hashtbl.find_opt last_w st.Step.entity with
+        | Some t' when t' > t -> ok := false
+        | _ -> ());
+        Hashtbl.replace last_w st.Step.entity t
+      end)
+    (Schedule.steps s);
+  !ok
+
+let test_mvcg_is_mvcsr () =
+  List.iter
+    (fun text ->
+      let s = sched_of text in
+      Alcotest.(check bool) text (Mvcc_classes.Mvcsr.test s)
+        (Driver.accepts Mvcc_sched.Mvcg_sched.scheduler s))
+    [
+      "R1(x) R2(x) W1(x) W2(x)";
+      "R1(x) W1(x) R2(x) R2(y) W2(y) R1(y) W1(y)";
+      "W1(x) R2(x) R3(y) W2(y) W3(x)";
+    ]
+
+let test_si_write_skew () =
+  (* SI accepts the write-skew anomaly, which is outside MVSR entirely:
+     a contrast with every scheduler the paper considers *)
+  let s = Mvcc_sched.Si.write_skew in
+  let o = Driver.run Mvcc_sched.Si.scheduler s in
+  check "SI accepts write skew" true o.Driver.accepted;
+  check "write skew is not MVSR" false (Mvcc_classes.Mvsr.test s)
+
+let test_si_snapshot_reads () =
+  (* a reader overlapping a writer keeps seeing its snapshot *)
+  let s = sched_of "R1(x) W2(x) W2(y) R1(y)" in
+  let o = Driver.run Mvcc_sched.Si.scheduler s in
+  check "accepted" true o.Driver.accepted;
+  (* R1(y) ignores T2's write: T2 committed after T1's snapshot *)
+  check "snapshot read" true
+    (Version_fn.get o.Driver.version_fn 3 = Some Version_fn.Initial)
+
+let test_si_first_committer_wins () =
+  (* both write x; the second to commit is rejected *)
+  let s = sched_of "R1(x) R2(x) W1(x) W2(x)" in
+  check "FCW rejects" false (Driver.accepts Mvcc_sched.Si.scheduler s)
+
+let test_2v2pl_basics () =
+  let sch = Mvcc_sched.Two_v2pl.scheduler in
+  (* readers proceed under an uncommitted write: they get the old version *)
+  let s = sched_of "W1(x) R2(x) R2(y) W1(y)" in
+  let o = Driver.run sch s in
+  check "reader not blocked by writer" true o.Driver.accepted;
+  check "reader got the committed (initial) version" true
+    (Version_fn.get o.Driver.version_fn 1 = Some Version_fn.Initial);
+  (* two concurrent writers of the same entity: second rejected *)
+  check "single uncommitted version" false
+    (Driver.accepts sch (sched_of "W1(x) W2(x) R1(y) R2(y)"));
+  (* certification: writer cannot commit while a reader is active *)
+  check "certify blocks commit" false
+    (Driver.accepts sch (sched_of "R2(x) W1(x) R2(y)"))
+
+(* -- properties -- *)
+
+let gen_schedule =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Schedule_gen.schedule
+         { Mvcc_workload.Schedule_gen.default with
+           n_txns = 3; n_entities = 2; max_steps = 3 }
+         rng))
+
+let prop_2pl_outputs_csr =
+  QCheck2.Test.make ~name:"2PL outputs are CSR (Yannakakis)" ~count:300
+    gen_schedule (fun s ->
+      (not (Driver.accepts Mvcc_sched.Two_pl.scheduler s))
+      || Mvcc_classes.Csr.test s)
+
+let prop_tso_outputs_csr =
+  QCheck2.Test.make ~name:"TSO outputs are CSR" ~count:300 gen_schedule
+    (fun s ->
+      (not (Driver.accepts Mvcc_sched.Tso.scheduler s))
+      || Mvcc_classes.Csr.test s)
+
+let prop_sgt_recognizes_csr_prefixwise =
+  QCheck2.Test.make ~name:"SGT accepts iff every prefix is CSR" ~count:300
+    gen_schedule (fun s ->
+      let all_prefixes_csr =
+        List.for_all
+          (fun k -> Mvcc_classes.Csr.test (Schedule.prefix s k))
+          (List.init (Schedule.length s + 1) Fun.id)
+      in
+      Driver.accepts Mvcc_sched.Sgt.scheduler s = all_prefixes_csr)
+
+let prop_mvto_outputs_serializable =
+  QCheck2.Test.make
+    ~name:"MVTO outputs are MVSR via the assigned versions" ~count:300
+    gen_schedule (fun s ->
+      let o = Driver.run Mvcc_sched.Mvto.scheduler s in
+      (not o.Driver.accepted)
+      || Mvcc_classes.Mvsr.serializable_with s o.Driver.version_fn)
+
+let gen_distinct_schedule =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Schedule_gen.schedule
+         { Mvcc_workload.Schedule_gen.default with
+           n_txns = 3; n_entities = 2; max_steps = 4;
+           distinct_accesses = true }
+         rng))
+
+let prop_mvto_outputs_mvcsr_in_paper_model =
+  (* The paper's model: each transaction writes an entity at most once
+     (the version x_j is well defined) and versions append in write order.
+     Under both restrictions MVTO outputs are MVCSR; dropping either one
+     admits counterexamples (see the 'mvto escapes MVCSR' fixture). *)
+  QCheck2.Test.make
+    ~name:
+      "MVTO outputs are MVCSR when versions append in write order (the \
+       paper's model)"
+    ~count:500 gen_distinct_schedule (fun s ->
+      QCheck2.assume (writes_in_ts_order s);
+      (not (Driver.accepts Mvcc_sched.Mvto.scheduler s))
+      || Mvcc_classes.Mvcsr.test s)
+
+let prop_mvcg_recognizes_mvcsr =
+  QCheck2.Test.make ~name:"MVCG scheduler accepts exactly MVCSR" ~count:300
+    gen_schedule (fun s ->
+      Driver.accepts Mvcc_sched.Mvcg_sched.scheduler s
+      = Mvcc_classes.Mvcsr.test s)
+
+let prop_2v2pl_outputs_serializable =
+  QCheck2.Test.make
+    ~name:"2V2PL outputs are MVSR via the assigned versions" ~count:300
+    gen_schedule (fun s ->
+      let o = Driver.run Mvcc_sched.Two_v2pl.scheduler s in
+      (not o.Driver.accepted)
+      || Mvcc_classes.Mvsr.serializable_with s o.Driver.version_fn)
+
+let prop_si_assignments_legal =
+  (* SI is not serializable in general, but its version assignments are
+     always legal (reads are served existing previous versions) *)
+  QCheck2.Test.make ~name:"SI version assignments are legal" ~count:300
+    gen_schedule (fun s ->
+      let o = Driver.run Mvcc_sched.Si.scheduler s in
+      (not o.Driver.accepted)
+      || Mvcc_core.Version_fn.legal s o.Driver.version_fn)
+
+let prop_prefix_closure =
+  (* recognizers accept every prefix of an accepted schedule: the verdict
+     on a prefix cannot depend on steps that have not arrived. 2V2PL is
+     the documented exception (see the dedicated test): its certification
+     happens at a transaction's last step, and truncating a schedule moves
+     those commit points. *)
+  QCheck2.Test.make ~name:"scheduler outputs are prefix-closed" ~count:150
+    gen_schedule (fun s ->
+      List.for_all
+        (fun sched ->
+          (not (Driver.accepts sched s))
+          || List.for_all
+               (fun k -> Driver.accepts sched (Schedule.prefix s k))
+               (List.init (Schedule.length s + 1) Fun.id))
+        (all_schedulers @ [ Mvcc_sched.Si.scheduler ]))
+
+let test_2v2pl_not_prefix_closed () =
+  (* In a real 2V2PL system the writer's commit would be *delayed* until
+     the readers finish; the recognizer has to reject instead, so the set
+     it accepts is not prefix-closed: here T2's write is certified at
+     position 2 in the prefix (while reader T3 is still active) but only
+     at its true last step in the full schedule (after T3 finished). *)
+  let full = sched_of "R3(e1) W1(e0) W2(e1) R3(e0) R1(e1) W1(e0) W2(e0) W2(e0)" in
+  let sch = Mvcc_sched.Two_v2pl.scheduler in
+  check "full accepted" true (Driver.accepts sch full);
+  check "prefix rejected" false
+    (Driver.accepts sch (Schedule.prefix full 4))
+
+let prop_ladder_monotone =
+  QCheck2.Test.make
+    ~name:"permissiveness ladder: serial <= 2pl, sgt <= mvcg" ~count:300
+    gen_schedule (fun s ->
+      let acc sch = Driver.accepts sch s in
+      ((not (acc Mvcc_sched.Serial_sched.scheduler))
+      || acc Mvcc_sched.Two_pl.scheduler)
+      && ((not (acc Mvcc_sched.Sgt.scheduler))
+         || acc Mvcc_sched.Mvcg_sched.scheduler))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "generic",
+        [
+          Alcotest.test_case "all accept serial" `Quick test_all_accept_serial;
+          Alcotest.test_case "prefix length on reject" `Quick
+            test_driver_prefix_length;
+          Alcotest.test_case "standard source" `Quick test_standard_source;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "serial" `Quick test_serial_scheduler;
+          Alcotest.test_case "2pl" `Quick test_two_pl;
+          Alcotest.test_case "tso" `Quick test_tso;
+          Alcotest.test_case "sgt = csr" `Quick test_sgt_is_csr;
+          Alcotest.test_case "mvto reads" `Quick test_mvto_reads_never_rejected;
+          Alcotest.test_case "mvto write rule" `Quick test_mvto_write_rule;
+          Alcotest.test_case "mvto escapes MVCSR (finding)" `Quick
+            test_mvto_escapes_mvcsr;
+          Alcotest.test_case "mvcg = mvcsr" `Quick test_mvcg_is_mvcsr;
+          Alcotest.test_case "si write skew" `Quick test_si_write_skew;
+          Alcotest.test_case "si snapshot reads" `Quick test_si_snapshot_reads;
+          Alcotest.test_case "si first-committer-wins" `Quick
+            test_si_first_committer_wins;
+          Alcotest.test_case "2v2pl" `Quick test_2v2pl_basics;
+          Alcotest.test_case "2v2pl not prefix-closed" `Quick
+            test_2v2pl_not_prefix_closed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_2pl_outputs_csr;
+            prop_tso_outputs_csr;
+            prop_sgt_recognizes_csr_prefixwise;
+            prop_mvto_outputs_serializable;
+            prop_mvto_outputs_mvcsr_in_paper_model;
+            prop_mvcg_recognizes_mvcsr;
+            prop_2v2pl_outputs_serializable;
+            prop_si_assignments_legal;
+            prop_prefix_closure;
+            prop_ladder_monotone;
+          ] );
+    ]
