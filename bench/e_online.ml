@@ -1,0 +1,101 @@
+(* E18 — online certification cost: batch re-testing vs the incremental
+   certifier.
+
+   Both certifiers process the same step stream and accept a step iff the
+   conflict graph (resp. MVCG) of the accepted prefix extended with the
+   step stays acyclic. The batch path rebuilds the graph of the whole
+   prefix and runs a full DFS on every offer, as the batch SGT / MVCG
+   schedulers do; the incremental path adds only the step's new arcs to a
+   dynamic topological order (lib/online). Identical decisions, very
+   different cost curves: the batch path is quadratic per accepted step,
+   the incremental one amortized near-constant. *)
+
+open Mvcc_core
+module Certifier = Mvcc_online.Certifier
+module Cycle = Mvcc_graph.Cycle
+
+let gen ~n rng =
+  (* low contention so the accepted prefix keeps growing with n and the
+     batch path pays its full quadratic cost *)
+  let params =
+    { Mvcc_workload.Schedule_gen.default with
+      n_txns = max 4 (n / 8);
+      n_entities = max 16 (n / 4);
+      min_steps = 8;
+      max_steps = 8;
+    }
+  in
+  Mvcc_workload.Schedule_gen.schedule params rng
+
+(* Feed the whole stream, skipping rejected steps; return the decision
+   vector so the two paths can be checked against each other. *)
+let batch_decisions graph_of s =
+  let decisions = ref [] in
+  let prefix = ref (Schedule.of_steps ~n_txns:(Schedule.n_txns s) []) in
+  Array.iter
+    (fun st ->
+      let candidate = Mvcc_sched.Scheduler.extend !prefix st in
+      let ok = Cycle.is_acyclic (graph_of candidate) in
+      if ok then prefix := candidate;
+      decisions := ok :: !decisions)
+    (Schedule.steps s);
+  List.rev !decisions
+
+let inc_decisions mode s =
+  let cert = Certifier.create mode in
+  Array.to_list (Schedule.steps s)
+  |> List.map (fun st -> Certifier.feed cert st = Certifier.Accepted)
+
+let run ~sizes =
+  Util.section
+    "E18  Online certification: batch re-test vs incremental (lib/online)";
+  Util.row "%6s %12s %12s %9s %12s %12s %9s@." "steps" "sgt(ms)"
+    "sgt-inc(ms)" "speedup" "mvcg(ms)" "mvcg-inc(ms)" "speedup";
+  let ok = ref true in
+  let speedup_at_1k = ref infinity in
+  List.iter
+    (fun n ->
+      let rng = Util.rng (500 + n) in
+      let s = gen ~n rng in
+      (* the batch path is quadratic per step: past 1k steps it only
+         burns time without adding information *)
+      let batch_feasible = n <= 1000 in
+      let time_pair graph_of mode =
+        let inc_dec, t_inc = Util.time_ms (fun () -> inc_decisions mode s) in
+        if batch_feasible then begin
+          let batch_dec, t_batch =
+            Util.time_ms (fun () -> batch_decisions graph_of s)
+          in
+          if batch_dec <> inc_dec then ok := false;
+          (Some t_batch, t_inc)
+        end
+        else (None, t_inc)
+      in
+      let t_sgt, t_sgt_inc =
+        time_pair Conflict.graph Certifier.Conflict
+      in
+      let t_mvcg, t_mvcg_inc =
+        time_pair Conflict.mv_graph Certifier.Mv_conflict
+      in
+      let speedup batch inc =
+        match batch with Some b when inc > 0. -> b /. inc | _ -> nan
+      in
+      let su_sgt = speedup t_sgt t_sgt_inc in
+      if n = 1000 && not (Float.is_nan su_sgt) then speedup_at_1k := su_sgt;
+      let cell = function Some t -> Printf.sprintf "%.3f" t | None -> "-" in
+      let scell su =
+        if Float.is_nan su then "-" else Printf.sprintf "%.0fx" su
+      in
+      Util.row "%6d %12s %12.3f %9s %12s %12.3f %9s@." n (cell t_sgt)
+        t_sgt_inc (scell su_sgt) (cell t_mvcg) t_mvcg_inc
+        (scell (speedup t_mvcg t_mvcg_inc)))
+    sizes;
+  Util.row "@.decision vectors: %s@."
+    (if !ok then "batch and incremental agree" else "DISAGREE");
+  (* acceptance: >= 10x on the 1k-step workload when it was measured *)
+  let speed_ok =
+    !speedup_at_1k = infinity || !speedup_at_1k >= 10.
+  in
+  if not speed_ok then
+    Util.row "sgt speedup at 1k steps below 10x: %.1fx@." !speedup_at_1k;
+  !ok && speed_ok

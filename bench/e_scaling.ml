@@ -8,9 +8,10 @@
 
 let run ~per_size =
   Util.section "E11  Complexity scaling of the decision procedures";
-  Util.row "%6s %10s %10s %12s %12s@." "txns" "CSR(ms)" "MVCSR(ms)"
-    "VSR(ms)" "MVSR(ms)";
+  Util.row "%6s %10s %10s %10s %10s %12s %12s@." "txns" "CSR(ms)"
+    "CSRi(ms)" "MVCSR(ms)" "MVCSRi(ms)" "VSR(ms)" "MVSR(ms)";
   let rng = Util.rng 33 in
+  let module C = Mvcc_online.Certifier in
   List.iter
     (fun n_txns ->
       let params =
@@ -25,11 +26,15 @@ let run ~per_size =
         (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int per_size
       in
       let t_csr = time_all Mvcc_classes.Csr.test in
+      (* the incremental certifiers double as streaming CSR / MVCSR
+         testers: accept-all iff the schedule is in the class *)
+      let t_csr_inc = time_all (C.accepts_all C.Conflict) in
       let t_mvcsr = time_all Mvcc_classes.Mvcsr.test in
+      let t_mvcsr_inc = time_all (C.accepts_all C.Mv_conflict) in
       let t_vsr = time_all Mvcc_classes.Vsr.test in
       let t_mvsr = time_all Mvcc_classes.Mvsr.test in
-      Util.row "%6d %10.3f %10.3f %12.3f %12.3f@." n_txns t_csr t_mvcsr
-        t_vsr t_mvsr)
+      Util.row "%6d %10.3f %10.3f %10.3f %10.3f %12.3f %12.3f@." n_txns
+        t_csr t_csr_inc t_mvcsr t_mvcsr_inc t_vsr t_mvsr)
     [ 2; 4; 6; 8; 10 ];
   Util.subsection "polygraph acyclicity: solver effort vs choice count";
   let rng = Util.rng 34 in

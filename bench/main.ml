@@ -49,6 +49,10 @@ let () =
   if selected "e17" then
     record "E17 deadlock-ablation"
       (E_ablation.run_deadlock ~seeds:(if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ]));
+  if selected "e18" then
+    record "E18 online-cert"
+      (E_online.run
+         ~sizes:(if quick then [ 100; 300 ] else [ 100; 300; 1000; 3000 ]));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

@@ -73,6 +73,16 @@ let tests =
             medium_schedule));
       Test.make ~name:"liveness-6txn" (Staged.stage (fun () ->
           Mvcc_core.Liveness.live_positions medium_schedule));
+      Test.make ~name:"sgt-batch-run-6txn" (Staged.stage (fun () ->
+          Mvcc_sched.Driver.run Mvcc_sched.Sgt.scheduler medium_schedule));
+      Test.make ~name:"sgt-inc-run-6txn" (Staged.stage (fun () ->
+          Mvcc_sched.Driver.run Mvcc_online.Sgt_inc.scheduler medium_schedule));
+      Test.make ~name:"mvcg-batch-run-6txn" (Staged.stage (fun () ->
+          Mvcc_sched.Driver.run Mvcc_sched.Mvcg_sched.scheduler
+            medium_schedule));
+      Test.make ~name:"mvcg-inc-run-6txn" (Staged.stage (fun () ->
+          Mvcc_sched.Driver.run Mvcc_online.Mvcg_inc.scheduler
+            medium_schedule));
       Test.make ~name:"mvto-run-6txn" (Staged.stage (fun () ->
           Mvcc_sched.Driver.run Mvcc_sched.Mvto.scheduler medium_schedule));
       Test.make ~name:"si-run-6txn" (Staged.stage (fun () ->

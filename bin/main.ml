@@ -192,7 +192,8 @@ let simulate_cmd =
     let policy_conv =
       Arg.enum
         [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
-          ("mvto", Mvcc_engine.Engine.Mvto) ]
+          ("mvto", Mvcc_engine.Engine.Mvto); ("si", Mvcc_engine.Engine.Si);
+          ("sgt", Mvcc_engine.Engine.Sgt) ]
     in
     Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto
          & info [ "policy" ] ~doc:"Concurrency control policy.")

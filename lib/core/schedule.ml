@@ -81,6 +81,14 @@ let serialization s order =
   let steps = List.concat_map (fun i -> txn_program s i) order in
   { n_txns = s.n_txns; steps = Array.of_list steps }
 
+let append s (st : Step.t) =
+  if st.txn < 0 then
+    invalid_arg "Schedule.append: negative transaction index";
+  let n = Array.length s.steps in
+  let steps = Array.make (n + 1) st in
+  Array.blit s.steps 0 steps 0 n;
+  { n_txns = max s.n_txns (st.txn + 1); steps }
+
 let prefix s k =
   if k < 0 || k > length s then invalid_arg "Schedule.prefix";
   { n_txns = s.n_txns; steps = Array.sub s.steps 0 k }

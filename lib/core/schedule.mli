@@ -60,6 +60,12 @@ val serialization : t -> int list -> t
     @raise Invalid_argument if [order] is not a permutation of
     [0 .. n_txns - 1]. *)
 
+val append : t -> Step.t -> t
+(** [append s st] is [s] with [st] added as its last step; [n_txns] grows
+    to include [st]'s transaction if needed. One array copy, no
+    intermediate list — this is the hot path of the batch schedulers.
+    @raise Invalid_argument if [st]'s transaction index is negative. *)
+
 val prefix : t -> int -> t
 (** [prefix s k] is the schedule made of the first [k] steps (over the same
     [n_txns]); transaction programs are truncated accordingly. *)

@@ -1,10 +1,11 @@
-type policy = S2pl | To | Mvto | Si
+type policy = S2pl | To | Mvto | Si | Sgt
 
 let policy_name = function
   | S2pl -> "s2pl"
   | To -> "to"
   | Mvto -> "mvto"
   | Si -> "si"
+  | Sgt -> "sgt"
 
 type deadlock_policy = Detect | Wait_die | Wound_wait
 
@@ -50,6 +51,10 @@ type client = {
   mutable status : status;
   mutable held_read : string list;
   mutable held_write : string list;
+  mutable deps : int list;
+      (* SGT: uncommitted transactions whose dirty data we consumed (or
+         whose write we overwrote) — their commit must precede ours, and
+         their abort cascades to us *)
 }
 
 (* Lock table for S2PL. *)
@@ -78,6 +83,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           status = Ready;
           held_read = [];
           held_write = [];
+          deps = [];
         })
       programs
     |> Array.of_list
@@ -146,6 +152,25 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         (Store.entities store)
     end
   in
+  (* SGT certification state: the incremental conflict graph over client
+     ids, plus per-entity chains of uncommitted ("dirty") writes, newest
+     first. Reads see the newest write — dirty head if any, else the
+     latest committed version — so operation arrival order is data-flow
+     order and the streamed conflict graph certifies the real history. *)
+  let cert = Mvcc_online.Incr_conflict.create () in
+  let dirty : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let dirty_of e =
+    match Hashtbl.find_opt dirty e with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace dirty e l;
+        l
+  in
+  let drop_dirty c =
+    Hashtbl.iter (fun _ l -> l := List.filter (fun (w, _) -> w <> c.id) !l)
+      dirty
+  in
   let abort c =
     incr aborts;
     release c;
@@ -160,6 +185,23 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
        it); a short random sit-out breaks the symmetry *)
     c.status <- Backoff (1 + Random.State.int rng 8)
   in
+  (* SGT abort: expunge the transaction's footprint from the certification
+     state and cascade to every active transaction that consumed its dirty
+     data. Terminates because each round clears a victim's [deps]. *)
+  let rec abort_cascading c =
+    let victim = c.id in
+    drop_dirty c;
+    Mvcc_online.Incr_conflict.forget_txn cert victim;
+    c.deps <- [];
+    abort c;
+    Array.iter
+      (fun d ->
+        if d.id <> victim && d.status <> Committed
+           && List.mem victim d.deps
+        then abort_cascading d)
+      clients
+  in
+  let abort_txn c = if policy = Sgt then abort_cascading c else abort c in
   (* Who currently blocks client c from accessing e with the given mode? *)
   let blockers c e ~write =
     let l = lock_of e in
@@ -226,6 +268,12 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             v.Store.max_rts <- max v.Store.max_rts c.ts;
             v.Store.value
         | Si -> (Store.read_at store e c.snapshot).Store.value
+        | Sgt -> (
+            (* newest write wins: dirty head if an uncommitted write is
+               outstanding, else the latest committed version *)
+            match !(dirty_of e) with
+            | (_, v) :: _ -> v
+            | [] -> (Store.latest store e).Store.value)
         | S2pl | To -> (Store.latest store e).Store.value)
   in
   let commit c =
@@ -275,6 +323,33 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           List.iter
             (fun (e, v) -> Store.install store e ~value:v ~wts:commit_ts)
             final_bindings;
+          c.status <- Committed;
+          incr commits
+        end
+    | Sgt ->
+        (* commit-wait: every dirty predecessor must commit first, so
+           installs land in serialization order and no committed
+           transaction ever read data that later vanishes. The waits
+           follow conflict-graph arcs (predecessor -> us), which the
+           certifier keeps acyclic, so they cannot deadlock; an aborted
+           predecessor cascades us instead of stranding us. *)
+        if
+          List.exists
+            (fun w -> clients.(w).status <> Committed)
+            c.deps
+        then c.status <- Waiting "(commit)"
+        else begin
+          let final_bindings =
+            List.fold_left
+              (fun acc (e, v) ->
+                if List.mem_assoc e acc then acc else (e, v) :: acc)
+              [] c.buffer
+          in
+          List.iter
+            (fun (e, v) -> Store.install store e ~value:v ~wts:(fresh_ts ()))
+            final_bindings;
+          drop_dirty c;
+          c.deps <- [];
           c.status <- Committed;
           incr commits
         end
@@ -372,7 +447,49 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             incr writes;
             let v = Program.eval (fun r -> List.assoc r c.regs) expr in
             c.buffer <- (e, v) :: c.buffer;
-            c.pc <- c.pc + 1)
+            c.pc <- c.pc + 1
+        | Sgt, Program.Read e ->
+            if
+              not
+                (Mvcc_online.Incr_conflict.feed cert
+                   (Mvcc_core.Step.read c.id e))
+            then abort_cascading c
+            else begin
+              incr reads;
+              (* reading another transaction's dirty write makes us
+                 depend on its fate *)
+              (if not (List.mem_assoc e c.buffer) then
+                 match !(dirty_of e) with
+                 | (w, _) :: _ when w <> c.id && not (List.mem w c.deps)
+                   ->
+                     c.deps <- w :: c.deps
+                 | _ -> ());
+              c.regs <- (e, read_value c e) :: c.regs;
+              c.pc <- c.pc + 1;
+              c.status <- Ready
+            end
+        | Sgt, Program.Write (e, expr) ->
+            if
+              not
+                (Mvcc_online.Incr_conflict.feed cert
+                   (Mvcc_core.Step.write c.id e))
+            then abort_cascading c
+            else begin
+              incr writes;
+              (* overwriting an uncommitted write orders our commit after
+                 the earlier writer's (ww arc), via the same dep set *)
+              List.iter
+                (fun (w, _) ->
+                  if w <> c.id && not (List.mem w c.deps) then
+                    c.deps <- w :: c.deps)
+                !(dirty_of e);
+              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+              c.buffer <- (e, v) :: c.buffer;
+              let l = dirty_of e in
+              l := (c.id, v) :: List.filter (fun (w, _) -> w <> c.id) !l;
+              c.pc <- c.pc + 1;
+              c.status <- Ready
+            end)
   in
   let runnable () =
     Array.to_list clients
@@ -389,7 +506,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
              && c.status <> Committed
              && Random.State.float rng 1. < crash_probability ->
           (* injected failure: the transaction crashes and restarts *)
-          abort c
+          abort_txn c
       | Waiting _ -> begin
           (* retry the same operation *)
           let before = c.status in

@@ -21,6 +21,17 @@ type policy =
           transaction start, first-committer-wins on writes. Beware: SI is
           {e not} serializable in general (write skew) — included so the
           anomaly is demonstrable end-to-end. *)
+  | Sgt
+      (** serialization-graph testing: every operation is certified
+          online against the incremental conflict graph
+          ({!Mvcc_online.Incr_conflict}); a cycle-closing operation
+          aborts its transaction. Reads see the newest write — dirty
+          (uncommitted) or committed — so the certified graph reflects
+          real data flow; commits wait for dirty predecessors
+          (deadlock-free, the waits follow acyclic conflict arcs) and
+          aborts cascade to dirty readers. Accepts exactly the
+          conflict-serializable interleavings — the most permissive
+          serializable policy here. *)
 
 val policy_name : policy -> string
 

@@ -1,21 +1,24 @@
 (* Colors for DFS: 0 = white (unvisited), 1 = grey (on stack), 2 = black. *)
 
+exception Cyclic
+
 let is_acyclic g =
   let n = Digraph.n_nodes g in
   let color = Array.make n 0 in
   let rec dfs u =
     color.(u) <- 1;
-    let ok =
-      List.for_all
-        (fun v ->
-          match color.(v) with 1 -> false | 0 -> dfs v | _ -> true)
-        (Digraph.succ g u)
-    in
-    color.(u) <- 2;
-    ok
+    Digraph.iter_succ
+      (fun v ->
+        match color.(v) with 1 -> raise Cyclic | 0 -> dfs v | _ -> ())
+      g u;
+    color.(u) <- 2
   in
-  let rec loop u = u >= n || ((color.(u) <> 0 || dfs u) && loop (u + 1)) in
-  loop 0
+  try
+    for u = 0 to n - 1 do
+      if color.(u) = 0 then dfs u
+    done;
+    true
+  with Cyclic -> false
 
 let has_cycle g = not (is_acyclic g)
 
@@ -30,7 +33,7 @@ let find_cycle g =
   let rec dfs path u =
     color.(u) <- 1;
     let path = u :: path in
-    List.iter
+    Digraph.iter_succ
       (fun v ->
         match color.(v) with
         | 1 ->
@@ -42,7 +45,7 @@ let find_cycle g =
             raise (Found (take [] path))
         | 0 -> dfs path v
         | _ -> ())
-      (Digraph.succ g u);
+      g u;
     color.(u) <- 2
   in
   try
@@ -52,18 +55,25 @@ let find_cycle g =
     None
   with Found c -> Some c
 
+exception Reached
+
 let reachable g u v =
   let n = Digraph.n_nodes g in
   let seen = Array.make n false in
   let rec dfs w =
-    w = v
-    || (not seen.(w))
-       && begin
-            seen.(w) <- true;
-            List.exists dfs (Digraph.succ g w)
-          end
+    if w = v then raise Reached;
+    if not seen.(w) then begin
+      seen.(w) <- true;
+      Digraph.iter_succ dfs g w
+    end
   in
-  (* [dfs] marks before descending but must test the target first. *)
-  u = v || (seen.(u) <- true; List.exists dfs (Digraph.succ g u))
+  u = v
+  ||
+  try
+    (* [dfs] marks before descending but must test the target first. *)
+    seen.(u) <- true;
+    Digraph.iter_succ dfs g u;
+    false
+  with Reached -> true
 
 let creates_cycle g u v = reachable g v u

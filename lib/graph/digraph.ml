@@ -39,6 +39,14 @@ let succ g u =
   check g u;
   Hashtbl.fold (fun v () acc -> v :: acc) g.adj.(u) []
 
+let iter_succ f g u =
+  check g u;
+  Hashtbl.iter (fun v () -> f v) g.adj.(u)
+
+let fold_succ f g u init =
+  check g u;
+  Hashtbl.fold (fun v () acc -> f v acc) g.adj.(u) init
+
 let out_degree g u =
   check g u;
   Hashtbl.length g.adj.(u)

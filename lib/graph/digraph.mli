@@ -30,7 +30,16 @@ val mem_edge : t -> int -> int -> bool
 (** [mem_edge g u v] is [true] iff the edge [u -> v] is present. *)
 
 val succ : t -> int -> int list
-(** Successors of a node, in unspecified order. *)
+(** Successors of a node, in unspecified order. Materializes a fresh
+    list; hot loops should prefer {!iter_succ} or {!fold_succ}. *)
+
+val iter_succ : (int -> unit) -> t -> int -> unit
+(** [iter_succ f g u] applies [f] to each successor of [u], in
+    unspecified order, without materializing the successor list. *)
+
+val fold_succ : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+(** [fold_succ f g u init] folds [f] over the successors of [u], in
+    unspecified order, without materializing the successor list. *)
 
 val pred : t -> int -> int list
 (** Predecessors of a node, in unspecified order (computed, O(E)). *)

@@ -10,13 +10,13 @@ let closure g =
     m.(u).(u) <- true;
     while not (Queue.is_empty queue) do
       let w = Queue.pop queue in
-      List.iter
+      Digraph.iter_succ
         (fun v ->
           if not m.(u).(v) then begin
             m.(u).(v) <- true;
             Queue.add v queue
           end)
-        (Digraph.succ g w)
+        g w
     done
   done;
   m

@@ -14,11 +14,11 @@ let sort g =
     | None -> if count = n then Some (List.rev acc) else None
     | Some u ->
         frontier := Int_set.remove u !frontier;
-        List.iter
+        Digraph.iter_succ
           (fun v ->
             indeg.(v) <- indeg.(v) - 1;
             if indeg.(v) = 0 then frontier := Int_set.add v !frontier)
-          (Digraph.succ g u);
+          g u;
         loop (u :: acc) (count + 1)
   in
   loop [] 0
@@ -54,9 +54,9 @@ let all_sorts ?(limit = 10_000) g =
         for u = 0 to n - 1 do
           if (not placed.(u)) && indeg.(u) = 0 then begin
             placed.(u) <- true;
-            List.iter (fun v -> indeg.(v) <- indeg.(v) - 1) (Digraph.succ g u);
+            Digraph.iter_succ (fun v -> indeg.(v) <- indeg.(v) - 1) g u;
             go (u :: acc) (depth + 1);
-            List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) (Digraph.succ g u);
+            Digraph.iter_succ (fun v -> indeg.(v) <- indeg.(v) + 1) g u;
             placed.(u) <- false
           end
         done

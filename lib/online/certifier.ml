@@ -1,0 +1,53 @@
+open Mvcc_core
+
+type mode = Conflict | Mv_conflict
+type verdict = Accepted | Rejected
+type state = Sv of Incr_conflict.t | Mv of Incr_mvcg.t
+
+type t = {
+  state : state;
+  last_write : (string, int) Hashtbl.t; (* entity -> last write position *)
+  mutable accepted : int;
+}
+
+let create mode =
+  {
+    state =
+      (match mode with
+      | Conflict -> Sv (Incr_conflict.create ())
+      | Mv_conflict -> Mv (Incr_mvcg.create ()));
+    last_write = Hashtbl.create 16;
+    accepted = 0;
+  }
+
+let mode t = match t.state with Sv _ -> Conflict | Mv _ -> Mv_conflict
+
+let feed t (st : Step.t) =
+  let ok =
+    match t.state with
+    | Sv c -> Incr_conflict.feed c st
+    | Mv c -> Incr_mvcg.feed c st
+  in
+  if ok then begin
+    if Step.is_write st then Hashtbl.replace t.last_write st.entity t.accepted;
+    t.accepted <- t.accepted + 1;
+    Accepted
+  end
+  else Rejected
+
+let n_accepted t = t.accepted
+let last_write t e = Hashtbl.find_opt t.last_write e
+
+let standard_source t (st : Step.t) =
+  match last_write t st.entity with
+  | Some p -> Version_fn.From p
+  | None -> Version_fn.Initial
+
+let graph t =
+  match t.state with
+  | Sv c -> Incr_conflict.graph c
+  | Mv c -> Incr_mvcg.graph c
+
+let accepts_all mode s =
+  let t = create mode in
+  Array.for_all (fun st -> feed t st = Accepted) (Schedule.steps s)

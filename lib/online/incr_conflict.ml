@@ -1,0 +1,62 @@
+open Mvcc_core
+
+type t = {
+  graph : Incr_digraph.t;
+  readers : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  writers : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable steps : int;
+}
+
+let create () =
+  {
+    graph = Incr_digraph.create ();
+    readers = Hashtbl.create 16;
+    writers = Hashtbl.create 16;
+    steps = 0;
+  }
+
+let set_of tbl e =
+  match Hashtbl.find_opt tbl e with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace tbl e s;
+      s
+
+(* Arcs the step introduces: every earlier conflicting accessor of the
+   entity points at the new step's transaction. A write conflicts with
+   prior readers and writers; a read only with prior writers. *)
+let new_arcs t (st : Step.t) =
+  let arcs = ref [] in
+  let from_set s =
+    Hashtbl.iter
+      (fun j () -> if j <> st.txn then arcs := (j, st.txn) :: !arcs)
+      s
+  in
+  (match Hashtbl.find_opt t.writers st.entity with
+  | Some s -> from_set s
+  | None -> ());
+  if Step.is_write st then (
+    match Hashtbl.find_opt t.readers st.entity with
+    | Some s -> from_set s
+    | None -> ());
+  !arcs
+
+let feed t (st : Step.t) =
+  if Incr_digraph.add_edges t.graph (new_arcs t st) then begin
+    Incr_digraph.ensure_node t.graph st.txn;
+    let tbl = if Step.is_read st then t.readers else t.writers in
+    Hashtbl.replace (set_of tbl st.entity) st.txn ();
+    t.steps <- t.steps + 1;
+    true
+  end
+  else false
+
+let n_steps t = t.steps
+let graph t = t.graph
+
+let forget_txn t i =
+  Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.readers;
+  Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.writers;
+  if i >= 0 && i < Incr_digraph.n_nodes t.graph then
+    Incr_digraph.remove_incident t.graph i

@@ -1,0 +1,34 @@
+(** Streaming maintainer of the single-version conflict graph.
+
+    Feeding a step adds only the arcs that step introduces — one arc per
+    distinct earlier conflicting accessor of the entity, read off a
+    per-entity reader/writer history — instead of re-deriving all
+    [O(n^2)] conflicting pairs of the schedule prefix as
+    {!Mvcc_core.Conflict.graph} does. The invariant is that the
+    maintained graph equals the conflict graph of the accepted prefix
+    and is acyclic; a step whose arcs would close a cycle is rejected
+    and rolled back arc-by-arc, leaving histories and graph untouched.
+
+    Because conflict arcs only accumulate as steps arrive, a prefix's
+    conflict graph is a subgraph of every extension's: rejecting exactly
+    the first cycle-closing step makes acceptance equivalent to the
+    batch SGT scheduler re-testing CSR on every prefix. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Mvcc_core.Step.t -> bool
+(** [feed t st] offers the next step. [true]: the arcs were added and
+    [st]'s access recorded. [false]: the step closes a conflict cycle;
+    the maintainer is untouched and remains usable. *)
+
+val n_steps : t -> int
+(** Accepted steps so far (rollbacks and {!forget_txn} do not count). *)
+
+val graph : t -> Incr_digraph.t
+(** The live conflict graph over transactions (do not mutate). *)
+
+val forget_txn : t -> int -> unit
+(** Erase a transaction: drop it from every entity history and remove
+    its incident arcs (an aborted transaction's footprint). *)

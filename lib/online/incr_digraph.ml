@@ -1,0 +1,199 @@
+(* A growable digraph that is acyclic by construction: every edge
+   insertion is certified against a dynamic topological order before it
+   lands (Pearce & Kelly, "A dynamic topological sort algorithm for
+   directed acyclic graphs", JEA 2006).
+
+   The order is [ord] : node -> index, a permutation of [0 .. n-1] with
+   [ord u < ord v] for every edge [u -> v]. Inserting [u -> v]:
+
+   - [ord u < ord v]: the order already witnesses acyclicity; insert.
+   - [ord v < ord u]: the "affected region" is the order interval
+     [ord v .. ord u]. A forward DFS from [v] bounded above by [ord u]
+     collects delta_f (nodes that must move after [u]); meeting [u]
+     itself proves [v] reaches [u], i.e. the edge closes a cycle — we
+     raise before any mutation, so a rejected insertion leaves the
+     structure untouched. A backward DFS from [u] bounded below by
+     [ord v] collects delta_b. Reassigning the union's order slots —
+     delta_b first, then delta_f, each in relative order — restores the
+     invariant while touching only the affected region: amortized far
+     below the full-graph DFS the batch path pays.
+
+   Edge deletion never invalidates a topological order, so [remove_edge]
+   is O(1) and a caller can roll back a batch of insertions by removing
+   exactly the edges that were new — the basis of the streaming
+   maintainers' step rollback. *)
+
+type t = {
+  mutable n : int; (* nodes are 0 .. n-1 *)
+  mutable succ : (int, unit) Hashtbl.t array; (* length = capacity >= n *)
+  mutable pred : (int, unit) Hashtbl.t array;
+  mutable ord : int array; (* node -> index in the topological order *)
+  mutable m : int;
+}
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  {
+    n = 0;
+    succ = Array.init capacity (fun _ -> Hashtbl.create 4);
+    pred = Array.init capacity (fun _ -> Hashtbl.create 4);
+    ord = Array.make capacity 0;
+    m = 0;
+  }
+
+let n_nodes g = g.n
+let n_edges g = g.m
+
+let ensure_node g u =
+  if u < 0 then invalid_arg "Incr_digraph: negative node";
+  let cap = Array.length g.ord in
+  if u >= cap then begin
+    let cap' = max (u + 1) (2 * cap) in
+    let extend a fresh =
+      Array.init cap' (fun i -> if i < cap then a.(i) else fresh ())
+    in
+    g.succ <- extend g.succ (fun () -> Hashtbl.create 4);
+    g.pred <- extend g.pred (fun () -> Hashtbl.create 4);
+    let ord' = Array.make cap' 0 in
+    Array.blit g.ord 0 ord' 0 cap;
+    g.ord <- ord'
+  end;
+  (* new nodes are edgeless, so appending them at the end of the order
+     preserves the invariant *)
+  while g.n <= u do
+    g.ord.(g.n) <- g.n;
+    g.n <- g.n + 1
+  done
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Incr_digraph: node out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.succ.(u) v
+
+let order g u =
+  check g u;
+  g.ord.(u)
+
+exception Cycle_found
+
+(* Nodes reachable from [start] via successors with order index < [ub];
+   touching the node at index [ub] itself (the new edge's source) proves
+   the cycle. Raises before any mutation. *)
+let forward g start ub =
+  let seen = Hashtbl.create 8 in
+  let rec dfs w =
+    Hashtbl.replace seen w ();
+    Hashtbl.iter
+      (fun x () ->
+        if g.ord.(x) = ub then raise Cycle_found;
+        if g.ord.(x) < ub && not (Hashtbl.mem seen x) then dfs x)
+      g.succ.(w)
+  in
+  dfs start;
+  seen
+
+(* Nodes reaching [start] via predecessors with order index > [lb]. *)
+let backward g start lb =
+  let seen = Hashtbl.create 8 in
+  let rec dfs w =
+    Hashtbl.replace seen w ();
+    Hashtbl.iter
+      (fun x () ->
+        if g.ord.(x) > lb && not (Hashtbl.mem seen x) then dfs x)
+      g.pred.(w)
+  in
+  dfs start;
+  seen
+
+(* Reassign the affected nodes' order slots: delta_b (they keep preceding
+   the new edge's source) first, then delta_f, each in current relative
+   order, into the sorted pool of slots they jointly occupied. *)
+let reorder g delta_b delta_f =
+  let nodes tbl = Hashtbl.fold (fun w () acc -> w :: acc) tbl [] in
+  let by_ord = List.sort (fun a b -> compare g.ord.(a) g.ord.(b)) in
+  let l = by_ord (nodes delta_b) @ by_ord (nodes delta_f) in
+  let slots = List.sort compare (List.map (fun w -> g.ord.(w)) l) in
+  List.iter2 (fun w slot -> g.ord.(w) <- slot) l slots
+
+let add_edge g u v =
+  ensure_node g u;
+  ensure_node g v;
+  if u = v then false
+  else if Hashtbl.mem g.succ.(u) v then true
+  else begin
+    let ok =
+      g.ord.(u) < g.ord.(v)
+      ||
+      match forward g v g.ord.(u) with
+      | delta_f ->
+          reorder g (backward g u g.ord.(v)) delta_f;
+          true
+      | exception Cycle_found -> false
+    in
+    if ok then begin
+      Hashtbl.replace g.succ.(u) v ();
+      Hashtbl.replace g.pred.(v) u ();
+      g.m <- g.m + 1
+    end;
+    ok
+  end
+
+let add_edges g arcs =
+  let added = ref [] in
+  let ok =
+    List.for_all
+      (fun (u, v) ->
+        ensure_node g u;
+        ensure_node g v;
+        if Hashtbl.mem g.succ.(u) v then true
+        else if add_edge g u v then begin
+          added := (u, v) :: !added;
+          true
+        end
+        else false)
+      arcs
+  in
+  if not ok then
+    (* deletion keeps the order valid, so removing exactly the edges
+       that were new restores the pre-call structure *)
+    List.iter
+      (fun (u, v) ->
+        Hashtbl.remove g.succ.(u) v;
+        Hashtbl.remove g.pred.(v) u;
+        g.m <- g.m - 1)
+      !added;
+  ok
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if Hashtbl.mem g.succ.(u) v then begin
+    Hashtbl.remove g.succ.(u) v;
+    Hashtbl.remove g.pred.(v) u;
+    g.m <- g.m - 1
+  end
+
+let remove_incident g u =
+  check g u;
+  g.m <- g.m - Hashtbl.length g.succ.(u) - Hashtbl.length g.pred.(u);
+  Hashtbl.iter (fun v () -> Hashtbl.remove g.pred.(v) u) g.succ.(u);
+  Hashtbl.iter (fun w () -> Hashtbl.remove g.succ.(w) u) g.pred.(u);
+  Hashtbl.reset g.succ.(u);
+  Hashtbl.reset g.pred.(u)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Hashtbl.iter (fun v () -> f u v) g.succ.(u)
+  done
+
+let to_digraph g =
+  let d = Mvcc_graph.Digraph.create g.n in
+  iter_edges (Mvcc_graph.Digraph.add_edge d) g;
+  d
+
+let topological_order g =
+  let nodes = List.init g.n Fun.id in
+  List.sort (fun a b -> compare g.ord.(a) g.ord.(b)) nodes

@@ -1,0 +1,68 @@
+(** Dynamic directed graphs with incremental cycle detection.
+
+    A growable digraph over integer nodes that is {e acyclic by
+    construction}: {!add_edge} certifies each insertion against a
+    Pearce–Kelly dynamic topological order and refuses — without mutating
+    anything — any edge that would close a cycle. An accepted insertion
+    pays a two-way DFS bounded to the order interval the edge disturbs
+    (nothing at all when the order already agrees), instead of the full
+    graph DFS the batch testers pay per step.
+
+    Edge removal never invalidates a topological order, so {!remove_edge}
+    is O(1); a caller that inserted a batch of edges and then changed its
+    mind rolls back by removing exactly the edges that were newly added
+    (see {!Incr_conflict} and {!Incr_mvcg}). *)
+
+type t
+(** A mutable, always-acyclic digraph. Nodes are [0 .. n_nodes - 1] and
+    are materialized on demand by {!ensure_node} / {!add_edge}. *)
+
+val create : ?capacity:int -> unit -> t
+(** An empty graph. [capacity] (default 8) pre-sizes the node arrays;
+    the graph grows beyond it transparently. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val ensure_node : t -> int -> unit
+(** [ensure_node g u] materializes nodes [0 .. u] (edgeless nodes join at
+    the end of the topological order).
+    @raise Invalid_argument if [u < 0]. *)
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge g u v] inserts [u -> v] and returns [true], growing the
+    graph so both endpoints exist; returns [false] — with the graph,
+    including its topological order, {e completely untouched} — if the
+    edge would create a cycle (self-loops included). Idempotent on
+    existing edges. *)
+
+val add_edges : t -> (int * int) list -> bool
+(** All-or-nothing batch insertion: adds the arcs in order and returns
+    [true], or — if any arc would create a cycle — removes exactly the
+    arcs that were newly added and returns [false], leaving the graph as
+    before the call. The rollback path of a rejected scheduler step. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove the edge if present. O(1); the topological order remains
+    valid, so this is the rollback primitive for rejected insertions.
+    @raise Invalid_argument on out-of-range nodes. *)
+
+val remove_incident : t -> int -> unit
+(** [remove_incident g u] removes every edge entering or leaving [u]
+    (used when a transaction aborts and its arcs must be forgotten). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val order : t -> int -> int
+(** [order g u] is [u]'s index in the maintained topological order: a
+    permutation of [0 .. n_nodes - 1] with [order u < order v] for every
+    edge [u -> v]. *)
+
+val topological_order : t -> int list
+(** All nodes, sorted by {!order} — a topological sort, for free. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+val to_digraph : t -> Mvcc_graph.Digraph.t
+(** Snapshot as a plain {!Mvcc_graph.Digraph.t} (for cross-validation
+    against the batch algorithms). *)

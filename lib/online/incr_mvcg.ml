@@ -1,0 +1,49 @@
+open Mvcc_core
+
+type t = {
+  graph : Incr_digraph.t;
+  readers : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable steps : int;
+}
+
+let create () =
+  { graph = Incr_digraph.create (); readers = Hashtbl.create 16; steps = 0 }
+
+let set_of tbl e =
+  match Hashtbl.find_opt tbl e with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace tbl e s;
+      s
+
+(* MVCG arcs run from an earlier read to a later write of the same
+   entity (Theorem 1), so a read introduces no arcs at all and a write
+   by T_j adds [T_i -> T_j] for every distinct prior reader T_i. *)
+let new_arcs t (st : Step.t) =
+  if Step.is_read st then []
+  else
+    match Hashtbl.find_opt t.readers st.entity with
+    | None -> []
+    | Some s ->
+        Hashtbl.fold
+          (fun i () acc -> if i <> st.txn then (i, st.txn) :: acc else acc)
+          s []
+
+let feed t (st : Step.t) =
+  if Incr_digraph.add_edges t.graph (new_arcs t st) then begin
+    Incr_digraph.ensure_node t.graph st.txn;
+    if Step.is_read st then
+      Hashtbl.replace (set_of t.readers st.entity) st.txn ();
+    t.steps <- t.steps + 1;
+    true
+  end
+  else false
+
+let n_steps t = t.steps
+let graph t = t.graph
+
+let forget_txn t i =
+  Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.readers;
+  if i >= 0 && i < Incr_digraph.n_nodes t.graph then
+    Incr_digraph.remove_incident t.graph i

@@ -1,0 +1,29 @@
+(** Streaming maintainer of the multiversion conflict graph (Theorem 1).
+
+    MVCG(s) has an arc [Ti -> Tj] labelled [x] when [R_i(x)] precedes
+    [W_j(x)] in [s]; a schedule is MVCSR iff its MVCG is acyclic. Arcs
+    only ever run from earlier steps to later ones, so the MVCG of a
+    prefix is a subgraph of every extension's and the graph can be grown
+    one step at a time: a read records itself in the entity's reader
+    history (no arcs — a read can never break MVCSR), a write adds one
+    arc per distinct prior reader. A write whose arcs would close a
+    cycle is rejected with full rollback, which makes acceptance
+    equivalent to the batch MVCG scheduler re-testing acyclicity of
+    {!Mvcc_core.Conflict.mv_graph} on every prefix. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Mvcc_core.Step.t -> bool
+(** [feed t st] offers the next step; [false] means the write closes an
+    MVCG cycle and the maintainer is untouched. Reads always succeed. *)
+
+val n_steps : t -> int
+(** Accepted steps so far. *)
+
+val graph : t -> Incr_digraph.t
+(** The live MVCG over transactions (do not mutate). *)
+
+val forget_txn : t -> int -> unit
+(** Erase a transaction from the reader histories and the graph. *)

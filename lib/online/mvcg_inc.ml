@@ -1,0 +1,21 @@
+open Mvcc_core
+module Scheduler = Mvcc_sched.Scheduler
+
+let scheduler =
+  {
+    Scheduler.name = "mvcg-inc";
+    fresh =
+      (fun () ->
+        let cert = Certifier.create Certifier.Mv_conflict in
+        {
+          Scheduler.offer =
+            (fun ~prefix:_ ~last_of_txn:_ (st : Step.t) ->
+              match Certifier.feed cert st with
+              | Certifier.Rejected -> Scheduler.Rejected
+              | Certifier.Accepted ->
+                  Scheduler.Accepted
+                    (if Step.is_read st then
+                       Some (Certifier.standard_source cert st)
+                     else None));
+        });
+  }

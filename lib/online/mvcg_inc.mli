@@ -1,0 +1,11 @@
+(** Incremental generic MVCG scheduler: the [3]-style scheduler that
+    recognizes exactly MVCSR, backed by the online {!Certifier} in
+    [Mv_conflict] mode.
+
+    Decision-equivalent to the batch {!Mvcc_sched.Mvcg_sched} — a step
+    is accepted iff the extended prefix's MVCG stays acyclic (Theorem 1)
+    — at the incremental price: reads are free (they add no MVCG arcs),
+    writes add one arc per distinct prior reader of the entity. The
+    instance keeps its own state and ignores the [prefix] argument. *)
+
+val scheduler : Mvcc_sched.Scheduler.t

@@ -1,0 +1,23 @@
+open Mvcc_core
+module Scheduler = Mvcc_sched.Scheduler
+
+let scheduler =
+  {
+    Scheduler.name = "sgt-inc";
+    fresh =
+      (fun () ->
+        let cert = Certifier.create Certifier.Conflict in
+        {
+          Scheduler.offer =
+            (fun ~prefix:_ ~last_of_txn:_ (st : Step.t) ->
+              match Certifier.feed cert st with
+              | Certifier.Rejected -> Scheduler.Rejected
+              | Certifier.Accepted ->
+                  Scheduler.Accepted
+                    (if Step.is_read st then
+                       (* the read's own feed records no write, so this
+                          is still the prefix's last write *)
+                       Some (Certifier.standard_source cert st)
+                     else None));
+        });
+  }

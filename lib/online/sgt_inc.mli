@@ -1,0 +1,14 @@
+(** Incremental SGT: the serialization-graph-testing scheduler backed by
+    the online {!Certifier} in [Conflict] mode.
+
+    Decision-equivalent to the batch {!Mvcc_sched.Sgt} scheduler — both
+    accept a step iff the extended prefix's conflict graph is acyclic,
+    and serve reads the standard source — but each offer costs only the
+    step's new arcs plus a bounded reorder of the dynamic topological
+    order, instead of rebuilding the conflict graph of the whole prefix
+    and running a full DFS. The instance keeps its own state and ignores
+    the [prefix] argument; like every scheduler instance it must be
+    offered the accepted steps in sequence (which {!Mvcc_sched.Driver}
+    does). *)
+
+val scheduler : Mvcc_sched.Scheduler.t

@@ -9,12 +9,10 @@ let scheduler =
         {
           Scheduler.offer =
             (fun ~prefix ~last_of_txn:_ (st : Step.t) ->
-              let extended =
-                Schedule.of_steps
-                  ~n_txns:(max (Schedule.n_txns prefix) (st.txn + 1))
-                  (Array.to_list (Schedule.steps prefix) @ [ st ])
-              in
-              if Cycle.is_acyclic (Conflict.mv_graph extended) then
+              if
+                Cycle.is_acyclic
+                  (Conflict.mv_graph (Scheduler.extend prefix st))
+              then
                 Scheduler.Accepted
                   (if Step.is_read st then
                      Some (Scheduler.standard_source prefix st)

@@ -9,6 +9,8 @@ type instance = {
 
 type t = { name : string; fresh : unit -> instance }
 
+let extend = Schedule.append
+
 let standard_source prefix (st : Step.t) =
   let src = ref Version_fn.Initial in
   Array.iteri

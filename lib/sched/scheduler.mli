@@ -31,6 +31,12 @@ type instance = {
 
 type t = { name : string; fresh : unit -> instance }
 
+val extend : Mvcc_core.Schedule.t -> Mvcc_core.Step.t -> Mvcc_core.Schedule.t
+(** [extend prefix st] is the accepted prefix with [st] appended — the
+    schedule a batch scheduler re-examines on each offer. Shared by the
+    graph-based batch schedulers ({!Sgt}, {!Mvcg_sched}); a single array
+    copy per offer. *)
+
 val standard_source :
   Mvcc_core.Schedule.t -> Mvcc_core.Step.t -> Mvcc_core.Version_fn.source
 (** The source a single-version scheduler serves: the last write of the

@@ -1,11 +1,6 @@
 open Mvcc_core
 module Cycle = Mvcc_graph.Cycle
 
-let extend prefix st =
-  Schedule.of_steps
-    ~n_txns:(max (Schedule.n_txns prefix) (st.Step.txn + 1))
-    (Array.to_list (Schedule.steps prefix) @ [ st ])
-
 let scheduler =
   {
     Scheduler.name = "sgt";
@@ -14,7 +9,10 @@ let scheduler =
         {
           Scheduler.offer =
             (fun ~prefix ~last_of_txn:_ (st : Step.t) ->
-              if Cycle.is_acyclic (Conflict.graph (extend prefix st)) then
+              if
+                Cycle.is_acyclic
+                  (Conflict.graph (Scheduler.extend prefix st))
+              then
                 Scheduler.Accepted
                   (if Step.is_read st then
                      Some (Scheduler.standard_source prefix st)

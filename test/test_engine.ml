@@ -97,7 +97,7 @@ let test_all_policies_commit_and_conserve () =
             600
             (total r.E.final_state))
         [ 1; 2; 3; 11; 99 ])
-    [ E.S2pl; E.To; E.Mvto ]
+    [ E.S2pl; E.To; E.Mvto; E.Sgt ]
 
 let test_deterministic () =
   let run () = E.run ~policy:E.S2pl ~initial ~programs:bank_workload ~seed:5 () in
@@ -151,7 +151,7 @@ let test_blind_writes () =
       check "one of the writes is final" true
         (let v = List.assoc "a0" r.E.final_state in
          v = 42 || v = 43))
-    [ E.S2pl; E.To; E.Mvto ]
+    [ E.S2pl; E.To; E.Mvto; E.Sgt ]
 
 let test_si_commits_and_conserves_transfers () =
   (* transfers read what they write, so SI's first-committer-wins keeps
@@ -188,7 +188,7 @@ let test_si_write_skew_anomaly () =
           check "serializable policies produce serial outcomes" true
             (List.mem (outcome policy seed) serial_outcomes))
         seeds)
-    [ E.S2pl; E.To; E.Mvto ];
+    [ E.S2pl; E.To; E.Mvto; E.Sgt ];
   (* some interleaving exhibits the anomaly under SI *)
   let anomalous =
     List.exists
@@ -196,6 +196,16 @@ let test_si_write_skew_anomaly () =
       seeds
   in
   check "SI exhibits write skew" true anomalous
+
+let test_sgt_readers_never_abort () =
+  (* reads never conflict with reads, so the certification graph of a
+     read-only workload has no arcs and nothing ever aborts or waits *)
+  let readers =
+    List.init 8 (fun i -> P.read_all ~label:(string_of_int i) accounts)
+  in
+  let r = E.run ~policy:E.Sgt ~initial ~programs:readers ~seed:3 () in
+  check_int "no aborts in read-only workload" 0 r.E.stats.E.aborts;
+  check_int "no blocking" 0 r.E.stats.E.blocked_ticks
 
 let test_gc_prunes_versions () =
   let programs =
@@ -231,7 +241,7 @@ let test_crash_injection () =
             r.E.stats.E.commits;
           check "crashes recorded as aborts" true (r.E.stats.E.aborts > 0))
         [ 1; 2; 3 ])
-    [ E.S2pl; E.To; E.Mvto; E.Si ]
+    [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ]
 
 let test_deadlock_policies () =
   (* opposed transfers force lock conflicts; every resolution policy must
@@ -296,7 +306,7 @@ let prop_conservation =
     QCheck2.Gen.(
       let* seed = int_range 0 100_000 in
       let* n_transfers = int_range 1 6 in
-      let* policy = oneofl [ E.S2pl; E.To; E.Mvto ] in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Sgt ] in
       return (seed, n_transfers, policy))
     (fun (seed, n_transfers, policy) ->
       let programs =
@@ -343,6 +353,8 @@ let () =
             test_si_commits_and_conserves_transfers;
           Alcotest.test_case "si write skew anomaly" `Quick
             test_si_write_skew_anomaly;
+          Alcotest.test_case "sgt readers never abort" `Quick
+            test_sgt_readers_never_abort;
           Alcotest.test_case "gc prunes" `Quick test_gc_prunes_versions;
           Alcotest.test_case "crash injection" `Quick test_crash_injection;
           Alcotest.test_case "deadlock policies" `Quick test_deadlock_policies;
