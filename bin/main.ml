@@ -204,7 +204,26 @@ let simulate_cmd =
   let writers_arg =
     Arg.(value & opt int 3 & info [ "writers" ] ~doc:"Transfer transactions.")
   in
-  let run policy readers writers seed =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect metrics during the run and print the snapshot as a \
+             JSON object: commits, aborts by reason, delays, and (under \
+             sgt) certification cost and latency quantiles.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record structured trace events (txn begin/commit/abort, step \
+             scheduled/delayed, certifier arc-insert/rollback) and write \
+             them to $(docv) as JSON-lines.")
+  in
+  let run policy readers writers stats trace_file seed =
     let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
     let initial = List.map (fun a -> (a, 100)) accounts in
     let programs =
@@ -219,7 +238,20 @@ let simulate_cmd =
               ~to_:(List.nth accounts ((i + 1) mod 8))
               10)
     in
-    let r = Mvcc_engine.Engine.run ~policy ~initial ~programs ~seed () in
+    let metrics =
+      if stats then Some (Mvcc_obs.Metrics.create ()) else None
+    in
+    let tr =
+      Option.map
+        (fun _ -> Mvcc_obs.Trace.create ~capacity:65536 ())
+        trace_file
+    in
+    let obs =
+      if stats || trace_file <> None then
+        Mvcc_obs.Sink.create ?metrics ?trace:tr ()
+      else Mvcc_obs.Sink.noop
+    in
+    let r = Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ~seed () in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
       Mvcc_engine.Engine.pp_stats r.Mvcc_engine.Engine.stats;
@@ -228,12 +260,27 @@ let simulate_cmd =
         r.Mvcc_engine.Engine.final_state
     in
     Format.printf "total balance: %d (expected %d)@." total
-      (100 * List.length accounts)
+      (100 * List.length accounts);
+    (match metrics with
+    | Some m -> print_endline (Mvcc_obs.Metrics.to_json m)
+    | None -> ());
+    match (trace_file, tr) with
+    | Some file, Some t ->
+        let oc = open_out file in
+        Mvcc_obs.Trace.write_jsonl oc t;
+        close_out oc;
+        Format.printf "trace: %d events to %s (%d dropped)@."
+          (List.length (Mvcc_obs.Trace.to_list t))
+          file
+          (Mvcc_obs.Trace.dropped t)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a banking workload through the storage engine")
-    Term.(const run $ policy_arg $ readers_arg $ writers_arg $ seed_arg)
+    Term.(
+      const run $ policy_arg $ readers_arg $ writers_arg $ stats_arg
+      $ trace_arg $ seed_arg)
 
 let () =
   let info =

@@ -1,3 +1,7 @@
+module Sink = Mvcc_obs.Sink
+module Tr = Mvcc_obs.Trace
+module Ig = Mvcc_online.Incr_digraph
+
 type policy = S2pl | To | Mvto | Si | Sgt
 
 let policy_name = function
@@ -61,7 +65,8 @@ type client = {
 type lock = { mutable readers : int list; mutable writer : int option }
 
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
-    ?(crash_probability = 0.) ?(deadlock = Detect) ~seed () =
+    ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ~seed
+    () =
   let rng = Random.State.make [| seed |] in
   let store = Store.create ~initial in
   let next_ts = ref 0 in
@@ -88,6 +93,10 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       programs
     |> Array.of_list
   in
+  Sink.set_gauge obs "engine.clients" (Array.length clients);
+  Array.iter
+    (fun c -> Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id }))
+    clients;
   let locks : (string, lock) Hashtbl.t = Hashtbl.create 16 in
   let lock_of e =
     match Hashtbl.find_opt locks e with
@@ -158,6 +167,40 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
      latest committed version — so operation arrival order is data-flow
      order and the streamed conflict graph certifies the real history. *)
   let cert = Mvcc_online.Incr_conflict.create () in
+  (* Feed one operation to the certifier, accounting its cost when a
+     sink is attached: feed latency, arcs inserted, Pearce–Kelly
+     reorder moves, and — on rejection — the arcs rolled back. The
+     digraph keeps cumulative counters, so the per-feed cost is the
+     delta around the call; the verdict is bit-for-bit the same with
+     or without a sink. *)
+  let cert_feed c st =
+    if Sink.enabled obs then begin
+      let g = Mvcc_online.Incr_conflict.graph cert in
+      let arcs0 = Ig.n_edges g
+      and moves0 = Ig.reorder_moves g
+      and rolled0 = Ig.rolled_back_arcs g in
+      let ok =
+        Sink.time obs "engine.cert.feed_s" (fun () ->
+            Mvcc_online.Incr_conflict.feed cert st)
+      in
+      let arcs = Ig.n_edges g - arcs0
+      and moves = Ig.reorder_moves g - moves0
+      and rolled = Ig.rolled_back_arcs g - rolled0 in
+      Sink.incr ~by:moves obs "engine.cert.reorder-moves";
+      if ok then begin
+        Sink.incr ~by:arcs obs "engine.cert.arcs";
+        Sink.emit obs (fun () -> Tr.Cert_arcs { txn = c.id; arcs; moves })
+      end
+      else begin
+        Sink.incr obs "engine.cert.rollbacks";
+        Sink.incr ~by:rolled obs "engine.cert.rollback-arcs";
+        Sink.emit obs (fun () ->
+            Tr.Cert_rollback { txn = c.id; arcs = rolled })
+      end;
+      ok
+    end
+    else Mvcc_online.Incr_conflict.feed cert st
+  in
   let dirty : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
   let dirty_of e =
     match Hashtbl.find_opt dirty e with
@@ -171,8 +214,25 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     Hashtbl.iter (fun _ l -> l := List.filter (fun (w, _) -> w <> c.id) !l)
       dirty
   in
-  let abort c =
+  (* A transition into Waiting is a delay; retries of the same blocked
+     operation are accounted as blocked ticks, not fresh delays. *)
+  let delay c e =
+    if c.status <> Waiting e then begin
+      Sink.incr obs "engine.delays";
+      Sink.emit obs (fun () -> Tr.Step_delayed { txn = c.id; entity = e })
+    end;
+    c.status <- Waiting e
+  in
+  let record_op c e ~write =
+    incr (if write then writes else reads);
+    Sink.emit obs (fun () ->
+        Tr.Step_scheduled { txn = c.id; entity = e; write })
+  in
+  let abort ~reason c =
     incr aborts;
+    Sink.incr obs "engine.aborts";
+    Sink.incr obs ("engine.abort." ^ Tr.reason_name reason);
+    Sink.emit obs (fun () -> Tr.Txn_abort { txn = c.id; reason });
     release c;
     clear_pending c;
     c.pc <- 0;
@@ -188,20 +248,22 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   (* SGT abort: expunge the transaction's footprint from the certification
      state and cascade to every active transaction that consumed its dirty
      data. Terminates because each round clears a victim's [deps]. *)
-  let rec abort_cascading c =
+  let rec abort_cascading ~reason c =
     let victim = c.id in
     drop_dirty c;
     Mvcc_online.Incr_conflict.forget_txn cert victim;
     c.deps <- [];
-    abort c;
+    abort ~reason c;
     Array.iter
       (fun d ->
         if d.id <> victim && d.status <> Committed
            && List.mem victim d.deps
-        then abort_cascading d)
+        then abort_cascading ~reason:Tr.Cascade d)
       clients
   in
-  let abort_txn c = if policy = Sgt then abort_cascading c else abort c in
+  let abort_txn ~reason c =
+    if policy = Sgt then abort_cascading ~reason c else abort ~reason c
+  in
   (* Who currently blocks client c from accessing e with the given mode? *)
   let blockers c e ~write =
     let l = lock_of e in
@@ -237,14 +299,14 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     match deadlock with
     | Detect ->
         if List.exists (fun b -> waits_on [ c.id ] b c.id) blockers_now then
-          abort c
-        else c.status <- Waiting e
+          abort ~reason:Tr.Deadlock c
+        else delay c e
     | Wait_die ->
         (* classic wait-die: the requester may wait only for younger
            holders; if some holder is older, the requester dies *)
         if List.exists (fun b -> clients.(b).ts < c.ts) blockers_now then
-          abort c
-        else c.status <- Waiting e
+          abort ~reason:Tr.Wait_die c
+        else delay c e
     | Wound_wait ->
         (* wound younger holders; wait for older ones *)
         let wounded = ref false in
@@ -252,11 +314,11 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           (fun b ->
             if clients.(b).ts > c.ts && clients.(b).status <> Committed
             then begin
-              abort clients.(b);
+              abort ~reason:Tr.Wound clients.(b);
               wounded := true
             end)
           blockers_now;
-        if not !wounded then c.status <- Waiting e
+        if not !wounded then delay c e
   in
   let read_value c e =
     match List.assoc_opt e c.buffer with
@@ -276,6 +338,11 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             | [] -> (Store.latest store e).Store.value)
         | S2pl | To -> (Store.latest store e).Store.value)
   in
+  let record_commit c =
+    incr commits;
+    Sink.incr obs "engine.commits";
+    Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id })
+  in
   let commit c =
     (* install buffered writes oldest-binding-last so the final value of a
        twice-written entity is the newest binding *)
@@ -286,7 +353,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             (fun (e, _) -> Store.would_invalidate store e ~wts:c.ts)
             c.buffer
         in
-        if invalid then abort c
+        if invalid then abort ~reason:Tr.Write_invalidated c
         else begin
           let final_bindings =
             (* newest binding per entity wins; buffer is newest-first *)
@@ -299,7 +366,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             (fun (e, v) -> Store.install store e ~value:v ~wts:c.ts)
             final_bindings;
           c.status <- Committed;
-          incr commits
+          record_commit c
         end
     | Si ->
         (* first-committer-wins: a version of a written entity committed
@@ -311,7 +378,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               v.Store.wts > c.snapshot)
             c.buffer
         in
-        if beaten then abort c
+        if beaten then abort ~reason:Tr.First_committer c
         else begin
           let final_bindings =
             List.fold_left
@@ -324,7 +391,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             (fun (e, v) -> Store.install store e ~value:v ~wts:commit_ts)
             final_bindings;
           c.status <- Committed;
-          incr commits
+          record_commit c
         end
     | Sgt ->
         (* commit-wait: every dirty predecessor must commit first, so
@@ -337,7 +404,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           List.exists
             (fun w -> clients.(w).status <> Committed)
             c.deps
-        then c.status <- Waiting "(commit)"
+        then begin
+          if c.status <> Waiting "(commit)" then begin
+            Sink.incr obs "engine.commit-waits";
+            Sink.emit obs (fun () -> Tr.Commit_wait { txn = c.id })
+          end;
+          c.status <- Waiting "(commit)"
+        end
         else begin
           let final_bindings =
             List.fold_left
@@ -351,7 +424,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           drop_dirty c;
           c.deps <- [];
           c.status <- Committed;
-          incr commits
+          record_commit c
         end
     | S2pl | To ->
         let final_bindings =
@@ -365,7 +438,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         release c;
         clear_pending c;
         c.status <- Committed;
-        incr commits)
+        record_commit c)
   in
   let step c =
     (* SI takes its snapshot at the first operation of each attempt *)
@@ -383,7 +456,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
                 l.readers <- c.id :: l.readers;
                 c.held_read <- e :: c.held_read
               end;
-              incr reads;
+              record_op c e ~write:false;
               c.regs <- (e, read_value c e) :: c.regs;
               c.pc <- c.pc + 1;
               c.status <- Ready
@@ -396,7 +469,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               l.writer <- Some c.id;
               if not (List.mem e c.held_write) then
                 c.held_write <- e :: c.held_write;
-              incr writes;
+              record_op c e ~write:true;
               let v = Program.eval (fun r -> List.assoc r c.regs) expr in
               c.buffer <- (e, v) :: c.buffer;
               c.pc <- c.pc + 1;
@@ -404,58 +477,57 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             end
             else resolve_conflict c e bs
         | To, Program.Read e ->
-            if c.ts < get wts e then abort c
+            if c.ts < get wts e then abort ~reason:Tr.Ts_order c
             else if List.exists (fun t -> t < c.ts) !(pending_of e) then
               (* an older writer has reserved this entity but not yet
                  committed; reading now would return a stale value *)
-              c.status <- Waiting e
+              delay c e
             else begin
               Hashtbl.replace rts e (max c.ts (get rts e));
-              incr reads;
+              record_op c e ~write:false;
               c.regs <- (e, read_value c e) :: c.regs;
               c.pc <- c.pc + 1;
               c.status <- Ready
             end
         | To, Program.Write (e, expr) ->
-            if c.ts < get rts e || c.ts < get wts e then abort c
+            if c.ts < get rts e || c.ts < get wts e then
+              abort ~reason:Tr.Ts_order c
             else begin
               Hashtbl.replace wts e c.ts;
               let p = pending_of e in
               if not (List.mem c.ts !p) then p := c.ts :: !p;
-              incr writes;
+              record_op c e ~write:true;
               let v = Program.eval (fun r -> List.assoc r c.regs) expr in
               c.buffer <- (e, v) :: c.buffer;
               c.pc <- c.pc + 1
             end
         | Mvto, Program.Read e ->
-            incr reads;
+            record_op c e ~write:false;
             c.regs <- (e, read_value c e) :: c.regs;
             c.pc <- c.pc + 1
         | Mvto, Program.Write (e, expr) ->
-            if Store.would_invalidate store e ~wts:c.ts then abort c
+            if Store.would_invalidate store e ~wts:c.ts then
+              abort ~reason:Tr.Write_invalidated c
             else begin
-              incr writes;
+              record_op c e ~write:true;
               let v = Program.eval (fun r -> List.assoc r c.regs) expr in
               c.buffer <- (e, v) :: c.buffer;
               c.pc <- c.pc + 1
             end
         | Si, Program.Read e ->
-            incr reads;
+            record_op c e ~write:false;
             c.regs <- (e, read_value c e) :: c.regs;
             c.pc <- c.pc + 1
         | Si, Program.Write (e, expr) ->
-            incr writes;
+            record_op c e ~write:true;
             let v = Program.eval (fun r -> List.assoc r c.regs) expr in
             c.buffer <- (e, v) :: c.buffer;
             c.pc <- c.pc + 1
         | Sgt, Program.Read e ->
-            if
-              not
-                (Mvcc_online.Incr_conflict.feed cert
-                   (Mvcc_core.Step.read c.id e))
-            then abort_cascading c
+            if not (cert_feed c (Mvcc_core.Step.read c.id e)) then
+              abort_cascading ~reason:Tr.Certification c
             else begin
-              incr reads;
+              record_op c e ~write:false;
               (* reading another transaction's dirty write makes us
                  depend on its fate *)
               (if not (List.mem_assoc e c.buffer) then
@@ -469,13 +541,10 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               c.status <- Ready
             end
         | Sgt, Program.Write (e, expr) ->
-            if
-              not
-                (Mvcc_online.Incr_conflict.feed cert
-                   (Mvcc_core.Step.write c.id e))
-            then abort_cascading c
+            if not (cert_feed c (Mvcc_core.Step.write c.id e)) then
+              abort_cascading ~reason:Tr.Certification c
             else begin
-              incr writes;
+              record_op c e ~write:true;
               (* overwriting an uncommitted write orders our commit after
                  the earlier writer's (ww arc), via the same dep set *)
               List.iter
@@ -506,7 +575,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
              && c.status <> Committed
              && Random.State.float rng 1. < crash_probability ->
           (* injected failure: the transaction crashes and restarts *)
-          abort_txn c
+          abort_txn ~reason:Tr.Crash c
       | Waiting _ -> begin
           (* retry the same operation *)
           let before = c.status in
@@ -527,6 +596,9 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       1
       (Store.entities store)
   in
+  Sink.set_gauge obs "engine.max-version-chain" max_chain;
+  Sink.set_gauge obs "engine.ticks" !ticks;
+  Sink.set_gauge obs "engine.blocked-ticks" !blocked_ticks;
   {
     stats =
       {

@@ -72,6 +72,7 @@ val run :
   ?gc:bool ->
   ?crash_probability:float ->
   ?deadlock:deadlock_policy ->
+  ?obs:Mvcc_obs.Sink.t ->
   seed:int ->
   unit ->
   result
@@ -85,4 +86,17 @@ val run :
     probability — buffered writes are discarded, so committed state and
     invariants must survive arbitrary mid-flight failures.
     [deadlock] (default {!Detect}) selects how S2PL resolves lock
-    conflicts; it is ignored by the non-blocking policies. *)
+    conflicts; it is ignored by the non-blocking policies.
+
+    [obs] (default {!Mvcc_obs.Sink.noop}) streams accounting into the
+    observability layer without ever changing a decision (the run is
+    bit-for-bit identical for any sink — a tested invariant): counters
+    [engine.commits], [engine.aborts] plus [engine.abort.<reason>] per
+    {!Mvcc_obs.Trace.reason}, [engine.delays] (transitions into a lock
+    or timestamp wait), [engine.commit-waits] (SGT commits parked on a
+    dirty predecessor), and under SGT the certifier's cost
+    ([engine.cert.arcs], [engine.cert.reorder-moves],
+    [engine.cert.rollbacks], [engine.cert.rollback-arcs]) with feed
+    latency histogram [engine.cert.feed_s]; trace events for txn
+    begin/commit/abort-with-reason, step scheduled/delayed, commit
+    waits, and certifier arc-insert/rollback. *)

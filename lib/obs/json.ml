@@ -1,0 +1,168 @@
+(* Minimal JSON for the flat, single-line objects lib/obs emits: string
+   keys mapping to integers, floats, strings, or booleans — no nesting,
+   no arrays. The emitter and the parser are exact inverses on that
+   fragment, which is all the JSON-lines trace round-trip needs, with no
+   external dependency. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* always keep a decimal point or exponent so the parser reads the
+         value back as a float, not an int *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.9g" f)
+  | Str s -> add_escaped b s
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  add_escaped b s;
+  Buffer.contents b
+
+let obj fields =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_escaped b k;
+      Buffer.add_char b ':';
+      add_value b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+exception Bad
+
+let parse_obj line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Bad else line.[!pos] in
+  let skip_ws () =
+    while
+      !pos < n && (match line.[!pos] with ' ' | '\t' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise Bad;
+    incr pos
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l > n || String.sub line !pos l <> word then raise Bad;
+    pos := !pos + l
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      incr pos;
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        let e = peek () in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+            if !pos + 4 > n then raise Bad;
+            let code =
+              match int_of_string_opt ("0x" ^ String.sub line !pos 4) with
+              | Some c -> c
+              | None -> raise Bad
+            in
+            pos := !pos + 4;
+            (* the emitter only escapes control characters this way *)
+            if code > 0xff then raise Bad else Buffer.add_char b (Char.chr code)
+        | _ -> raise Bad);
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | 't' ->
+        literal "true";
+        Bool true
+    | 'f' ->
+        literal "false";
+        Bool false
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match line.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr pos
+        done;
+        let tok = String.sub line start (!pos - start) in
+        if tok = "" then raise Bad
+        else (
+          match int_of_string_opt tok with
+          | Some i -> Int i
+          | None -> (
+              match float_of_string_opt tok with
+              | Some f -> Float f
+              | None -> raise Bad))
+  in
+  try
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    (if peek () = '}' then incr pos
+     else
+       let rec go () =
+         skip_ws ();
+         let k = parse_string () in
+         expect ':';
+         let v = parse_value () in
+         fields := (k, v) :: !fields;
+         skip_ws ();
+         match peek () with
+         | ',' ->
+             incr pos;
+             go ()
+         | '}' -> incr pos
+         | _ -> raise Bad
+       in
+       go ());
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    Some (List.rev !fields)
+  with Bad -> None

@@ -1,0 +1,182 @@
+(* Named counters, gauges, and log-scale latency histograms.
+
+   A registry is a flat name -> instrument table. Instruments are
+   created on first use, so call sites never declare anything up front;
+   the cost of an update is one hashtable lookup plus an integer or
+   float mutation — cheap enough to leave enabled in hot paths, and the
+   Sink layer removes even that when observability is off. *)
+
+module Histogram = struct
+  (* Base-2 log-scale histogram for latencies in seconds. Bucket 0
+     holds everything below [lo]; bucket i (1 <= i <= n-2) holds
+     [lo * 2^(i-1), lo * 2^i); the last bucket is the overflow. The
+     boundaries are exact powers of two times [lo], so bucketing is
+     deterministic (repeated doubling, no logarithms). *)
+
+  let n_buckets = 40
+  let lo = 1e-7
+
+  type h = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable max_seen : float;
+  }
+
+  let create () =
+    { buckets = Array.make n_buckets 0; count = 0; sum = 0.; max_seen = 0. }
+
+  let bucket_of v =
+    if v < lo then 0
+    else begin
+      let i = ref 1 and ub = ref (lo *. 2.) in
+      while !i < n_buckets - 1 && v >= !ub do
+        incr i;
+        ub := !ub *. 2.
+      done;
+      !i
+    end
+
+  let lower_bound i =
+    if i <= 0 then 0. else lo *. (2. ** float_of_int (i - 1))
+
+  let upper_bound i =
+    if i >= n_buckets - 1 then infinity else lo *. (2. ** float_of_int i)
+
+  let observe h v =
+    let v = if Float.is_nan v || v < 0. then 0. else v in
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v > h.max_seen then h.max_seen <- v
+
+  let count h = h.count
+  let sum h = h.sum
+  let max_seen h = h.max_seen
+
+  (* Quantile estimate: the upper bound of the bucket holding the
+     rank-ceil(q * count) sample, capped at the maximum observed value —
+     exact when the quantile falls in the overflow-free top bucket of a
+     distribution, within a factor of two otherwise. *)
+  let quantile h q =
+    if h.count = 0 then 0.
+    else begin
+      let rank =
+        min h.count (max 1 (int_of_float (ceil (q *. float_of_int h.count))))
+      in
+      let acc = ref 0 and b = ref (n_buckets - 1) in
+      (try
+         for i = 0 to n_buckets - 1 do
+           acc := !acc + h.buckets.(i);
+           if !acc >= rank then begin
+             b := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.min (upper_bound !b) h.max_seen
+    end
+end
+
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize h =
+  {
+    count = Histogram.count h;
+    sum = Histogram.sum h;
+    p50 = Histogram.quantile h 0.50;
+    p95 = Histogram.quantile h 0.95;
+    p99 = Histogram.quantile h 0.99;
+    max = Histogram.max_seen h;
+  }
+
+type instrument =
+  | Counter of int ref
+  | Gauge of int ref
+  | Hist of Histogram.h
+
+type t = (string, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let kind_error name = invalid_arg ("Metrics: kind mismatch for " ^ name)
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> r := !r + by
+  | Some _ -> kind_error name
+  | None -> Hashtbl.replace t name (Counter (ref by))
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t name with
+  | Some (Gauge r) -> r := v
+  | Some _ -> kind_error name
+  | None -> Hashtbl.replace t name (Gauge (ref v))
+
+let observe t name v =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) -> Histogram.observe h v
+  | Some _ -> kind_error name
+  | None ->
+      let h = Histogram.create () in
+      Histogram.observe h v;
+      Hashtbl.replace t name (Hist h)
+
+let counter t name =
+  match Hashtbl.find_opt t name with Some (Counter r) -> !r | _ -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t name with Some (Gauge r) -> !r | _ -> 0
+
+let summary t name =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) -> Some (summarize h)
+  | _ -> None
+
+type value = VCounter of int | VGauge of int | VHistogram of summary
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name instr acc ->
+      let v =
+        match instr with
+        | Counter r -> VCounter !r
+        | Gauge r -> VGauge !r
+        | Hist h -> VHistogram (summarize h)
+      in
+      (name, v) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Json.quote name);
+      Buffer.add_char b ':';
+      match v with
+      | VCounter n | VGauge n -> Buffer.add_string b (string_of_int n)
+      | VHistogram s ->
+          Buffer.add_string b
+            (Json.obj
+               [
+                 ("count", Json.Int s.count);
+                 ("sum", Json.Float s.sum);
+                 ("p50", Json.Float s.p50);
+                 ("p95", Json.Float s.p95);
+                 ("p99", Json.Float s.p99);
+                 ("max", Json.Float s.max);
+               ]))
+    (snapshot t);
+  Buffer.add_char b '}';
+  Buffer.contents b

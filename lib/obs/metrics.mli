@@ -1,0 +1,74 @@
+(** Named counters, gauges, and log-scale latency histograms.
+
+    A registry is a flat name -> instrument table; instruments come
+    into existence on first update, so instrumented code never declares
+    them. Updates are one hashtable lookup plus a scalar mutation.
+    Reading a metric that was never touched yields the neutral value
+    (counter/gauge [0], histogram [None]) rather than an error. *)
+
+module Histogram : sig
+  (** Base-2 log-scale histogram for latencies in seconds. Bucket [0]
+      holds values below {!lo}; bucket [i] ([1 <= i <= n_buckets - 2])
+      holds [lo * 2^(i-1), lo * 2^i); the last bucket is the overflow.
+      Boundaries are exact powers of two times {!lo} (computed by
+      repeated doubling, not logarithms), so bucketing is exactly
+      reproducible. *)
+
+  type h
+
+  val n_buckets : int
+  val lo : float
+
+  val create : unit -> h
+  val observe : h -> float -> unit
+  (** Negative and NaN samples are clamped to [0.]. *)
+
+  val bucket_of : float -> int
+  val lower_bound : int -> float
+  (** Inclusive lower bound of a bucket ([0.] for bucket 0). *)
+
+  val upper_bound : int -> float
+  (** Exclusive upper bound ([infinity] for the overflow bucket). *)
+
+  val count : h -> int
+  val sum : h -> float
+  val max_seen : h -> float
+
+  val quantile : h -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) as
+      the upper bound of the bucket holding the rank-[ceil (q * count)]
+      sample, capped at the maximum observed value. [0.] when empty. *)
+end
+
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0 on first use).
+    @raise Invalid_argument if the name is bound to another kind. *)
+
+val set_gauge : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+
+val counter : t -> string -> int
+val gauge : t -> string -> int
+val summary : t -> string -> summary option
+
+type value = VCounter of int | VGauge of int | VHistogram of summary
+
+val snapshot : t -> (string * value) list
+(** Every instrument, sorted by name — a deterministic snapshot. *)
+
+val to_json : t -> string
+(** The snapshot as a one-line JSON object: counters and gauges as
+    integers, histograms as [{count, sum, p50, p95, p99, max}]. *)

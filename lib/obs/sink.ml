@@ -1,0 +1,35 @@
+(* The instrumentation funnel: a sink is either live (metrics and/or a
+   trace ring) or the shared noop. Every operation pattern-matches the
+   relevant component first, so on the noop each call is one branch —
+   and the thunked variants ([emit], [time]) never build the event or
+   read the clock when nobody is listening. *)
+
+type t = { metrics : Metrics.t option; trace : Trace.t option }
+
+let noop = { metrics = None; trace = None }
+let create ?metrics ?trace () = { metrics; trace }
+
+let enabled t = Option.is_some t.metrics || Option.is_some t.trace
+let metrics t = t.metrics
+let trace t = t.trace
+
+let incr ?(by = 1) t name =
+  match t.metrics with None -> () | Some m -> Metrics.incr ~by m name
+
+let set_gauge t name v =
+  match t.metrics with None -> () | Some m -> Metrics.set_gauge m name v
+
+let observe t name v =
+  match t.metrics with None -> () | Some m -> Metrics.observe m name v
+
+let emit t f =
+  match t.trace with None -> () | Some tr -> Trace.emit tr (f ())
+
+let time t name f =
+  match t.metrics with
+  | None -> f ()
+  | Some m ->
+      let t0 = Unix.gettimeofday () in
+      let result = f () in
+      Metrics.observe m name (Unix.gettimeofday () -. t0);
+      result

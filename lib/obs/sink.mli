@@ -1,0 +1,39 @@
+(** The instrumentation funnel handed to the engine, the schedulers,
+    and the certifier.
+
+    A sink bundles an optional {!Metrics.t} registry and an optional
+    {!Trace.t} ring. Instrumented code calls the operations below
+    unconditionally; on {!noop} each call is a single pattern match on
+    [None], the thunk passed to {!emit} is never forced, and {!time}
+    never reads the clock — observability is free when off, and the
+    decision-invariance property tests (test/test_obs.ml) check it is
+    also {e silent}: enabling a sink never changes any scheduling or
+    certification decision. *)
+
+type t
+
+val noop : t
+(** The disabled sink: every operation is a no-op. *)
+
+val create : ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
+
+val enabled : t -> bool
+(** [false] exactly for sinks with neither component (e.g. {!noop}) —
+    the guard for instrumentation that must read auxiliary state (graph
+    sizes, clocks) before it can record anything. *)
+
+val metrics : t -> Metrics.t option
+val trace : t -> Trace.t option
+
+val incr : ?by:int -> t -> string -> unit
+val set_gauge : t -> string -> int -> unit
+val observe : t -> string -> float -> unit
+
+val emit : t -> (unit -> Trace.event) -> unit
+(** Emit a trace event; the thunk is only forced when a trace ring is
+    attached, so building the event costs nothing when tracing is off. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f] and records its wall-clock duration (in
+    seconds) in histogram [name]; without metrics it is exactly [f ()]
+    — the clock is never read. *)

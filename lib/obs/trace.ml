@@ -1,0 +1,180 @@
+(* Structured trace events in a bounded ring buffer.
+
+   Emission is an array store and a sequence-number bump; when the ring
+   wraps, the oldest events are overwritten (and counted as dropped)
+   rather than growing without bound — a trace of a million-tick engine
+   run costs a fixed amount of memory. The JSON-lines exporter and
+   parser are exact inverses, so traces survive a round-trip through a
+   file. *)
+
+type reason =
+  | Deadlock
+  | Wait_die
+  | Wound
+  | Ts_order
+  | Write_invalidated
+  | First_committer
+  | Certification
+  | Cascade
+  | Crash
+
+let reason_name = function
+  | Deadlock -> "deadlock"
+  | Wait_die -> "wait-die"
+  | Wound -> "wound"
+  | Ts_order -> "ts-order"
+  | Write_invalidated -> "write-invalidated"
+  | First_committer -> "first-committer"
+  | Certification -> "certification"
+  | Cascade -> "cascade"
+  | Crash -> "crash"
+
+let all_reasons =
+  [
+    Deadlock; Wait_die; Wound; Ts_order; Write_invalidated; First_committer;
+    Certification; Cascade; Crash;
+  ]
+
+let reason_of_name n =
+  List.find_opt (fun r -> reason_name r = n) all_reasons
+
+type event =
+  | Step_scheduled of { txn : int; entity : string; write : bool }
+  | Step_delayed of { txn : int; entity : string }
+  | Step_rejected of { txn : int; entity : string; write : bool }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : reason }
+  | Commit_wait of { txn : int }
+  | Cert_arcs of { txn : int; arcs : int; moves : int }
+  | Cert_rollback of { txn : int; arcs : int }
+
+type t = {
+  capacity : int;
+  buf : (int * event) option array;
+  mutable seq : int; (* total events ever emitted *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
+  { capacity; buf = Array.make capacity None; seq = 0 }
+
+let emit t ev =
+  t.buf.(t.seq mod t.capacity) <- Some (t.seq, ev);
+  t.seq <- t.seq + 1
+
+let capacity t = t.capacity
+let emitted t = t.seq
+let dropped t = max 0 (t.seq - t.capacity)
+
+let to_list t =
+  let first = max 0 (t.seq - t.capacity) in
+  List.filter_map
+    (fun i -> t.buf.(i mod t.capacity))
+    (List.init (t.seq - first) (fun k -> first + k))
+
+let to_json seq ev =
+  let open Json in
+  let fields =
+    match ev with
+    | Step_scheduled { txn; entity; write } ->
+        [
+          ("ev", Str "step-scheduled"); ("txn", Int txn);
+          ("entity", Str entity); ("write", Bool write);
+        ]
+    | Step_delayed { txn; entity } ->
+        [ ("ev", Str "step-delayed"); ("txn", Int txn); ("entity", Str entity) ]
+    | Step_rejected { txn; entity; write } ->
+        [
+          ("ev", Str "step-rejected"); ("txn", Int txn);
+          ("entity", Str entity); ("write", Bool write);
+        ]
+    | Txn_begin { txn } -> [ ("ev", Str "txn-begin"); ("txn", Int txn) ]
+    | Txn_commit { txn } -> [ ("ev", Str "txn-commit"); ("txn", Int txn) ]
+    | Txn_abort { txn; reason } ->
+        [
+          ("ev", Str "txn-abort"); ("txn", Int txn);
+          ("reason", Str (reason_name reason));
+        ]
+    | Commit_wait { txn } -> [ ("ev", Str "commit-wait"); ("txn", Int txn) ]
+    | Cert_arcs { txn; arcs; moves } ->
+        [
+          ("ev", Str "cert-arcs"); ("txn", Int txn); ("arcs", Int arcs);
+          ("moves", Int moves);
+        ]
+    | Cert_rollback { txn; arcs } ->
+        [ ("ev", Str "cert-rollback"); ("txn", Int txn); ("arcs", Int arcs) ]
+  in
+  Json.obj (("seq", Int seq) :: fields)
+
+let of_json line =
+  match Json.parse_obj line with
+  | None -> None
+  | Some fields ->
+      let int k =
+        match List.assoc_opt k fields with
+        | Some (Json.Int i) -> Some i
+        | _ -> None
+      in
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Json.Str s) -> Some s
+        | _ -> None
+      in
+      let bool k =
+        match List.assoc_opt k fields with
+        | Some (Json.Bool v) -> Some v
+        | _ -> None
+      in
+      let ( let* ) = Option.bind in
+      let* seq = int "seq" in
+      let* ev = str "ev" in
+      let* event =
+        match ev with
+        | "step-scheduled" ->
+            let* txn = int "txn" in
+            let* entity = str "entity" in
+            let* write = bool "write" in
+            Some (Step_scheduled { txn; entity; write })
+        | "step-delayed" ->
+            let* txn = int "txn" in
+            let* entity = str "entity" in
+            Some (Step_delayed { txn; entity })
+        | "step-rejected" ->
+            let* txn = int "txn" in
+            let* entity = str "entity" in
+            let* write = bool "write" in
+            Some (Step_rejected { txn; entity; write })
+        | "txn-begin" ->
+            let* txn = int "txn" in
+            Some (Txn_begin { txn })
+        | "txn-commit" ->
+            let* txn = int "txn" in
+            Some (Txn_commit { txn })
+        | "txn-abort" ->
+            let* txn = int "txn" in
+            let* r = str "reason" in
+            let* reason = reason_of_name r in
+            Some (Txn_abort { txn; reason })
+        | "commit-wait" ->
+            let* txn = int "txn" in
+            Some (Commit_wait { txn })
+        | "cert-arcs" ->
+            let* txn = int "txn" in
+            let* arcs = int "arcs" in
+            let* moves = int "moves" in
+            Some (Cert_arcs { txn; arcs; moves })
+        | "cert-rollback" ->
+            let* txn = int "txn" in
+            let* arcs = int "arcs" in
+            Some (Cert_rollback { txn; arcs })
+        | _ -> None
+      in
+      Some (seq, event)
+
+let write_jsonl oc t =
+  List.iter
+    (fun (seq, ev) ->
+      output_string oc (to_json seq ev);
+      output_char oc '\n')
+    (to_list t)

@@ -1,0 +1,65 @@
+(** Structured trace events in a bounded ring buffer.
+
+    Emission is an array store plus a sequence-number bump; when the
+    ring wraps, the oldest events are overwritten (and reported by
+    {!dropped}) instead of growing without bound, so tracing a
+    million-tick engine run costs fixed memory. {!to_json} and
+    {!of_json} are exact inverses — the JSON-lines export of a trace
+    survives a round-trip through a file. *)
+
+type reason =
+  | Deadlock  (** S2PL waits-for cycle, requester is the victim *)
+  | Wait_die  (** wait-die: younger requester dies *)
+  | Wound  (** wound-wait: younger holder preempted *)
+  | Ts_order  (** TO read/write arrived too late *)
+  | Write_invalidated  (** MVTO write under an already-served read *)
+  | First_committer  (** SI first-committer-wins *)
+  | Certification  (** SGT: the operation would close a cycle *)
+  | Cascade  (** aborted because a dirty predecessor aborted *)
+  | Crash  (** injected failure *)
+
+val reason_name : reason -> string
+val reason_of_name : string -> reason option
+val all_reasons : reason list
+
+type event =
+  | Step_scheduled of { txn : int; entity : string; write : bool }
+  | Step_delayed of { txn : int; entity : string }
+  | Step_rejected of { txn : int; entity : string; write : bool }
+  | Txn_begin of { txn : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : reason }
+  | Commit_wait of { txn : int }
+  | Cert_arcs of { txn : int; arcs : int; moves : int }
+      (** a certified step: arcs inserted, topological-order slots the
+          Pearce–Kelly reorder reassigned *)
+  | Cert_rollback of { txn : int; arcs : int }
+      (** a rejected step: arcs inserted then rolled back *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh ring (default capacity 4096).
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val emit : t -> event -> unit
+val capacity : t -> int
+
+val emitted : t -> int
+(** Total events ever emitted, including overwritten ones; also the
+    sequence number the next event will get. *)
+
+val dropped : t -> int
+(** Events lost to wraparound: [max 0 (emitted - capacity)]. *)
+
+val to_list : t -> (int * event) list
+(** Retained events, oldest first, with their sequence numbers. *)
+
+val to_json : int -> event -> string
+(** One event as a one-line JSON object [{"seq":..,"ev":..,...}]. *)
+
+val of_json : string -> (int * event) option
+(** Inverse of {!to_json}; [None] on malformed input. *)
+
+val write_jsonl : out_channel -> t -> unit
+(** {!to_list} as JSON-lines, one event per line. *)

@@ -1,4 +1,5 @@
 open Mvcc_core
+module Sink = Mvcc_obs.Sink
 
 type mode = Conflict | Mv_conflict
 type verdict = Accepted | Rejected
@@ -8,9 +9,11 @@ type t = {
   state : state;
   last_write : (string, int) Hashtbl.t; (* entity -> last write position *)
   mutable accepted : int;
+  obs : Sink.t;
+  pfx : string; (* metric-name prefix, e.g. "cert.conflict" *)
 }
 
-let create mode =
+let create ?(obs = Sink.noop) mode =
   {
     state =
       (match mode with
@@ -18,15 +21,55 @@ let create mode =
       | Mv_conflict -> Mv (Incr_mvcg.create ()));
     last_write = Hashtbl.create 16;
     accepted = 0;
+    obs;
+    pfx =
+      (match mode with
+      | Conflict -> "cert.conflict"
+      | Mv_conflict -> "cert.mvcg");
   }
 
 let mode t = match t.state with Sv _ -> Conflict | Mv _ -> Mv_conflict
 
+let graph t =
+  match t.state with
+  | Sv c -> Incr_conflict.graph c
+  | Mv c -> Incr_mvcg.graph c
+
+let feed_state t st =
+  match t.state with
+  | Sv c -> Incr_conflict.feed c st
+  | Mv c -> Incr_mvcg.feed c st
+
 let feed t (st : Step.t) =
   let ok =
-    match t.state with
-    | Sv c -> Incr_conflict.feed c st
-    | Mv c -> Incr_mvcg.feed c st
+    if Sink.enabled t.obs then begin
+      (* the dynamic digraph keeps cumulative cost counters; the deltas
+         around this feed are what this step cost *)
+      let g = graph t in
+      let arcs0 = Incr_digraph.n_edges g
+      and moves0 = Incr_digraph.reorder_moves g
+      and rolled0 = Incr_digraph.rolled_back_arcs g in
+      let ok = Sink.time t.obs (t.pfx ^ ".feed_s") (fun () -> feed_state t st) in
+      let arcs = Incr_digraph.n_edges g - arcs0
+      and moves = Incr_digraph.reorder_moves g - moves0
+      and rolled = Incr_digraph.rolled_back_arcs g - rolled0 in
+      Sink.incr ~by:moves t.obs (t.pfx ^ ".reorder-moves");
+      if ok then begin
+        Sink.incr t.obs (t.pfx ^ ".accepted");
+        Sink.incr ~by:arcs t.obs (t.pfx ^ ".arcs");
+        Sink.emit t.obs (fun () ->
+            Mvcc_obs.Trace.Cert_arcs { txn = st.txn; arcs; moves })
+      end
+      else begin
+        Sink.incr t.obs (t.pfx ^ ".rejected");
+        Sink.incr t.obs (t.pfx ^ ".rollbacks");
+        Sink.incr ~by:rolled t.obs (t.pfx ^ ".rollback-arcs");
+        Sink.emit t.obs (fun () ->
+            Mvcc_obs.Trace.Cert_rollback { txn = st.txn; arcs = rolled })
+      end;
+      ok
+    end
+    else feed_state t st
   in
   if ok then begin
     if Step.is_write st then Hashtbl.replace t.last_write st.entity t.accepted;
@@ -42,11 +85,6 @@ let standard_source t (st : Step.t) =
   match last_write t st.entity with
   | Some p -> Version_fn.From p
   | None -> Version_fn.Initial
-
-let graph t =
-  match t.state with
-  | Sv c -> Incr_conflict.graph c
-  | Mv c -> Incr_mvcg.graph c
 
 let accepts_all mode s =
   let t = create mode in

@@ -22,7 +22,16 @@ type verdict = Accepted | Rejected
 
 type t
 
-val create : mode -> t
+val create : ?obs:Mvcc_obs.Sink.t -> mode -> t
+(** [obs] (default {!Mvcc_obs.Sink.noop}) records per-feed accounting
+    under the prefix [cert.conflict] resp. [cert.mvcg]: counters
+    [accepted]/[rejected]/[arcs] (arcs inserted), [reorder-moves]
+    (topological-order slots the Pearce–Kelly reorder reassigned),
+    [rollbacks]/[rollback-arcs] (rejected batches and the arcs they
+    unwound), latency histogram [feed_s], and [Cert_arcs] /
+    [Cert_rollback] trace events. Decisions are identical with any
+    sink — checked by the invariance properties in test/test_obs.ml. *)
+
 val mode : t -> mode
 
 val feed : t -> Mvcc_core.Step.t -> verdict

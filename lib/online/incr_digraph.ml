@@ -29,6 +29,11 @@ type t = {
   mutable pred : (int, unit) Hashtbl.t array;
   mutable ord : int array; (* node -> index in the topological order *)
   mutable m : int;
+  (* cumulative cost/rollback accounting, read by the observability
+     layer as deltas around each operation *)
+  mutable moves : int; (* order slots reassigned by reorders *)
+  mutable rollbacks : int; (* rejected add_edges batches *)
+  mutable rolled_back : int; (* arcs removed by those rollbacks *)
 }
 
 let create ?(capacity = 8) () =
@@ -39,10 +44,16 @@ let create ?(capacity = 8) () =
     pred = Array.init capacity (fun _ -> Hashtbl.create 4);
     ord = Array.make capacity 0;
     m = 0;
+    moves = 0;
+    rollbacks = 0;
+    rolled_back = 0;
   }
 
 let n_nodes g = g.n
 let n_edges g = g.m
+let reorder_moves g = g.moves
+let rollbacks g = g.rollbacks
+let rolled_back_arcs g = g.rolled_back
 
 let ensure_node g u =
   if u < 0 then invalid_arg "Incr_digraph: negative node";
@@ -116,6 +127,7 @@ let reorder g delta_b delta_f =
   let by_ord = List.sort (fun a b -> compare g.ord.(a) g.ord.(b)) in
   let l = by_ord (nodes delta_b) @ by_ord (nodes delta_f) in
   let slots = List.sort compare (List.map (fun w -> g.ord.(w)) l) in
+  g.moves <- g.moves + List.length l;
   List.iter2 (fun w slot -> g.ord.(w) <- slot) l slots
 
 let add_edge g u v =
@@ -156,15 +168,18 @@ let add_edges g arcs =
         else false)
       arcs
   in
-  if not ok then
+  if not ok then begin
     (* deletion keeps the order valid, so removing exactly the edges
        that were new restores the pre-call structure *)
+    g.rollbacks <- g.rollbacks + 1;
+    g.rolled_back <- g.rolled_back + List.length !added;
     List.iter
       (fun (u, v) ->
         Hashtbl.remove g.succ.(u) v;
         Hashtbl.remove g.pred.(v) u;
         g.m <- g.m - 1)
-      !added;
+      !added
+  end;
   ok
 
 let remove_edge g u v =

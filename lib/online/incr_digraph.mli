@@ -24,6 +24,19 @@ val create : ?capacity:int -> unit -> t
 val n_nodes : t -> int
 val n_edges : t -> int
 
+val reorder_moves : t -> int
+(** Cumulative topological-order slots reassigned by Pearce–Kelly
+    reorders since creation — the structure's total maintenance cost.
+    Observability reads it as a delta around each insertion. *)
+
+val rollbacks : t -> int
+(** Cumulative {!add_edges} batches that were rejected and rolled
+    back. *)
+
+val rolled_back_arcs : t -> int
+(** Cumulative arcs that were inserted and then removed again by those
+    rollbacks. *)
+
 val ensure_node : t -> int -> unit
 (** [ensure_node g u] materializes nodes [0 .. u] (edgeless nodes join at
     the end of the topological order).

@@ -1,12 +1,12 @@
 open Mvcc_core
 module Scheduler = Mvcc_sched.Scheduler
 
-let scheduler =
+let with_obs obs =
   {
     Scheduler.name = "mvcg-inc";
     fresh =
       (fun () ->
-        let cert = Certifier.create Certifier.Mv_conflict in
+        let cert = Certifier.create ~obs Certifier.Mv_conflict in
         {
           Scheduler.offer =
             (fun ~prefix:_ ~last_of_txn:_ (st : Step.t) ->
@@ -19,3 +19,5 @@ let scheduler =
                      else None));
         });
   }
+
+let scheduler = with_obs Mvcc_obs.Sink.noop

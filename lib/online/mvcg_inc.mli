@@ -9,3 +9,8 @@
     instance keeps its own state and ignores the [prefix] argument. *)
 
 val scheduler : Mvcc_sched.Scheduler.t
+
+val with_obs : Mvcc_obs.Sink.t -> Mvcc_sched.Scheduler.t
+(** Same scheduler, but each fresh instance's certifier records its
+    per-feed accounting into the sink (see {!Certifier.create}).
+    [scheduler] is [with_obs Mvcc_obs.Sink.noop]. *)

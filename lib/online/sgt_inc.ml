@@ -1,12 +1,12 @@
 open Mvcc_core
 module Scheduler = Mvcc_sched.Scheduler
 
-let scheduler =
+let with_obs obs =
   {
     Scheduler.name = "sgt-inc";
     fresh =
       (fun () ->
-        let cert = Certifier.create Certifier.Conflict in
+        let cert = Certifier.create ~obs Certifier.Conflict in
         {
           Scheduler.offer =
             (fun ~prefix:_ ~last_of_txn:_ (st : Step.t) ->
@@ -21,3 +21,5 @@ let scheduler =
                      else None));
         });
   }
+
+let scheduler = with_obs Mvcc_obs.Sink.noop

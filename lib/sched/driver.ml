@@ -6,7 +6,8 @@ type outcome = {
   version_fn : Version_fn.t;
 }
 
-let run (sched : Scheduler.t) s =
+let run ?(obs = Mvcc_obs.Sink.noop) (sched : Scheduler.t) s =
+  let sched = Scheduler.instrument obs sched in
   let inst = sched.fresh () in
   let steps = Schedule.steps s in
   let n = Array.length steps in

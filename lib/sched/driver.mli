@@ -7,9 +7,12 @@ type outcome = {
       (** versions assigned to the reads of the accepted prefix *)
 }
 
-val run : Scheduler.t -> Mvcc_core.Schedule.t -> outcome
+val run :
+  ?obs:Mvcc_obs.Sink.t -> Scheduler.t -> Mvcc_core.Schedule.t -> outcome
 (** Submit the schedule step by step to a fresh instance, stopping at the
-    first rejection. *)
+    first rejection. [obs] (default {!Mvcc_obs.Sink.noop}) wraps the
+    scheduler with {!Scheduler.instrument}; the outcome is identical
+    either way. *)
 
 val accepts : Scheduler.t -> Mvcc_core.Schedule.t -> bool
 

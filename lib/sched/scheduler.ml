@@ -11,6 +11,54 @@ type t = { name : string; fresh : unit -> instance }
 
 let extend = Schedule.append
 
+(* Wrap a scheduler so every offer is counted, timed, and traced under
+   its policy name. The wrapped instance forwards the verdict
+   untouched, so instrumentation can never change a decision — the
+   invariance property tests run each policy both ways and compare. *)
+let instrument sink (sched : t) =
+  if not (Mvcc_obs.Sink.enabled sink) then sched
+  else
+    let pfx = "sched." ^ sched.name in
+    let offered = pfx ^ ".offered"
+    and accepted = pfx ^ ".accepted"
+    and rejected = pfx ^ ".rejected"
+    and offer_s = pfx ^ ".offer_s" in
+    {
+      sched with
+      fresh =
+        (fun () ->
+          let inst = sched.fresh () in
+          {
+            offer =
+              (fun ~prefix ~last_of_txn (st : Step.t) ->
+                Mvcc_obs.Sink.incr sink offered;
+                let verdict =
+                  Mvcc_obs.Sink.time sink offer_s (fun () ->
+                      inst.offer ~prefix ~last_of_txn st)
+                in
+                (match verdict with
+                | Accepted _ ->
+                    Mvcc_obs.Sink.incr sink accepted;
+                    Mvcc_obs.Sink.emit sink (fun () ->
+                        Mvcc_obs.Trace.Step_scheduled
+                          {
+                            txn = st.txn;
+                            entity = st.entity;
+                            write = Step.is_write st;
+                          })
+                | Rejected ->
+                    Mvcc_obs.Sink.incr sink rejected;
+                    Mvcc_obs.Sink.emit sink (fun () ->
+                        Mvcc_obs.Trace.Step_rejected
+                          {
+                            txn = st.txn;
+                            entity = st.entity;
+                            write = Step.is_write st;
+                          }));
+                verdict);
+          });
+    }
+
 let standard_source prefix (st : Step.t) =
   let src = ref Version_fn.Initial in
   Array.iteri

@@ -4,6 +4,9 @@
 module E = Mvcc_engine.Engine
 module P = Mvcc_engine.Program
 module S = Mvcc_engine.Store
+module Metrics = Mvcc_obs.Metrics
+module Trace = Mvcc_obs.Trace
+module Sink = Mvcc_obs.Sink
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -298,6 +301,174 @@ let test_store_prune () =
   check_int "snapshot base kept" 2 (S.read_at st "x" 3).S.value;
   check_int "latest kept" 3 (S.latest st "x").S.value
 
+(* -- observability: abort reasons, cascade chains, commit waits -- *)
+
+let instrumented ?(crash = 0.) ~policy ~programs seed =
+  let metrics = Metrics.create () in
+  let trace = Trace.create ~capacity:8192 () in
+  let obs = Sink.create ~metrics ~trace () in
+  let r =
+    E.run ~policy ~initial ~programs ~crash_probability:crash ~obs ~seed ()
+  in
+  (r, metrics, trace)
+
+let abort_reason_total metrics =
+  List.fold_left
+    (fun acc reason ->
+      acc
+      + Metrics.counter metrics ("engine.abort." ^ Trace.reason_name reason))
+    0 Trace.all_reasons
+
+(* the accounting identities every instrumented run must satisfy:
+   counters reconcile with the engine's own statistics, and the trace
+   holds exactly one terminal event per commit/abort *)
+let check_reconciled name r metrics trace =
+  check_int (name ^ ": commit counter = stats") r.E.stats.E.commits
+    (Metrics.counter metrics "engine.commits");
+  check_int (name ^ ": abort counter = stats") r.E.stats.E.aborts
+    (Metrics.counter metrics "engine.aborts");
+  check_int
+    (name ^ ": abort reasons partition the aborts")
+    r.E.stats.E.aborts (abort_reason_total metrics);
+  let count f =
+    List.length (List.filter (fun (_, e) -> f e) (Trace.to_list trace))
+  in
+  check_int (name ^ ": one commit event per commit") r.E.stats.E.commits
+    (count (function Trace.Txn_commit _ -> true | _ -> false));
+  check_int (name ^ ": one abort event per abort") r.E.stats.E.aborts
+    (count (function Trace.Txn_abort _ -> true | _ -> false))
+
+(* a dependency chain: t1 reads t0's dirty write, t2 reads t1's, t3
+   reads t2's — so a crash of an early writer must cascade down the
+   whole suffix. Filler reads keep every transaction alive long enough
+   for its successor to consume the dirty value. *)
+let chain_workload =
+  let filler = List.init 4 (fun i -> P.Read (Printf.sprintf "f%d" i)) in
+  let link label src dst =
+    { P.label; ops = (P.Read src :: P.Write (dst, P.Reg src) :: filler) }
+  in
+  [
+    { P.label = "t0"; ops = (P.Write ("x", P.Const 1) :: filler) };
+    link "t1" "x" "y";
+    link "t2" "y" "z";
+    link "t3" "z" "w";
+  ]
+
+let test_sgt_cascade_chain () =
+  let seeds = List.init 80 Fun.id in
+  (* the counters must reconcile on every seed... *)
+  List.iter
+    (fun seed ->
+      let r, metrics, trace =
+        instrumented ~crash:0.08 ~policy:E.Sgt ~programs:chain_workload
+          seed
+      in
+      check_reconciled (Printf.sprintf "cascade seed %d" seed) r metrics
+        trace)
+    seeds;
+  (* ...and some seed must exhibit a chain at least three deep: a root
+     abort (crash or certification) followed by >= 2 cascades *)
+  let deep_chain seed =
+    let _, metrics, trace =
+      instrumented ~crash:0.08 ~policy:E.Sgt ~programs:chain_workload seed
+    in
+    Metrics.counter metrics "engine.abort.cascade" >= 2
+    &&
+    let events = List.map snd (Trace.to_list trace) in
+    let rec after_root = function
+      | Trace.Txn_abort { reason = Trace.Cascade; _ } :: _ -> false
+      | Trace.Txn_abort { reason = _; _ } :: rest ->
+          List.length
+            (List.filter
+               (function
+                 | Trace.Txn_abort { reason = Trace.Cascade; _ } -> true
+                 | _ -> false)
+               rest)
+          >= 2
+      | _ :: rest -> after_root rest
+      | [] -> false
+    in
+    after_root events
+  in
+  check "some seed cascades >= 3 transactions deep" true
+    (List.exists deep_chain seeds)
+
+let test_sgt_commit_waits () =
+  (* t1 reads t0's dirty write and finishes first, so it must hold its
+     commit until t0 resolves — observable as engine.commit-waits > 0
+     while both still commit (no crashes, so nothing ever aborts) *)
+  let programs =
+    [
+      {
+        P.label = "writer";
+        ops =
+          (P.Write ("x", P.Const 7)
+          :: List.init 6 (fun i -> P.Read (Printf.sprintf "f%d" i)));
+      };
+      { P.label = "reader"; ops = [ P.Read "x" ] };
+    ]
+  in
+  let seeds = List.init 80 Fun.id in
+  let waited = ref false in
+  List.iter
+    (fun seed ->
+      let r, metrics, trace = instrumented ~policy:E.Sgt ~programs seed in
+      check_int
+        (Printf.sprintf "seed %d: both commit" seed)
+        2 r.E.stats.E.commits;
+      check_int (Printf.sprintf "seed %d: no aborts" seed) 0
+        r.E.stats.E.aborts;
+      check_reconciled
+        (Printf.sprintf "commit-wait seed %d" seed)
+        r metrics trace;
+      if Metrics.counter metrics "engine.commit-waits" > 0 then begin
+        waited := true;
+        check
+          (Printf.sprintf "seed %d: wait event traced" seed)
+          true
+          (List.exists
+             (fun (_, e) ->
+               match e with Trace.Commit_wait _ -> true | _ -> false)
+             (Trace.to_list trace))
+      end)
+    seeds;
+  check "some seed exhibits a commit wait" true !waited
+
+let test_abort_reason_counters () =
+  (* each policy's characteristic abort shows up under its own reason
+     counter on this contended workload, and never under another
+     policy's reason *)
+  let seeds = List.init 40 Fun.id in
+  let reason_hit policy name =
+    List.exists
+      (fun seed ->
+        let _, metrics, _ =
+          instrumented ~policy ~programs:bank_workload seed
+        in
+        Metrics.counter metrics ("engine.abort." ^ name) > 0)
+      seeds
+  in
+  check "ts-order aborts under TO" true (reason_hit E.To "ts-order");
+  check "first-committer aborts under SI" true
+    (reason_hit E.Si "first-committer");
+  check "no certification aborts under TO" false
+    (reason_hit E.To "certification");
+  check "no ts-order aborts under S2PL" false (reason_hit E.S2pl "ts-order");
+  (* crash injection surfaces as the crash reason under every policy *)
+  List.iter
+    (fun policy ->
+      check
+        (Printf.sprintf "crashes counted under %s" (E.policy_name policy))
+        true
+        (List.exists
+           (fun seed ->
+             let _, metrics, _ =
+               instrumented ~crash:0.1 ~policy ~programs:bank_workload seed
+             in
+             Metrics.counter metrics "engine.abort.crash" > 0)
+           seeds))
+    [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ]
+
 (* -- properties -- *)
 
 let prop_conservation =
@@ -361,6 +532,15 @@ let () =
           Alcotest.test_case "wound-wait preempts" `Quick
             test_wound_wait_preempts;
           Alcotest.test_case "store prune" `Quick test_store_prune;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "sgt cascade chain" `Quick
+            test_sgt_cascade_chain;
+          Alcotest.test_case "sgt commit waits" `Quick
+            test_sgt_commit_waits;
+          Alcotest.test_case "abort reason counters" `Quick
+            test_abort_reason_counters;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_conservation ] );

@@ -1,0 +1,364 @@
+(* Tests for the observability layer: histogram bucketing and quantile
+   extraction on known distributions, trace ring-buffer wraparound,
+   JSON-lines round-trips — and the load-bearing property that
+   instrumentation never changes a decision: every scheduler and both
+   incremental certifiers produce identical outcomes with a live sink
+   and with the noop sink, and the engine produces bit-identical runs. *)
+
+open Mvcc_core
+module Metrics = Mvcc_obs.Metrics
+module H = Mvcc_obs.Metrics.Histogram
+module Trace = Mvcc_obs.Trace
+module Sink = Mvcc_obs.Sink
+module Json = Mvcc_obs.Json
+module Driver = Mvcc_sched.Driver
+module Certifier = Mvcc_online.Certifier
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_float name expected got =
+  Alcotest.(check (float 1e-12)) name expected got
+
+(* -- histogram bucket boundaries -- *)
+
+let test_histogram_buckets () =
+  let lo = H.lo in
+  check_int "zero -> underflow bucket" 0 (H.bucket_of 0.);
+  check_int "below lo -> underflow bucket" 0 (H.bucket_of (lo /. 2.));
+  check_int "lo starts bucket 1" 1 (H.bucket_of lo);
+  check_int "just under 2*lo stays in bucket 1" 1
+    (H.bucket_of (lo *. 1.999));
+  check_int "2*lo starts bucket 2" 2 (H.bucket_of (lo *. 2.));
+  check_int "4*lo starts bucket 3" 3 (H.bucket_of (lo *. 4.));
+  (* bucket i covers [lo * 2^(i-1), lo * 2^i) exactly *)
+  for i = 1 to H.n_buckets - 2 do
+    check_int
+      (Printf.sprintf "lower bound of bucket %d" i)
+      i
+      (H.bucket_of (H.lower_bound i));
+    check_int
+      (Printf.sprintf "upper bound of bucket %d opens bucket %d" i (i + 1))
+      (min (i + 1) (H.n_buckets - 1))
+      (H.bucket_of (H.upper_bound i))
+  done;
+  check_int "huge values clamp to the overflow bucket" (H.n_buckets - 1)
+    (H.bucket_of 1e30);
+  check_float "lower bound of bucket 0" 0. (H.lower_bound 0);
+  check_float "upper/lower bounds meet" (H.upper_bound 3) (H.lower_bound 4);
+  check "overflow upper bound is infinite" true
+    (H.upper_bound (H.n_buckets - 1) = infinity)
+
+(* -- quantiles on known distributions -- *)
+
+let test_histogram_quantiles () =
+  let lo = H.lo in
+  (* single-bucket distribution: every quantile is exact (capped at the
+     observed max) *)
+  let h = H.create () in
+  for _ = 1 to 100 do
+    H.observe h (1.5 *. lo)
+  done;
+  check_int "count" 100 (H.count h);
+  check_float "p50 of a point mass" (1.5 *. lo) (H.quantile h 0.50);
+  check_float "p99 of a point mass" (1.5 *. lo) (H.quantile h 0.99);
+  check_float "max tracked exactly" (1.5 *. lo) (H.max_seen h);
+  (* 90/10 split across two buckets: p50 lands in the low bucket
+     (upper bound 2*lo), p95 and p99 in the high one (capped at max) *)
+  let h = H.create () in
+  for _ = 1 to 90 do
+    H.observe h (1.5 *. lo)
+  done;
+  for _ = 1 to 10 do
+    H.observe h (100. *. lo)
+  done;
+  check_float "p50 -> low bucket upper bound" (2. *. lo)
+    (H.quantile h 0.50);
+  check_float "p90 still in the low bucket" (2. *. lo) (H.quantile h 0.90);
+  check_float "p95 -> the tail, capped at max" (100. *. lo)
+    (H.quantile h 0.95);
+  check_float "p99 -> the tail, capped at max" (100. *. lo)
+    (H.quantile h 0.99);
+  check_float "sum accumulates" ((90. *. 1.5 *. lo) +. (10. *. 100. *. lo))
+    (H.sum h);
+  (* empty histogram *)
+  let h = H.create () in
+  check_float "empty histogram quantile" 0. (H.quantile h 0.5);
+  (* negative/NaN samples clamp to zero instead of corrupting state *)
+  H.observe h (-1.);
+  H.observe h Float.nan;
+  check_int "clamped samples counted" 2 (H.count h);
+  check_float "clamped samples are zero" 0. (H.quantile h 1.0)
+
+(* -- metrics registry -- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  check_int "untouched counter reads 0" 0 (Metrics.counter m "c");
+  Metrics.incr m "c";
+  Metrics.incr ~by:4 m "c";
+  check_int "counter accumulates" 5 (Metrics.counter m "c");
+  Metrics.set_gauge m "g" 17;
+  Metrics.set_gauge m "g" 3;
+  check_int "gauge keeps the last value" 3 (Metrics.gauge m "g");
+  Metrics.observe m "h" 1e-6;
+  Metrics.observe m "h" 1e-6;
+  (match Metrics.summary m "h" with
+  | None -> Alcotest.fail "histogram summary missing"
+  | Some s -> check_int "summary count" 2 s.Metrics.count);
+  check "kind mismatch rejected" true
+    (try
+       Metrics.incr m "h";
+       false
+     with Invalid_argument _ -> true);
+  (* snapshot is sorted and the JSON parses as a flat object prefix *)
+  let snap = Metrics.snapshot m in
+  check "snapshot sorted" true
+    (List.sort (fun (a, _) (b, _) -> compare a b) snap = snap);
+  check_int "snapshot covers every instrument" 3 (List.length snap);
+  let json = Metrics.to_json m in
+  check "json non-empty object" true
+    (String.length json > 2
+    && json.[0] = '{'
+    && json.[String.length json - 1] = '}')
+
+(* -- trace ring buffer -- *)
+
+let ev i = Trace.Txn_commit { txn = i }
+
+let test_trace_ring_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  check_int "empty ring" 0 (List.length (Trace.to_list t));
+  check_int "nothing dropped yet" 0 (Trace.dropped t);
+  for i = 0 to 2 do
+    Trace.emit t (ev i)
+  done;
+  check_int "under capacity keeps all" 3 (List.length (Trace.to_list t));
+  check "sequence numbers from 0" true
+    (List.map fst (Trace.to_list t) = [ 0; 1; 2 ]);
+  for i = 3 to 9 do
+    Trace.emit t (ev i)
+  done;
+  check_int "wrapped ring holds capacity" 4 (List.length (Trace.to_list t));
+  check_int "emitted counts everything" 10 (Trace.emitted t);
+  check_int "dropped = emitted - capacity" 6 (Trace.dropped t);
+  check "oldest-first and newest retained" true
+    (List.map fst (Trace.to_list t) = [ 6; 7; 8; 9 ]);
+  check "events preserved" true
+    (List.map snd (Trace.to_list t) = [ ev 6; ev 7; ev 8; ev 9 ]);
+  check "bad capacity rejected" true
+    (try
+       ignore (Trace.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* -- JSON-lines round trip -- *)
+
+let sample_events =
+  [
+    Trace.Step_scheduled { txn = 0; entity = "x"; write = false };
+    Trace.Step_scheduled { txn = 3; entity = "a\"b\\c"; write = true };
+    Trace.Step_delayed { txn = 1; entity = "acct0" };
+    Trace.Step_rejected { txn = 2; entity = "y"; write = true };
+    Trace.Txn_begin { txn = 4 };
+    Trace.Txn_commit { txn = 5 };
+    Trace.Commit_wait { txn = 6 };
+    Trace.Cert_arcs { txn = 7; arcs = 3; moves = 11 };
+    Trace.Cert_rollback { txn = 8; arcs = 2 };
+  ]
+  @ List.map
+      (fun reason -> Trace.Txn_abort { txn = 9; reason })
+      Trace.all_reasons
+
+let test_trace_json_round_trip () =
+  List.iteri
+    (fun i e ->
+      let line = Trace.to_json i e in
+      match Trace.of_json line with
+      | None -> Alcotest.fail ("unparseable: " ^ line)
+      | Some (seq, e') ->
+          check_int ("seq of " ^ line) i seq;
+          check ("event of " ^ line) true (e = e'))
+    sample_events;
+  (* write_jsonl emits one parseable line per retained event *)
+  let t = Trace.create ~capacity:64 () in
+  List.iter (Trace.emit t) sample_events;
+  let file = Filename.temp_file "mvcc_trace" ".jsonl" in
+  let oc = open_out file in
+  Trace.write_jsonl oc t;
+  close_out oc;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove file;
+  let parsed = List.rev_map Trace.of_json !lines in
+  check_int "one line per event" (List.length sample_events)
+    (List.length parsed);
+  check "every line parses back" true
+    (List.for_all Option.is_some parsed);
+  check "file round-trips the ring" true
+    (List.map Option.get parsed = Trace.to_list t);
+  check "garbage rejected" true (Trace.of_json "{\"seq\":1" = None);
+  check "unknown event rejected" true
+    (Trace.of_json "{\"seq\":1,\"ev\":\"warp\"}" = None)
+
+let test_json_parser () =
+  let rt fields =
+    check
+      ("round trip " ^ Json.obj fields)
+      true
+      (Json.parse_obj (Json.obj fields) = Some fields)
+  in
+  rt [];
+  rt [ ("a", Json.Int 42); ("b", Json.Str "x y"); ("c", Json.Bool false) ];
+  rt [ ("weird \"key\"", Json.Str "v\\al\nue\t!") ];
+  rt [ ("f", Json.Float 1.5); ("g", Json.Float 3.0) ];
+  check "trailing garbage rejected" true
+    (Json.parse_obj "{\"a\":1}x" = None);
+  check "nested object rejected" true
+    (Json.parse_obj "{\"a\":{\"b\":1}}" = None)
+
+(* -- noop sink is inert -- *)
+
+let test_noop_sink () =
+  check "noop disabled" false (Sink.enabled Sink.noop);
+  Sink.incr Sink.noop "x";
+  Sink.observe Sink.noop "h" 1.;
+  Sink.set_gauge Sink.noop "g" 1;
+  let forced = ref false in
+  Sink.emit Sink.noop (fun () ->
+      forced := true;
+      ev 0);
+  check "event thunk never forced on noop" false !forced;
+  check_int "time still runs the thunk" 7
+    (Sink.time Sink.noop "t" (fun () -> 7));
+  let m = Metrics.create () in
+  let live = Sink.create ~metrics:m () in
+  check "metrics-only sink enabled" true (Sink.enabled live);
+  Sink.incr live "x";
+  check_int "live sink records" 1 (Metrics.counter m "x")
+
+(* -- decision invariance: instrumentation never changes behavior -- *)
+
+let schedulers =
+  [
+    Mvcc_sched.Serial_sched.scheduler; Mvcc_sched.Two_pl.scheduler;
+    Mvcc_sched.Tso.scheduler; Mvcc_sched.Sgt.scheduler;
+    Mvcc_sched.Two_v2pl.scheduler; Mvcc_sched.Mvto.scheduler;
+    Mvcc_sched.Si.scheduler; Mvcc_sched.Mvcg_sched.scheduler;
+    Mvcc_online.Sgt_inc.scheduler; Mvcc_online.Mvcg_inc.scheduler;
+  ]
+
+let same_outcome (a : Driver.outcome) (b : Driver.outcome) =
+  a.Driver.accepted = b.Driver.accepted
+  && a.Driver.accepted_steps = b.Driver.accepted_steps
+  && Version_fn.equal a.Driver.version_fn b.Driver.version_fn
+
+let live_sink () =
+  (* a deliberately tiny ring so the property also exercises wraparound *)
+  Sink.create ~metrics:(Metrics.create ())
+    ~trace:(Trace.create ~capacity:32 ())
+    ()
+
+let gen_schedule =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    return
+      (Mvcc_workload.Schedule_gen.schedule
+         {
+           Mvcc_workload.Schedule_gen.default with
+           n_txns = 4;
+           n_entities = 2;
+           max_steps = 4;
+         }
+         rng))
+
+let prop_scheduler_invariance =
+  QCheck2.Test.make
+    ~name:"schedulers decide identically with and without a sink" ~count:400
+    gen_schedule (fun s ->
+      List.for_all
+        (fun sched ->
+          same_outcome (Driver.run sched s)
+            (Driver.run ~obs:(live_sink ()) sched s))
+        schedulers)
+
+let prop_certifier_invariance =
+  QCheck2.Test.make
+    ~name:"certifiers decide identically with and without a sink"
+    ~count:400 gen_schedule (fun s ->
+      List.for_all
+        (fun mode ->
+          let blind = Certifier.create mode in
+          let seen = Certifier.create ~obs:(live_sink ()) mode in
+          Array.for_all
+            (fun st ->
+              let a = Certifier.feed blind st in
+              let b = Certifier.feed seen st in
+              a = b
+              && Certifier.n_accepted blind = Certifier.n_accepted seen
+              && Certifier.standard_source blind st
+                 = Certifier.standard_source seen st)
+            (Schedule.steps s))
+        [ Certifier.Conflict; Certifier.Mv_conflict ])
+
+let accounts = List.init 6 (fun i -> Printf.sprintf "a%d" i)
+let initial = List.map (fun a -> (a, 100)) accounts
+
+let prop_engine_invariance =
+  QCheck2.Test.make
+    ~name:"engine runs are bit-identical with and without a sink" ~count:80
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ] in
+      let* crash = oneofl [ 0.; 0.05 ] in
+      return (seed, policy, crash))
+    (fun (seed, policy, crash) ->
+      let programs =
+        List.init 3 (fun i ->
+            P.transfer ~label:(string_of_int i)
+              ~from_:(List.nth accounts (i mod 6))
+              ~to_:(List.nth accounts ((i + 1) mod 6))
+              5)
+        @ [ P.read_all ~label:"r" accounts ]
+      in
+      let run obs =
+        E.run ~policy ~initial ~programs ~crash_probability:crash ~obs ~seed
+          ()
+      in
+      run Sink.noop = run (live_sink ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick
+            test_trace_ring_wraparound;
+          Alcotest.test_case "json round trip" `Quick
+            test_trace_json_round_trip;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+      ("sink", [ Alcotest.test_case "noop inert" `Quick test_noop_sink ]);
+      ( "invariance",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_scheduler_invariance; prop_certifier_invariance;
+            prop_engine_invariance;
+          ] );
+    ]
