@@ -53,6 +53,9 @@ let () =
     record "E18 online-cert"
       (E_online.run
          ~sizes:(if quick then [ 100; 300 ] else [ 100; 300; 1000; 3000 ]));
+  if selected "e20" then
+    record "E20 provenance"
+      (E_provenance.run ~samples:(if quick then 20 else 60));
   if selected "e19" then
     record "E19 observability"
       (E_obs.run ~seeds:(if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ]));

@@ -185,6 +185,100 @@ let schedulers_cmd =
        ~doc:"Feed a schedule to every scheduler and report the verdicts")
     Term.(const run $ schedule_arg)
 
+(* explain *)
+
+let explain_cmd =
+  let module P = Mvcc_provenance in
+  let fig1_arg =
+    Arg.(
+      value & flag
+      & info [ "fig1" ]
+          ~doc:
+            "Explain the paper's six Fig. 1 example schedules instead of a \
+             positional schedule.")
+  in
+  let dot_arg =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "On a cycle rejection, also print the (multiversion) conflict \
+             graph as DOT with the offending cycle's arcs labelled.")
+  in
+  let schedule_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCHEDULE"
+          ~doc:"Schedule in the paper's notation (omit with $(b,--fig1)).")
+  in
+  let deciders =
+    [
+      ("CSR", Mvcc_classes.Csr.decide);
+      ("MVCSR", Mvcc_classes.Mvcsr.decide);
+      ("VSR", Mvcc_classes.Vsr.decide);
+      ("VSR/sat", Mvcc_classes.Vsr.decide_sat);
+      ("MVSR", Mvcc_classes.Mvsr.decide);
+      ("FSR", Mvcc_classes.Fsr.decide);
+      ("DMVSR", Mvcc_classes.Dmvsr.decide);
+    ]
+  in
+  let explain_one ~dot s =
+    let all_confirmed = ref true in
+    List.iter
+      (fun (name, decide) ->
+        let verdict, w = decide s in
+        let outcome = P.Checker.check s w in
+        if outcome = P.Checker.Refuted then all_confirmed := false;
+        Format.printf "  %-8s %-3s  %a  [checker: %s]@." name
+          (if verdict then "yes" else "no")
+          P.Witness.pp w
+          (P.Checker.outcome_name outcome);
+        match w.P.Witness.evidence with
+        | P.Witness.Reject_cycle arcs when dot ->
+            let g =
+              if name = "CSR" then Conflict.graph s else Conflict.mv_graph s
+            in
+            print_string
+              (Mvcc_graph.Dot.to_dot
+                 ~name:(String.lowercase_ascii name)
+                 ~node_label:(fun i -> "T" ^ string_of_int (i + 1))
+                 ~edge_label:(fun u v ->
+                   if List.mem (u, v) arcs then Some "cycle" else None)
+                 g)
+        | _ -> ())
+      deciders;
+    !all_confirmed
+  in
+  let run fig1 dot text =
+    let schedules =
+      if fig1 then List.map (fun (n, _, s) -> (n, s)) T.fig1_examples
+      else
+        match text with
+        | Some t -> [ ("schedule", Schedule.of_string t) ]
+        | None ->
+            prerr_endline "explain: need a SCHEDULE argument or --fig1";
+            exit 2
+    in
+    let results =
+      List.map
+        (fun (n, s) ->
+          Format.printf "%s: %a@." n Schedule.pp s;
+          explain_one ~dot s)
+        schedules
+    in
+    if List.exists not results then begin
+      prerr_endline "explain: a certificate was REFUTED by the checker";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Decide every serializability class with a witness certificate, \
+          re-verified by the independent checker")
+    Term.(const run $ fig1_arg $ dot_arg $ schedule_opt)
+
 (* simulate *)
 
 let simulate_cmd =
@@ -223,7 +317,16 @@ let simulate_cmd =
              scheduled/delayed, certifier arc-insert/rollback) and write \
              them to $(docv) as JSON-lines.")
   in
-  let run policy readers writers stats trace_file seed =
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Issue a serializability certificate for the committed history \
+             and re-verify it with the independent checker; exit non-zero \
+             if the checker refutes it.")
+  in
+  let run policy readers writers stats trace_file certify seed =
     let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
     let initial = List.map (fun a -> (a, 100)) accounts in
     let programs =
@@ -251,10 +354,21 @@ let simulate_cmd =
         Mvcc_obs.Sink.create ?metrics ?trace:tr ()
       else Mvcc_obs.Sink.noop
     in
-    let r = Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ~seed () in
+    let prov = if certify then Some (Mvcc_provenance.Log.create ()) else None in
+    let r =
+      Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ~seed ()
+    in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
       Mvcc_engine.Engine.pp_stats r.Mvcc_engine.Engine.stats;
+    (match r.Mvcc_engine.Engine.provenance with
+    | Some (history, w) ->
+        Format.printf "history: %d committed steps@." (Schedule.length history);
+        Format.printf "witness: %a@." Mvcc_provenance.Witness.pp w;
+        let o = Mvcc_provenance.Checker.check history w in
+        Format.printf "checker: %s@." (Mvcc_provenance.Checker.outcome_name o);
+        if o = Mvcc_provenance.Checker.Refuted then exit 1
+    | None -> ());
     let total =
       List.fold_left (fun acc (_, v) -> acc + v) 0
         r.Mvcc_engine.Engine.final_state
@@ -280,7 +394,107 @@ let simulate_cmd =
        ~doc:"Run a banking workload through the storage engine")
     Term.(
       const run $ policy_arg $ readers_arg $ writers_arg $ stats_arg
-      $ trace_arg $ seed_arg)
+      $ trace_arg $ certify_arg $ seed_arg)
+
+(* replay *)
+
+let replay_cmd =
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
+          ("mvto", Mvcc_engine.Engine.Mvto); ("si", Mvcc_engine.Engine.Si);
+          ("sgt", Mvcc_engine.Engine.Sgt) ]
+    in
+    Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto
+         & info [ "policy" ] ~doc:"Concurrency control policy of the run.")
+  in
+  let readers_arg =
+    Arg.(value & opt int 6 & info [ "readers" ] ~doc:"Analytics transactions.")
+  in
+  let writers_arg =
+    Arg.(value & opt int 3 & info [ "writers" ] ~doc:"Transfer transactions.")
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"JSON-lines trace captured by $(b,simulate --trace).")
+  in
+  let run policy readers writers trace_file seed =
+    let ic = open_in trace_file in
+    let recorded, skipped = Mvcc_obs.Trace.read_jsonl ic in
+    close_in ic;
+    (* reconstruct the run: same workload, same seed, fresh trace *)
+    let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
+    let initial = List.map (fun a -> (a, 100)) accounts in
+    let programs =
+      List.init readers (fun i ->
+          Mvcc_engine.Program.read_all
+            ~label:(Printf.sprintf "audit%d" i)
+            accounts)
+      @ List.init writers (fun i ->
+            Mvcc_engine.Program.transfer
+              ~label:(Printf.sprintf "xfer%d" i)
+              ~from_:(List.nth accounts (i mod 8))
+              ~to_:(List.nth accounts ((i + 1) mod 8))
+              10)
+    in
+    let t = Mvcc_obs.Trace.create ~capacity:65536 () in
+    let obs = Mvcc_obs.Sink.create ~trace:t () in
+    let r = Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ~seed () in
+    let replayed = Mvcc_obs.Trace.to_list t in
+    let lines l = List.map (fun (seq, ev) -> Mvcc_obs.Trace.to_json seq ev) l in
+    let rec_lines = lines recorded and rep_lines = lines replayed in
+    Format.printf "recorded: %d events (%d unparseable line(s) skipped)@."
+      (List.length recorded) skipped;
+    Format.printf "replayed: %d events@." (List.length replayed);
+    let events_match = rec_lines = rep_lines in
+    if events_match then Format.printf "events  : byte-for-byte identical@."
+    else begin
+      Format.printf "events  : MISMATCH@.";
+      let rec first_diff i = function
+        | a :: tl, b :: tl' ->
+            if a <> b then Format.printf "  first divergence at event %d:@.  recorded: %s@.  replayed: %s@." i a b
+            else first_diff (i + 1) (tl, tl')
+        | a :: _, [] -> Format.printf "  recorded has extra event %d: %s@." i a
+        | [], b :: _ -> Format.printf "  replayed has extra event %d: %s@." i b
+        | [], [] -> ()
+      in
+      first_diff 0 (rec_lines, rep_lines)
+    end;
+    (* cross-check the decision counters the trace implies against the
+       replayed run's stats *)
+    let count f = List.length (List.filter (fun (_, ev) -> f ev) recorded) in
+    let commits_rec =
+      count (function Mvcc_obs.Trace.Txn_commit _ -> true | _ -> false)
+    and aborts_rec =
+      count (function Mvcc_obs.Trace.Txn_abort _ -> true | _ -> false)
+    in
+    let st = r.Mvcc_engine.Engine.stats in
+    Format.printf "commits : recorded %d, replayed %d@." commits_rec
+      st.Mvcc_engine.Engine.commits;
+    Format.printf "aborts  : recorded %d, replayed %d@." aborts_rec
+      st.Mvcc_engine.Engine.aborts;
+    let ok =
+      events_match
+      && commits_rec = st.Mvcc_engine.Engine.commits
+      && aborts_rec = st.Mvcc_engine.Engine.aborts
+    in
+    if not ok then begin
+      prerr_endline "replay: reconstruction does not match the recorded trace";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Reconstruct an engine run from a recorded trace and verify the \
+          replayed decisions match it byte-for-byte")
+    Term.(
+      const run $ policy_arg $ readers_arg $ writers_arg $ trace_arg
+      $ seed_arg)
 
 let () =
   let info =
@@ -294,5 +508,5 @@ let () =
        (Cmd.group info
           [
             classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
-            simulate_cmd; dot_cmd; switch_cmd;
+            simulate_cmd; dot_cmd; switch_cmd; explain_cmd; replay_cmd;
           ]))

@@ -10,3 +10,14 @@ let witness s =
   | Some order -> Some (Schedule.serialization s order)
 
 let violation s = Cycle.find_cycle (Conflict.graph s)
+
+module Witness = Mvcc_provenance.Witness
+
+let decide s =
+  let g = Conflict.graph s in
+  match Topo.sort g with
+  | Some order ->
+      (true, { Witness.claim = Member Csr; evidence = Accept_topo order })
+  | None ->
+      let arcs = Option.get (Cycle.shortest_cycle g) in
+      (false, { Witness.claim = Non_member Csr; evidence = Reject_cycle arcs })

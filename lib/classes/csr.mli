@@ -14,3 +14,8 @@ val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
 val violation : Mvcc_core.Schedule.t -> int list option
 (** A cycle of the conflict graph (transaction indices), if the schedule is
     not CSR — the set of transactions that cannot be untangled. *)
+
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} together with a checkable certificate: a
+    topological order of the conflict graph on acceptance, a shortest
+    conflict-graph cycle on rejection. *)

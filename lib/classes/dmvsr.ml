@@ -30,3 +30,12 @@ let transform s =
   Schedule.of_steps ~n_txns:(Schedule.n_txns s) steps
 
 let test s = Mvsr.test (transform s)
+
+module Witness = Mvcc_provenance.Witness
+
+let decide s =
+  let ok, (w : Witness.t) = Mvsr.decide (transform s) in
+  let claim =
+    if ok then Witness.Member Witness.Dmvsr else Witness.Non_member Witness.Dmvsr
+  in
+  (ok, { w with claim })

@@ -17,3 +17,7 @@ val test : Mvcc_core.Schedule.t -> bool
 val has_blind_writes : Mvcc_core.Schedule.t -> bool
 (** Does any transaction write an entity it has not previously read? In
     the restricted (no-blind-write) model, DMVSR coincides with MVSR. *)
+
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} with a checkable certificate over
+    [transform s] (the checker re-derives the same padding). *)

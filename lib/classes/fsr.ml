@@ -14,3 +14,32 @@ let witness s =
     (Schedule.all_serializations s)
 
 let test s = Option.is_some (witness s)
+
+module Witness = Mvcc_provenance.Witness
+
+(* All permutations of [0 .. n-1]; the order all_serializations uses. *)
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+        l
+
+let decide s =
+  let sig_s = signature s in
+  let tried = ref 0 in
+  let hit =
+    List.find_opt
+      (fun order ->
+        incr tried;
+        signature (Schedule.serialization s order) = sig_s)
+      (perms (List.init (Schedule.n_txns s) Fun.id))
+  in
+  match hit with
+  | Some order ->
+      (true, { Witness.claim = Member Fsr; evidence = Accept_topo order })
+  | None ->
+      ( false,
+        { Witness.claim = Non_member Fsr;
+          evidence = Reject_exhausted { branches = !tried; propagated = 0 };
+        } )

@@ -20,3 +20,8 @@ val test : Mvcc_core.Schedule.t -> bool
 
 val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
 (** A final-state-equivalent serial schedule, if any. *)
+
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} with a checkable certificate: the
+    serialization order found on acceptance, the number of orders
+    exhausted on rejection. *)

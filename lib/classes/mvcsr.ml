@@ -11,6 +11,17 @@ let witness s =
 
 let violation s = Cycle.find_cycle (Conflict.mv_graph s)
 
+module Witness = Mvcc_provenance.Witness
+
+let decide s =
+  let g = Conflict.mv_graph s in
+  match Topo.sort g with
+  | Some order ->
+      (true, { Witness.claim = Member Mvcsr; evidence = Accept_topo order })
+  | None ->
+      let arcs = Option.get (Cycle.shortest_cycle g) in
+      (false, { Witness.claim = Non_member Mvcsr; evidence = Reject_cycle arcs })
+
 let version_fn_for s r =
   let to_r = Equiv.occurrence_map s r in
   let to_s = Equiv.occurrence_map r s in

@@ -17,6 +17,11 @@ val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
 val violation : Mvcc_core.Schedule.t -> int list option
 (** A cycle of MVCG(s) if [s] is not MVCSR. *)
 
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} with a checkable certificate: a topological
+    order of MVCG(s) on acceptance, a shortest MVCG cycle on
+    rejection. *)
+
 val version_fn_for :
   Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t -> Mvcc_core.Version_fn.t
 (** The version function of Theorem 3's proof: given [s] multiversion-

@@ -147,23 +147,32 @@ let induced_version_fn ctx order =
     order;
   !v
 
-let search s pinned =
+(* The search, instrumented: [branches] counts transaction placements
+   tried, [memo_hits] counts subtrees pruned by the memo table — the
+   effort figures a rejection certificate carries. *)
+let search_stats s pinned =
   if not (Version_fn.legal s pinned) then
     invalid_arg "Mvsr: pinned version function not legal";
   let ctx = analyse s pinned in
   let n = Array.length ctx.txns in
   let memo = Hashtbl.create 256 in
   let last_writer = Array.make ctx.n_ents (-1) in
+  let branches = ref 0 in
+  let memo_hits = ref 0 in
   let rec go mask depth acc =
     if depth = n then Some (List.rev acc)
     else
       let key = state_key mask last_writer in
-      if Hashtbl.mem memo key then None
+      if Hashtbl.mem memo key then begin
+        incr memo_hits;
+        None
+      end
       else begin
         let rec try_txn i =
           if i >= n then None
           else if mask land (1 lsl i) = 0 && can_place ctx last_writer i
           then begin
+            incr branches;
             let saved =
               List.map (fun e -> (e, last_writer.(e))) ctx.txns.(i).writes
             in
@@ -181,12 +190,31 @@ let search s pinned =
         result
       end
   in
-  match go 0 0 [] with
-  | None -> None
-  | Some order -> Some (order, induced_version_fn ctx order)
+  let result =
+    match go 0 0 [] with
+    | None -> None
+    | Some order -> Some (order, induced_version_fn ctx order)
+  in
+  (result, !branches, !memo_hits)
+
+let search s pinned =
+  let r, _, _ = search_stats s pinned in
+  r
 
 let certificate_pinned s ~pinned = search s pinned
 let certificate s = search s Version_fn.empty
+
+module Witness = Mvcc_provenance.Witness
+
+let decide s =
+  match search_stats s Version_fn.empty with
+  | Some (order, v), _, _ ->
+      (true, { Witness.claim = Member Mvsr; evidence = Accept_version_fn (order, v) })
+  | None, branches, propagated ->
+      ( false,
+        { Witness.claim = Non_member Mvsr;
+          evidence = Reject_exhausted { branches; propagated };
+        } )
 let test s = Option.is_some (certificate s)
 let test_pinned s ~pinned = Option.is_some (certificate_pinned s ~pinned)
 

@@ -48,3 +48,8 @@ val test_naive : Mvcc_core.Schedule.t -> bool
 (** Paper-literal oracle: enumerate all legal version functions and all
     serializations and compare READ-FROM relations. Doubly exponential;
     for cross-validation on very small schedules only. *)
+
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} with a checkable certificate: the
+    serialization order and induced version function on acceptance, the
+    search effort (placements tried, memo prunes) on rejection. *)

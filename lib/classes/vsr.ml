@@ -91,3 +91,44 @@ let test_exact s =
   List.exists
     (fun r -> Equiv.view_equivalent s r)
     (Schedule.all_serializations s)
+
+module Witness = Mvcc_provenance.Witness
+module Topo = Mvcc_graph.Topo
+
+(* Drop the padding transactions T0 (index 0) and Tf (index n+1) and
+   shift back to original indices. *)
+let unpad_order s order =
+  let n = Schedule.n_txns s in
+  List.filter_map
+    (fun i -> if i = 0 || i = n + 1 then None else Some (i - 1))
+    order
+
+let decide s =
+  let p = polygraph_of s in
+  match Acyclicity.solve_stats p with
+  | Some g, _ ->
+      let order = Option.get (Topo.sort g) in
+      ( true,
+        { Witness.claim = Member Vsr; evidence = Accept_topo (unpad_order s order) } )
+  | None, { Acyclicity.branches; propagated } ->
+      ( false,
+        { Witness.claim = Non_member Vsr;
+          evidence = Reject_exhausted { branches; propagated };
+        } )
+
+let decide_sat s =
+  let p = polygraph_of s in
+  let cnf = Mvcc_polygraph.Sat_encoding.encode p in
+  match Mvcc_sat.Dpll.solve_stats cnf with
+  | Some a, _ ->
+      let order = Mvcc_polygraph.Sat_encoding.order_of_assignment p a in
+      ( true,
+        { Witness.claim = Member Vsr;
+          evidence = Accept_assignment (unpad_order s order);
+        } )
+  | None, { Mvcc_sat.Dpll.decisions; propagations } ->
+      ( false,
+        { Witness.claim = Non_member Vsr;
+          evidence =
+            Reject_exhausted { branches = decisions; propagated = propagations };
+        } )

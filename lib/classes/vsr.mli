@@ -25,3 +25,13 @@ val polygraph_of : Mvcc_core.Schedule.t -> Mvcc_polygraph.Polygraph.t
     schedule, and per such pair a choice sending every other writer of the
     entity before the writer or after the reader. The schedule is VSR iff
     this polygraph is acyclic. *)
+
+val decide : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** The verdict of {!test} with a checkable certificate: a serialization
+    order decoded from the compatible acyclic digraph on acceptance, the
+    choice-tree search effort on rejection. *)
+
+val decide_sat : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
+(** Like {!decide} through the SAT order encoding: the order decoded
+    from a satisfying assignment ([Accept_assignment]) on acceptance,
+    DPLL search effort on rejection. *)

@@ -1,6 +1,7 @@
 module Sink = Mvcc_obs.Sink
 module Tr = Mvcc_obs.Trace
 module Ig = Mvcc_online.Incr_digraph
+module W = Mvcc_provenance.Witness
 
 type policy = S2pl | To | Mvto | Si | Sgt
 
@@ -36,7 +37,11 @@ let pp_stats ppf s =
     s.commits s.aborts s.ticks s.blocked_ticks s.reads s.writes
     s.max_version_chain s.gc_pruned
 
-type result = { stats : stats; final_state : (string * int) list }
+type result = {
+  stats : stats;
+  final_state : (string * int) list;
+  provenance : (Mvcc_core.Schedule.t * W.t) option;
+}
 
 type status =
   | Ready
@@ -65,8 +70,8 @@ type client = {
 type lock = { mutable readers : int list; mutable writer : int option }
 
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
-    ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ~seed
-    () =
+    ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ?prov
+    ~seed () =
   let rng = Random.State.make [| seed |] in
   let store = Store.create ~initial in
   let next_ts = ref 0 in
@@ -94,6 +99,17 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     |> Array.of_list
   in
   Sink.set_gauge obs "engine.clients" (Array.length clients);
+  (* Provenance bookkeeping (all pure accounting — decisions are
+     untouched): the operation log of every attempt, each client's
+     attempt counter, the committing client behind each installed write
+     timestamp, and the commit order. The committed final attempts,
+     replayed in operation order, are the history the end-of-run witness
+     is issued for. *)
+  let prov_ops = ref [] in
+  (* (client, attempt, step, read source), newest first *)
+  let attempts = Array.make (Array.length clients) 0 in
+  let writer_of_wts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let commit_seq = ref [] in
   Array.iter
     (fun c -> Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id }))
     clients;
@@ -225,11 +241,35 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   in
   let record_op c e ~write =
     incr (if write then writes else reads);
+    (match prov with
+    | None -> ()
+    | Some _ ->
+        (* the source of a multiversion read, re-derived without side
+           effects (Store.read_at is pure; the rts bump happens in
+           read_value) *)
+        let src =
+          if write then None
+          else if List.mem_assoc e c.buffer then Some `Self
+          else
+            match policy with
+            | Mvto | Si ->
+                let ts = if policy = Mvto then c.ts else c.snapshot in
+                let w = (Store.read_at store e ts).Store.wts in
+                if w = 0 then Some `Init
+                else Some (`Writer (Hashtbl.find writer_of_wts w))
+            | S2pl | To | Sgt -> None
+        in
+        let st =
+          if write then Mvcc_core.Step.write c.id e
+          else Mvcc_core.Step.read c.id e
+        in
+        prov_ops := (c.id, attempts.(c.id), st, src) :: !prov_ops);
     Sink.emit obs (fun () ->
         Tr.Step_scheduled { txn = c.id; entity = e; write })
   in
   let abort ~reason c =
     incr aborts;
+    attempts.(c.id) <- attempts.(c.id) + 1;
     Sink.incr obs "engine.aborts";
     Sink.incr obs ("engine.abort." ^ Tr.reason_name reason);
     Sink.emit obs (fun () -> Tr.Txn_abort { txn = c.id; reason });
@@ -340,8 +380,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   in
   let record_commit c =
     incr commits;
+    commit_seq := c.id :: !commit_seq;
     Sink.incr obs "engine.commits";
     Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id })
+  in
+  let install_for c e ~value ~wts =
+    Store.install store e ~value ~wts;
+    Hashtbl.replace writer_of_wts wts c.id
   in
   let commit c =
     (* install buffered writes oldest-binding-last so the final value of a
@@ -363,7 +408,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               [] c.buffer
           in
           List.iter
-            (fun (e, v) -> Store.install store e ~value:v ~wts:c.ts)
+            (fun (e, v) -> install_for c e ~value:v ~wts:c.ts)
             final_bindings;
           c.status <- Committed;
           record_commit c
@@ -388,7 +433,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           in
           let commit_ts = fresh_ts () in
           List.iter
-            (fun (e, v) -> Store.install store e ~value:v ~wts:commit_ts)
+            (fun (e, v) -> install_for c e ~value:v ~wts:commit_ts)
             final_bindings;
           c.status <- Committed;
           record_commit c
@@ -419,7 +464,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               [] c.buffer
           in
           List.iter
-            (fun (e, v) -> Store.install store e ~value:v ~wts:(fresh_ts ()))
+            (fun (e, v) -> install_for c e ~value:v ~wts:(fresh_ts ()))
             final_bindings;
           drop_dirty c;
           c.deps <- [];
@@ -433,7 +478,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             [] c.buffer
         in
         List.iter
-          (fun (e, v) -> Store.install store e ~value:v ~wts:(fresh_ts ()))
+          (fun (e, v) -> install_for c e ~value:v ~wts:(fresh_ts ()))
           final_bindings;
         release c;
         clear_pending c;
@@ -599,6 +644,100 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   Sink.set_gauge obs "engine.max-version-chain" max_chain;
   Sink.set_gauge obs "engine.ticks" !ticks;
   Sink.set_gauge obs "engine.blocked-ticks" !blocked_ticks;
+  (* Issue the run's serializability certificate: the committed final
+     attempts, in operation order, form the history; the witness order
+     is the one the policy's own invariant guarantees (commit order for
+     strict 2PL, timestamp order for TO/MVTO, the certification graph's
+     topological order for SGT). SI claims only read consistency — it
+     is not serializable in general. *)
+  let provenance =
+    match prov with
+    | None -> None
+    | Some log ->
+        let n = Array.length clients in
+        let committed = Array.map (fun c -> c.status = Committed) clients in
+        let final_ops =
+          List.filter
+            (fun (id, att, _, _) -> committed.(id) && att = attempts.(id))
+            (List.rev !prov_ops)
+        in
+        let history =
+          Mvcc_core.Schedule.of_steps ~n_txns:n
+            (List.map (fun (_, _, st, _) -> st) final_ops)
+        in
+        let append_missing order =
+          order
+          @ List.filter (fun i -> not (List.mem i order)) (List.init n Fun.id)
+        in
+        let ts_order =
+          Array.to_list clients
+          |> List.filter (fun c -> c.status = Committed)
+          |> List.sort (fun a b -> compare a.ts b.ts)
+          |> List.map (fun c -> c.id)
+          |> append_missing
+        in
+        let version_fn () =
+          let hsteps = Mvcc_core.Schedule.steps history in
+          let v = ref Mvcc_core.Version_fn.empty in
+          List.iteri
+            (fun pos (_, _, (st : Mvcc_core.Step.t), src) ->
+              match src with
+              | None -> ()
+              | Some `Init ->
+                  v := Mvcc_core.Version_fn.(add pos Initial !v)
+              | Some `Self ->
+                  (* the client's own write immediately preceding the
+                     read, as buffered reads see it *)
+                  let q = ref (-1) in
+                  for k = 0 to pos - 1 do
+                    let s2 = hsteps.(k) in
+                    if
+                      s2.Mvcc_core.Step.txn = st.txn
+                      && s2.entity = st.entity
+                      && Mvcc_core.Step.is_write s2
+                    then q := k
+                  done;
+                  v := Mvcc_core.Version_fn.(add pos (From !q) !v)
+              | Some (`Writer j) -> (
+                  match
+                    Mvcc_core.Read_from.last_write_of history ~txn:j
+                      ~entity:st.entity
+                  with
+                  | Some q -> v := Mvcc_core.Version_fn.(add pos (From q) !v)
+                  | None -> ()))
+            final_ops;
+          !v
+        in
+        let witness =
+          match policy with
+          | S2pl ->
+              { W.claim = Member Csr;
+                evidence = Accept_topo (append_missing (List.rev !commit_seq));
+              }
+          | To -> { W.claim = Member Csr; evidence = Accept_topo ts_order }
+          | Sgt ->
+              let topo =
+                Ig.topological_order (Mvcc_online.Incr_conflict.graph cert)
+                |> List.filter (fun i -> i < n && committed.(i))
+              in
+              { W.claim = Member Csr;
+                evidence = Accept_topo (append_missing topo);
+              }
+          | Mvto ->
+              { W.claim = Member Mvsr;
+                evidence = Accept_version_fn (ts_order, version_fn ());
+              }
+          | Si ->
+              { W.claim = Read_consistent;
+                evidence = Accept_version_fn ([], version_fn ());
+              }
+        in
+        let id = Mvcc_provenance.Log.register log witness in
+        Sink.emit obs (fun () ->
+            Tr.Decision
+              { site = "engine." ^ policy_name policy; id; ok = true });
+        Some (history, witness)
+  in
   {
     stats =
       {
@@ -612,4 +751,5 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         gc_pruned = !gc_pruned;
       };
     final_state = Store.value_map store;
+    provenance;
   }

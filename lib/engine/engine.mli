@@ -62,7 +62,13 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
-type result = { stats : stats; final_state : (string * int) list }
+type result = {
+  stats : stats;
+  final_state : (string * int) list;
+  provenance : (Mvcc_core.Schedule.t * Mvcc_provenance.Witness.t) option;
+      (** with [prov]: the committed history (final attempts of committed
+          transactions, in operation order) and the run's certificate *)
+}
 
 val run :
   policy:policy ->
@@ -73,6 +79,7 @@ val run :
   ?crash_probability:float ->
   ?deadlock:deadlock_policy ->
   ?obs:Mvcc_obs.Sink.t ->
+  ?prov:Mvcc_provenance.Log.t ->
   seed:int ->
   unit ->
   result
@@ -99,4 +106,16 @@ val run :
     [engine.cert.rollbacks], [engine.cert.rollback-arcs]) with feed
     latency histogram [engine.cert.feed_s]; trace events for txn
     begin/commit/abort-with-reason, step scheduled/delayed, commit
-    waits, and certifier arc-insert/rollback. *)
+    waits, and certifier arc-insert/rollback.
+
+    [prov] (default off) makes the run issue a decision certificate: the
+    committed history together with a witness of the policy's guarantee —
+    [Member Csr] with the commit order (S2PL), the timestamp order (TO),
+    or the certification graph's topological order (SGT); [Member Mvsr]
+    with the timestamp order and the version function actually served
+    (MVTO); [Read_consistent] with the served version function (SI,
+    which is {e not} serializable in general). The witness is registered
+    in [prov] and a [Decision] trace event carries its id; the test
+    suite verifies every witness with [Mvcc_provenance.Checker] against
+    the returned history. Like [obs], provenance never changes a
+    decision. *)

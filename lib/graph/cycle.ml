@@ -55,6 +55,66 @@ let find_cycle g =
     None
   with Found c -> Some c
 
+let arcs_of_nodes = function
+  | [] -> []
+  | first :: _ as nodes ->
+      let rec walk = function
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: walk rest
+        | [] -> []
+      in
+      walk nodes
+
+(* Shortest cycle through [start]: BFS along successors; the first time
+   the frontier closes back on [start], the parent chain is a minimum
+   cycle through it. *)
+let shortest_cycle_through g start =
+  let n = Digraph.n_nodes g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start q;
+  let closing = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let u = Queue.pop q in
+       Digraph.iter_succ
+         (fun v ->
+           if v = start then begin
+             closing := Some u;
+             raise Exit
+           end
+           else if not seen.(v) then begin
+             seen.(v) <- true;
+             parent.(v) <- u;
+             Queue.add v q
+           end)
+         g u
+     done
+   with Exit -> ());
+  match !closing with
+  | None -> None
+  | Some last ->
+      let rec back u acc =
+        if u = start then u :: acc else back parent.(u) (u :: acc)
+      in
+      Some (back last [])
+
+let shortest_cycle g =
+  let n = Digraph.n_nodes g in
+  let best = ref None in
+  for u = 0 to n - 1 do
+    match shortest_cycle_through g u with
+    | Some nodes
+      when (match !best with
+           | None -> true
+           | Some b -> List.length nodes < List.length b) ->
+        best := Some nodes
+    | _ -> ()
+  done;
+  Option.map arcs_of_nodes !best
+
 exception Reached
 
 let reachable g u v =

@@ -15,6 +15,18 @@ val find_cycle : Digraph.t -> int list option
 (** [find_cycle g] is [Some [v0; v1; ...; vk]] where [v0 -> v1 -> ... -> vk
     -> v0] is a directed cycle of [g], or [None] if [g] is acyclic. *)
 
+val arcs_of_nodes : int list -> (int * int) list
+(** [arcs_of_nodes [v0; ...; vk]] is the arc list of the closed walk
+    [v0 -> v1 -> ... -> vk -> v0]: [[(v0, v1); ...; (vk, v0)]] (for a
+    single node, the self-loop [[(v0, v0)]]; empty input gives []). *)
+
+val shortest_cycle : Digraph.t -> (int * int) list option
+(** A minimum-length directed cycle of [g] as its arc list
+    [[(v0, v1); ...; (vk, v0)]], or [None] if [g] is acyclic. The cycle
+    is simple (no node repeats) and every arc is an edge of [g] — this
+    is the witness a rejection certificate carries, so smaller is
+    better. BFS from every node: O(V * (V + E)). *)
+
 val reachable : Digraph.t -> int -> int -> bool
 (** [reachable g u v] is [true] iff there is a directed path from [u] to
     [v] (a path of length 0 counts: [reachable g u u = true]). *)

@@ -54,6 +54,7 @@ module Histogram = struct
   let count h = h.count
   let sum h = h.sum
   let max_seen h = h.max_seen
+  let overflow h = h.buckets.(n_buckets - 1)
 
   (* Quantile estimate: the upper bound of the bucket holding the
      rank-ceil(q * count) sample, capped at the maximum observed value —
@@ -86,6 +87,7 @@ type summary = {
   p95 : float;
   p99 : float;
   max : float;
+  overflow : int;
 }
 
 let summarize h =
@@ -96,6 +98,7 @@ let summarize h =
     p95 = Histogram.quantile h 0.95;
     p99 = Histogram.quantile h 0.99;
     max = Histogram.max_seen h;
+    overflow = Histogram.overflow h;
   }
 
 type instrument =
@@ -176,6 +179,7 @@ let to_json t =
                  ("p95", Json.Float s.p95);
                  ("p99", Json.Float s.p99);
                  ("max", Json.Float s.max);
+                 ("overflow", Json.Int s.overflow);
                ]))
     (snapshot t);
   Buffer.add_char b '}';

@@ -34,6 +34,9 @@ module Histogram : sig
   val sum : h -> float
   val max_seen : h -> float
 
+  val overflow : h -> int
+  (** Samples that landed in the overflow (last) bucket. *)
+
   val quantile : h -> float -> float
   (** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) as
       the upper bound of the bucket holding the rank-[ceil (q * count)]
@@ -47,6 +50,7 @@ type summary = {
   p95 : float;
   p99 : float;
   max : float;
+  overflow : int;  (** samples beyond the last finite bucket boundary *)
 }
 
 type t
@@ -71,4 +75,5 @@ val snapshot : t -> (string * value) list
 
 val to_json : t -> string
 (** The snapshot as a one-line JSON object: counters and gauges as
-    integers, histograms as [{count, sum, p50, p95, p99, max}]. *)
+    integers, histograms as [{count, sum, p50, p95, p99, max,
+    overflow}]. *)

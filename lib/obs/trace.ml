@@ -48,6 +48,7 @@ type event =
   | Commit_wait of { txn : int }
   | Cert_arcs of { txn : int; arcs : int; moves : int }
   | Cert_rollback of { txn : int; arcs : int }
+  | Decision of { site : string; id : int; ok : bool }
 
 type t = {
   capacity : int;
@@ -104,6 +105,11 @@ let to_json seq ev =
         ]
     | Cert_rollback { txn; arcs } ->
         [ ("ev", Str "cert-rollback"); ("txn", Int txn); ("arcs", Int arcs) ]
+    | Decision { site; id; ok } ->
+        [
+          ("ev", Str "decision"); ("site", Str site); ("id", Int id);
+          ("ok", Bool ok);
+        ]
   in
   Json.obj (("seq", Int seq) :: fields)
 
@@ -168,6 +174,11 @@ let of_json line =
             let* txn = int "txn" in
             let* arcs = int "arcs" in
             Some (Cert_rollback { txn; arcs })
+        | "decision" ->
+            let* site = str "site" in
+            let* id = int "id" in
+            let* ok = bool "ok" in
+            Some (Decision { site; id; ok })
         | _ -> None
       in
       Some (seq, event)
@@ -178,3 +189,22 @@ let write_jsonl oc t =
       output_string oc (to_json seq ev);
       output_char oc '\n')
     (to_list t)
+
+(* Tolerant bulk ingestion: a trace file on disk may have been truncated
+   mid-line by a crash or interleaved with foreign output; skip what does
+   not parse and report how much was skipped, rather than failing the
+   whole replay on one bad line. *)
+let read_jsonl ic =
+  let events = ref [] in
+  let skipped = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line = "" then ()
+       else
+         match of_json line with
+         | Some e -> events := e :: !events
+         | None -> incr skipped
+     done
+   with End_of_file -> ());
+  (List.rev !events, !skipped)

@@ -35,6 +35,11 @@ type event =
           Pearce–Kelly reorder reassigned *)
   | Cert_rollback of { txn : int; arcs : int }
       (** a rejected step: arcs inserted then rolled back *)
+  | Decision of { site : string; id : int; ok : bool }
+      (** a provenance-bearing verdict: [site] names the decision site
+          (e.g. ["cert.conflict"], ["engine.mvto"]), [id] is the witness
+          id in the run's {!Mvcc_provenance.Log.t} (the trace itself
+          stays flat JSON), [ok] the verdict *)
 
 type t
 
@@ -63,3 +68,9 @@ val of_json : string -> (int * event) option
 
 val write_jsonl : out_channel -> t -> unit
 (** {!to_list} as JSON-lines, one event per line. *)
+
+val read_jsonl : in_channel -> (int * event) list * int
+(** Parse a JSON-lines trace back, in file order. Blank lines are
+    ignored; truncated or garbage lines are skipped, and the second
+    component counts how many were. Inverse of {!write_jsonl} on
+    well-formed files (skip count 0). *)

@@ -11,9 +11,10 @@ type t = {
   mutable accepted : int;
   obs : Sink.t;
   pfx : string; (* metric-name prefix, e.g. "cert.conflict" *)
+  log : Mvcc_provenance.Log.t option;
 }
 
-let create ?(obs = Sink.noop) mode =
+let create ?(obs = Sink.noop) ?log mode =
   {
     state =
       (match mode with
@@ -26,6 +27,7 @@ let create ?(obs = Sink.noop) mode =
       (match mode with
       | Conflict -> "cert.conflict"
       | Mv_conflict -> "cert.mvcg");
+    log;
   }
 
 let mode t = match t.state with Sv _ -> Conflict | Mv _ -> Mv_conflict
@@ -89,3 +91,36 @@ let standard_source t (st : Step.t) =
 let accepts_all mode s =
   let t = create mode in
   Array.for_all (fun st -> feed t st = Accepted) (Schedule.steps s)
+
+module Witness = Mvcc_provenance.Witness
+
+type explained = { verdict : verdict; witness : Witness.t }
+
+let feed_explained t (st : Step.t) =
+  let verdict = feed t st in
+  let klass =
+    match mode t with Conflict -> Witness.Csr | Mv_conflict -> Witness.Mvcsr
+  in
+  let witness =
+    match verdict with
+    | Accepted ->
+        (* the maintained order covers every transaction fed so far, so
+           it serializes the whole accepted prefix *)
+        { Witness.claim = Member klass;
+          evidence = Accept_topo (Incr_digraph.topological_order (graph t));
+        }
+    | Rejected ->
+        { Witness.claim = Non_member klass;
+          evidence =
+            Reject_cycle
+              (Option.value (Incr_digraph.rejection_cycle (graph t)) ~default:[]);
+        }
+  in
+  (match t.log with
+  | None -> ()
+  | Some log ->
+      let id = Mvcc_provenance.Log.register log witness in
+      Sink.emit t.obs (fun () ->
+          Mvcc_obs.Trace.Decision
+            { site = t.pfx; id; ok = verdict = Accepted }));
+  { verdict; witness }

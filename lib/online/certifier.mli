@@ -22,7 +22,7 @@ type verdict = Accepted | Rejected
 
 type t
 
-val create : ?obs:Mvcc_obs.Sink.t -> mode -> t
+val create : ?obs:Mvcc_obs.Sink.t -> ?log:Mvcc_provenance.Log.t -> mode -> t
 (** [obs] (default {!Mvcc_obs.Sink.noop}) records per-feed accounting
     under the prefix [cert.conflict] resp. [cert.mvcg]: counters
     [accepted]/[rejected]/[arcs] (arcs inserted), [reorder-moves]
@@ -30,7 +30,9 @@ val create : ?obs:Mvcc_obs.Sink.t -> mode -> t
     [rollbacks]/[rollback-arcs] (rejected batches and the arcs they
     unwound), latency histogram [feed_s], and [Cert_arcs] /
     [Cert_rollback] trace events. Decisions are identical with any
-    sink — checked by the invariance properties in test/test_obs.ml. *)
+    sink — checked by the invariance properties in test/test_obs.ml.
+    [log] makes {!feed_explained} register each witness there and emit a
+    [Decision] trace event carrying its id. *)
 
 val mode : t -> mode
 
@@ -58,3 +60,17 @@ val accepts_all : mode -> Mvcc_core.Schedule.t -> bool
     [Csr.test] ([Conflict]) resp. [Mvcsr.test] ([Mv_conflict]) — arcs
     only accumulate, so the full graph is acyclic iff no step's arcs
     close a cycle when it arrives. *)
+
+type explained = { verdict : verdict; witness : Mvcc_provenance.Witness.t }
+
+val feed_explained : t -> Mvcc_core.Step.t -> explained
+(** {!feed}, plus a certificate for the verdict: on acceptance, the
+    maintained topological order — a serialization of the whole accepted
+    prefix (claim [Member Csr] resp. [Member Mvcsr]); on rejection, the
+    cycle the step's arcs would have closed
+    ({!Incr_digraph.rejection_cycle}), a non-membership proof for the
+    prefix extended with the refused step. An acceptance order is a
+    permutation of [0 .. max transaction fed so far] — check it against
+    the prefix built with [Schedule.of_steps]'s default [n_txns].
+    Verified against those schedules by [Mvcc_provenance.Checker] in the
+    test suite. *)

@@ -34,6 +34,9 @@ type t = {
   mutable moves : int; (* order slots reassigned by reorders *)
   mutable rollbacks : int; (* rejected add_edges batches *)
   mutable rolled_back : int; (* arcs removed by those rollbacks *)
+  mutable last_rejection : (int * int) list option;
+      (* the cycle the most recently rejected insertion would have
+         closed, captured before any rollback removes batch arcs *)
 }
 
 let create ?(capacity = 8) () =
@@ -47,6 +50,7 @@ let create ?(capacity = 8) () =
     moves = 0;
     rollbacks = 0;
     rolled_back = 0;
+    last_rejection = None;
   }
 
 let n_nodes g = g.n
@@ -130,10 +134,45 @@ let reorder g delta_b delta_f =
   g.moves <- g.moves + List.length l;
   List.iter2 (fun w slot -> g.ord.(w) <- slot) l slots
 
+(* Shortest path src -> dst through the current successor sets (BFS),
+   as an arc list. Only called when the path is known to exist: on a
+   rejected insertion u -> v, the forward DFS has just proved v reaches
+   u, and the graph has not been mutated. *)
+let path_arcs g src dst =
+  let parent = Hashtbl.create 8 in
+  let q = Queue.create () in
+  Hashtbl.replace parent src src;
+  Queue.add src q;
+  (try
+     while not (Queue.is_empty q) do
+       let w = Queue.pop q in
+       Hashtbl.iter
+         (fun x () ->
+           if not (Hashtbl.mem parent x) then begin
+             Hashtbl.replace parent x w;
+             if x = dst then raise Exit;
+             Queue.add x q
+           end)
+         g.succ.(w)
+     done
+   with Exit -> ());
+  let rec back x acc =
+    if x = src then acc
+    else
+      let p = Hashtbl.find parent x in
+      back p ((p, x) :: acc)
+  in
+  back dst []
+
+let rejection_cycle g = g.last_rejection
+
 let add_edge g u v =
   ensure_node g u;
   ensure_node g v;
-  if u = v then false
+  if u = v then begin
+    g.last_rejection <- Some [ (u, v) ];
+    false
+  end
   else if Hashtbl.mem g.succ.(u) v then true
   else begin
     let ok =
@@ -143,7 +182,11 @@ let add_edge g u v =
       | delta_f ->
           reorder g (backward g u g.ord.(v)) delta_f;
           true
-      | exception Cycle_found -> false
+      | exception Cycle_found ->
+          (* capture the witness while the graph still holds every arc
+             the cycle runs through *)
+          g.last_rejection <- Some ((u, v) :: path_arcs g v u);
+          false
     in
     if ok then begin
       Hashtbl.replace g.succ.(u) v ();

@@ -37,6 +37,15 @@ val rolled_back_arcs : t -> int
 (** Cumulative arcs that were inserted and then removed again by those
     rollbacks. *)
 
+val rejection_cycle : t -> (int * int) list option
+(** The cycle the most recently rejected insertion would have closed,
+    as an arc list [[(u, v); (v, w1); ...; (wk, u)]] whose head is the
+    refused edge and whose tail is a shortest existing path back from
+    [v] to [u]. Captured {e before} a rejected {!add_edges} batch is
+    rolled back, so arcs inserted earlier in the batch may appear in
+    the tail — they are genuine arcs of the attempted insertion.
+    [None] until the first rejection; a later rejection overwrites it. *)
+
 val ensure_node : t -> int -> unit
 (** [ensure_node g u] materializes nodes [0 .. u] (edgeless nodes join at
     the end of the topological order).

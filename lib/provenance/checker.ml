@@ -1,0 +1,172 @@
+(* Certificate re-validation against lib/core only.
+
+   Everything here is deliberately re-derived from first principles:
+   membership evidence goes through Equiv/Read_from/Liveness, rejection
+   cycles are checked arc-by-arc against the conflicting step pairs, and
+   exhausted searches are re-run as plain enumerations. No Digraph, no
+   polygraph solver, no SAT — the producers' machinery is out of
+   bounds. *)
+
+open Mvcc_core
+
+type outcome = Confirmed | Refuted | Too_large
+
+let outcome_name = function
+  | Confirmed -> "confirmed"
+  | Refuted -> "REFUTED"
+  | Too_large -> "too large to re-check"
+
+let max_recheck_cost = 2_000_000
+
+(* Saturating arithmetic for search-space size estimates. *)
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let fact n =
+  let rec go acc k = if k <= 1 then acc else go (mul acc k) (k - 1) in
+  go 1 n
+
+let is_permutation n order =
+  List.length order = n && List.sort compare order = List.init n Fun.id
+
+(* Transaction-level conflict arcs, straight from the step-pair scans:
+   arc (u, v) iff some step of u precedes a conflicting step of v. *)
+let arc_set pairs s =
+  let steps = Schedule.steps s in
+  List.sort_uniq compare
+    (List.map
+       (fun (p, q) -> (steps.(p).Step.txn, steps.(q).Step.txn))
+       (pairs s))
+
+(* A rejection cycle must be a closed, simple chain whose every arc is
+   derivable from the schedule. Any such cycle is sound evidence: a
+   serial schedule would have to order the cycle's transactions
+   consistently with every arc, which is impossible. *)
+let valid_cycle arcs rel =
+  match arcs with
+  | [] -> false
+  | (u0, _) :: _ ->
+      let rec chained = function
+        | [] -> false
+        | [ (_, v) ] -> v = u0
+        | (_, v1) :: ((u2, _) :: _ as rest) -> v1 = u2 && chained rest
+      in
+      let srcs = List.map fst arcs in
+      chained arcs
+      && List.length (List.sort_uniq compare srcs) = List.length srcs
+      && List.for_all (fun a -> List.mem a rel) arcs
+
+(* Final-state signature (FSR): live READ-FROMs plus final writers. *)
+let fsr_signature s = (Liveness.live_read_froms s, Read_from.final_writers s)
+
+(* The DMVSR blind-write padding, re-derived: a read of the same entity
+   is inserted immediately before the transaction's first write of an
+   entity it has not read earlier in its program. *)
+let pad_blind s =
+  let seen = Hashtbl.create 8 in
+  let steps =
+    Array.to_list (Schedule.steps s)
+    |> List.concat_map (fun (st : Step.t) ->
+           match st.action with
+           | Step.Read ->
+               Hashtbl.replace seen (st.txn, st.entity) ();
+               [ st ]
+           | Step.Write ->
+               if Hashtbl.mem seen (st.txn, st.entity) then [ st ]
+               else begin
+                 Hashtbl.replace seen (st.txn, st.entity) ();
+                 [ Step.read st.txn st.entity; st ]
+               end)
+  in
+  Schedule.of_steps ~n_txns:(Schedule.n_txns s) steps
+
+(* Membership via a serialization order, per class equivalence. *)
+let member_by_order k s order =
+  is_permutation (Schedule.n_txns s) order
+  &&
+  let r = Schedule.serialization s order in
+  match (k : Witness.klass) with
+  | Witness.Csr -> Equiv.conflict_equivalent s r
+  | Witness.Mvcsr -> Equiv.mv_conflict_equivalent s r
+  | Witness.Vsr -> Equiv.view_equivalent s r
+  | Witness.Fsr -> fsr_signature s = fsr_signature r
+  | Witness.Mvsr | Witness.Dmvsr -> false
+
+(* MVSR membership via (order, version function): the full schedule
+   (s, v) must have exactly the READ-FROM relation of the serial
+   schedule in that order under the standard version function. *)
+let member_mvsr s order v =
+  is_permutation (Schedule.n_txns s) order
+  && Version_fn.legal s v && Version_fn.total s v
+  && Read_from.relation s v
+     = Read_from.std_relation (Schedule.serialization s order)
+
+(* Exhaustive rejection re-checks, each bounded by an explicit cost
+   estimate so the checker cannot silently hang on a large instance. *)
+let recheck_not_serial_equiv equiv s =
+  if fact (Schedule.n_txns s) > max_recheck_cost then Too_large
+  else if List.exists (equiv s) (Schedule.all_serializations s) then Refuted
+  else Confirmed
+
+let recheck_not_mvsr s =
+  let cost =
+    Array.to_list (Schedule.steps s)
+    |> List.mapi (fun pos st -> (pos, st))
+    |> List.fold_left
+         (fun acc (pos, (st : Step.t)) ->
+           if Step.is_read st then
+             mul acc (List.length (Version_fn.choices s pos))
+           else acc)
+         (fact (Schedule.n_txns s))
+  in
+  if cost > max_recheck_cost then Too_large
+  else begin
+    let serial_relations =
+      List.map Read_from.std_relation (Schedule.all_serializations s)
+    in
+    let member =
+      Seq.exists
+        (fun v ->
+          let rel = Read_from.relation s v in
+          List.exists (fun r -> r = rel) serial_relations)
+        (Version_fn.enumerate s)
+    in
+    if member then Refuted else Confirmed
+  end
+
+let check s (w : Witness.t) =
+  let confirmed b = if b then Confirmed else Refuted in
+  match (w.claim, w.evidence) with
+  (* -- acceptances -- *)
+  | Member ((Csr | Mvcsr | Vsr | Fsr) as k), Accept_topo order ->
+      confirmed (member_by_order k s order)
+  | Member Vsr, Accept_assignment order ->
+      confirmed (member_by_order Witness.Vsr s order)
+  | Member Mvsr, Accept_version_fn (order, v) ->
+      confirmed (member_mvsr s order v)
+  | Member Dmvsr, Accept_version_fn (order, v) ->
+      confirmed (member_mvsr (pad_blind s) order v)
+  | Read_consistent, Accept_version_fn (_, v) ->
+      confirmed (Version_fn.legal s v && Version_fn.total s v)
+  (* -- rejections by cycle -- *)
+  | Non_member Csr, Reject_cycle arcs ->
+      confirmed (valid_cycle arcs (arc_set Conflict.conflicting_pairs s))
+  | Non_member Mvcsr, Reject_cycle arcs ->
+      confirmed (valid_cycle arcs (arc_set Conflict.mv_conflicting_pairs s))
+  (* -- rejections by exhaustion: re-establish independently -- *)
+  | Non_member Csr, Reject_exhausted _ ->
+      recheck_not_serial_equiv Equiv.conflict_equivalent s
+  | Non_member Mvcsr, Reject_exhausted _ ->
+      recheck_not_serial_equiv Equiv.mv_conflict_equivalent s
+  | Non_member Vsr, Reject_exhausted _ ->
+      recheck_not_serial_equiv Equiv.view_equivalent s
+  | Non_member Fsr, Reject_exhausted _ ->
+      recheck_not_serial_equiv (fun a b -> fsr_signature a = fsr_signature b) s
+  | Non_member Mvsr, Reject_exhausted _ -> recheck_not_mvsr s
+  | Non_member Dmvsr, Reject_exhausted _ -> recheck_not_mvsr (pad_blind s)
+  (* -- every other pairing is ill-formed -- *)
+  | _ -> Refuted
+
+let verify s w = check s w = Confirmed

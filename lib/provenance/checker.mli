@@ -1,0 +1,29 @@
+(** Independent re-validation of decision certificates.
+
+    The checker shares {e no} code with the producers: it never touches
+    [lib/graph], [lib/polygraph], or [lib/sat] — membership evidence is
+    replayed through the equivalence and READ-FROM primitives of
+    [lib/core] alone, cycle evidence is validated arc-by-arc against the
+    schedule's conflicting step pairs, and exhausted-search evidence is
+    re-established by the checker's own (size-capped) exhaustive
+    procedures. A producer bug in graph maintenance, polygraph solving,
+    or SAT encoding therefore cannot also hide in the checker. *)
+
+type outcome =
+  | Confirmed  (** the evidence proves the claim for this schedule *)
+  | Refuted  (** the evidence does not support the claim *)
+  | Too_large
+      (** the claim is an exhausted-search rejection whose independent
+          re-check exceeds {!max_recheck_cost}; nothing was verified *)
+
+val max_recheck_cost : int
+(** Ceiling on the work (serialization x version-function combinations)
+    the checker will spend re-establishing a {!Witness.Reject_exhausted}
+    certificate. *)
+
+val check : Mvcc_core.Schedule.t -> Witness.t -> outcome
+
+val verify : Mvcc_core.Schedule.t -> Witness.t -> bool
+(** [verify s w] iff [check s w = Confirmed]. *)
+
+val outcome_name : outcome -> string

@@ -1,0 +1,14 @@
+type t = { mutable items : Witness.t list; mutable n : int }
+(* newest first; ids count from 0 in registration order *)
+
+let create () = { items = []; n = 0 }
+
+let register t w =
+  let id = t.n in
+  t.items <- w :: t.items;
+  t.n <- t.n + 1;
+  id
+
+let length t = t.n
+let find t id = if id < 0 || id >= t.n then None else List.nth_opt t.items (t.n - 1 - id)
+let to_list t = List.rev (List.mapi (fun i w -> (t.n - 1 - i, w)) t.items)

@@ -1,0 +1,68 @@
+open Mvcc_core
+
+type klass = Csr | Vsr | Mvcsr | Mvsr | Fsr | Dmvsr
+
+let klass_name = function
+  | Csr -> "CSR"
+  | Vsr -> "VSR"
+  | Mvcsr -> "MVCSR"
+  | Mvsr -> "MVSR"
+  | Fsr -> "FSR"
+  | Dmvsr -> "DMVSR"
+
+type claim = Member of klass | Non_member of klass | Read_consistent
+
+type evidence =
+  | Accept_topo of int list
+  | Accept_version_fn of int list * Version_fn.t
+  | Accept_assignment of int list
+  | Reject_cycle of (int * int) list
+  | Reject_exhausted of { branches : int; propagated : int }
+
+type t = { claim : claim; evidence : evidence }
+
+let accepts t =
+  match t.claim with Member _ | Read_consistent -> true | Non_member _ -> false
+
+let pp_claim ppf = function
+  | Member k -> Format.fprintf ppf "in %s" (klass_name k)
+  | Non_member k -> Format.fprintf ppf "not in %s" (klass_name k)
+  | Read_consistent -> Format.fprintf ppf "read-consistent"
+
+let txn i = "T" ^ string_of_int (i + 1)
+
+let pp_order ppf order =
+  Format.pp_print_string ppf (String.concat " < " (List.map txn order))
+
+let pp_source ppf = function
+  | Version_fn.Initial -> Format.pp_print_string ppf "T0"
+  | Version_fn.From q -> Format.fprintf ppf "@@%d" q
+
+let pp_vf ppf v =
+  Format.pp_print_string ppf
+    (String.concat ", "
+       (List.map
+          (fun (pos, src) ->
+            Format.asprintf "%d<-%a" pos pp_source src)
+          (Version_fn.to_list v)))
+
+let pp_evidence ppf = function
+  | Accept_topo order -> Format.fprintf ppf "serialization %a" pp_order order
+  | Accept_version_fn ([], v) -> Format.fprintf ppf "version fn %a" pp_vf v
+  | Accept_version_fn (order, v) ->
+      Format.fprintf ppf "serialization %a with version fn %a" pp_order order
+        pp_vf v
+  | Accept_assignment order ->
+      Format.fprintf ppf "SAT order %a" pp_order order
+  | Reject_cycle arcs ->
+      Format.fprintf ppf "cycle %s"
+        (String.concat " -> "
+           (match arcs with
+           | [] -> []
+           | (u, _) :: _ -> txn u :: List.map (fun (_, v) -> txn v) arcs))
+  | Reject_exhausted { branches; propagated } ->
+      Format.fprintf ppf "search exhausted (%d branches, %d propagated)"
+        branches propagated
+
+let pp ppf t =
+  Format.fprintf ppf "%a: %a" pp_claim t.claim pp_evidence t.evidence

@@ -1,0 +1,56 @@
+(** Decision certificates.
+
+    Every decision procedure in this repository answers a membership
+    question about a schedule, and serialization-graph/polygraph theory
+    gives each answer a small certificate: a serialization order or a
+    version function for "yes", a conflict cycle or an exhausted search
+    for "no". A witness packages the {e claim} (what is being asserted
+    about the schedule) with the {e evidence} (the certificate); the
+    {!Checker} re-validates the pair against the schedule using only
+    [lib/core] primitives, independently of the code that produced it. *)
+
+type klass = Csr | Vsr | Mvcsr | Mvsr | Fsr | Dmvsr
+
+val klass_name : klass -> string
+
+type claim =
+  | Member of klass  (** the schedule belongs to the class *)
+  | Non_member of klass  (** the schedule does not belong to the class *)
+  | Read_consistent
+      (** weaker than serializability: every read can be assigned a
+          legal source (the evidence's version function is legal and
+          total) — what snapshot isolation guarantees, write skew and
+          all *)
+
+type evidence =
+  | Accept_topo of int list
+      (** a serialization order: running the transactions in this order
+          is equivalent to the schedule under the class's equivalence *)
+  | Accept_version_fn of int list * Mvcc_core.Version_fn.t
+      (** a serialization order plus the version function that makes the
+          full schedule view-equivalent to it (MVSR/DMVSR), or — under
+          {!Read_consistent} — just the legal total version function the
+          run realized (the order is ignored) *)
+  | Accept_assignment of int list
+      (** the linear order decoded from a satisfying assignment of the
+          polygraph's SAT order-encoding (the VSR cross-check route) *)
+  | Reject_cycle of (int * int) list
+      (** a directed cycle of transaction-level conflict arcs
+          [[(t0, t1); (t1, t2); ...; (tk, t0)]] — each arc must be
+          derivable from the schedule's conflicting step pairs *)
+  | Reject_exhausted of { branches : int; propagated : int }
+      (** the search space was exhausted without finding a certificate;
+          the counters summarize the choice tree (solver branches and
+          propagated/pruned nodes). Not self-certifying: the checker
+          re-runs an independent exhaustive procedure. *)
+
+type t = { claim : claim; evidence : evidence }
+
+val accepts : t -> bool
+(** [true] for {!Member} and {!Read_consistent} claims. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, transactions in the paper's 1-based
+    notation. *)
+
+val pp_claim : Format.formatter -> claim -> unit

@@ -179,6 +179,29 @@ let prop_scc_condensation_acyclic =
         g;
       Cycle.is_acyclic cond)
 
+let prop_shortest_cycle_valid =
+  QCheck2.Test.make ~name:"shortest cycle: exists iff cyclic, simple, closed"
+    ~count:300 gen_graph (fun (n, edges) ->
+      let g = Digraph.of_edges n edges in
+      match Cycle.shortest_cycle g with
+      | None -> Cycle.is_acyclic g
+      | Some arcs ->
+          (not (Cycle.is_acyclic g))
+          && arcs <> []
+          (* every arc is an edge of the graph *)
+          && List.for_all (fun (u, v) -> Digraph.mem_edge g u v) arcs
+          (* consecutive arcs chain and the walk closes *)
+          && (let first = fst (List.hd arcs) in
+              let rec chained = function
+                | [] -> true
+                | [ (_, v) ] -> v = first
+                | (_, v) :: ((u', _) :: _ as rest) -> v = u' && chained rest
+              in
+              chained arcs)
+          (* simple: no node visited twice *)
+          && (let srcs = List.map fst arcs in
+              List.length (List.sort_uniq compare srcs) = List.length srcs))
+
 let prop_creates_cycle_consistent =
   QCheck2.Test.make ~name:"creates_cycle predicts actual addition" ~count:300
     QCheck2.Gen.(
@@ -231,6 +254,7 @@ let () =
           [
             prop_topo_iff_acyclic;
             prop_scc_condensation_acyclic;
+            prop_shortest_cycle_valid;
             prop_creates_cycle_consistent;
           ] );
     ]

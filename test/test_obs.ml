@@ -92,6 +92,38 @@ let test_histogram_quantiles () =
   check_int "clamped samples counted" 2 (H.count h);
   check_float "clamped samples are zero" 0. (H.quantile h 1.0)
 
+(* -- overflow accounting -- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i =
+    i + n <= h && (String.sub haystack i n = needle || at (i + 1))
+  in
+  at 0
+
+let test_histogram_overflow () =
+  let h = H.create () in
+  (* a 0-duration sample (a timer below clock resolution) lands in the
+     first bucket, not the overflow *)
+  H.observe h 0.;
+  check_int "zero lands in the first bucket" 0 (H.bucket_of 0.);
+  check_int "zero is counted" 1 (H.count h);
+  check_int "zero is not overflow" 0 (H.overflow h);
+  H.observe h 1e30;
+  check_int "huge sample is overflow" 1 (H.overflow h);
+  check_int "overflow samples still counted" 2 (H.count h);
+  (* the summary and the JSON snapshot both expose the overflow count *)
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 0.;
+  Metrics.observe m "lat" 1e30;
+  (match Metrics.summary m "lat" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      check_int "summary overflow" 1 s.Metrics.overflow;
+      check_int "summary count" 2 s.Metrics.count);
+  check "overflow appears in the JSON snapshot" true
+    (contains (Metrics.to_json m) "\"overflow\":1")
+
 (* -- metrics registry -- *)
 
 let test_metrics_registry () =
@@ -167,6 +199,8 @@ let sample_events =
     Trace.Commit_wait { txn = 6 };
     Trace.Cert_arcs { txn = 7; arcs = 3; moves = 11 };
     Trace.Cert_rollback { txn = 8; arcs = 2 };
+    Trace.Decision { site = "cert.conflict"; id = 12; ok = true };
+    Trace.Decision { site = "engine.mvto"; id = 0; ok = false };
   ]
   @ List.map
       (fun reason -> Trace.Txn_abort { txn = 9; reason })
@@ -207,6 +241,35 @@ let test_trace_json_round_trip () =
   check "garbage rejected" true (Trace.of_json "{\"seq\":1" = None);
   check "unknown event rejected" true
     (Trace.of_json "{\"seq\":1,\"ev\":\"warp\"}" = None)
+
+let test_trace_read_jsonl_tolerance () =
+  let t = Trace.create ~capacity:64 () in
+  List.iter (Trace.emit t) sample_events;
+  let file = Filename.temp_file "mvcc_trace" ".jsonl" in
+  (* a well-formed file reads back losslessly with a zero skip count *)
+  let oc = open_out file in
+  Trace.write_jsonl oc t;
+  close_out oc;
+  let ic = open_in file in
+  let events, skipped = Trace.read_jsonl ic in
+  close_in ic;
+  check_int "clean file skips nothing" 0 skipped;
+  check "clean file round trips" true (events = Trace.to_list t);
+  (* a damaged file: foreign output, a line truncated mid-JSON, a blank
+     line, and an unknown event — the good lines still come through *)
+  let oc = open_out file in
+  output_string oc "not json at all\n";
+  Trace.write_jsonl oc t;
+  output_string oc "{\"seq\":99,\"ev\":\"txn-commit\"\n";
+  output_string oc "\n";
+  output_string oc "{\"seq\":1,\"ev\":\"warp\"}\n";
+  close_out oc;
+  let ic = open_in file in
+  let events, skipped = Trace.read_jsonl ic in
+  close_in ic;
+  Sys.remove file;
+  check_int "damaged lines counted, blank lines free" 3 skipped;
+  check "valid events survive the damage" true (events = Trace.to_list t)
 
 let test_json_parser () =
   let rt fields =
@@ -344,6 +407,8 @@ let () =
             test_histogram_buckets;
           Alcotest.test_case "histogram quantiles" `Quick
             test_histogram_quantiles;
+          Alcotest.test_case "histogram overflow" `Quick
+            test_histogram_overflow;
           Alcotest.test_case "registry" `Quick test_metrics_registry;
         ] );
       ( "trace",
@@ -352,6 +417,8 @@ let () =
             test_trace_ring_wraparound;
           Alcotest.test_case "json round trip" `Quick
             test_trace_json_round_trip;
+          Alcotest.test_case "tolerant jsonl reader" `Quick
+            test_trace_read_jsonl_tolerance;
           Alcotest.test_case "json parser" `Quick test_json_parser;
         ] );
       ("sink", [ Alcotest.test_case "noop inert" `Quick test_noop_sink ]);
