@@ -17,13 +17,13 @@ let run ~samples =
       n_txns = 3; n_entities = 2; max_steps = 3 }
   in
   let drawn = Mvcc_workload.Schedule_gen.sample params rng samples in
-  let mvsr = List.map MS.test drawn in
+  let mvsr = Util.pmap MS.test drawn in
   Util.row "%-14s %10s %12s %16s@." "kinds" "accepts" "safe(claim)"
     "non-MVSR accepted";
   let ok = ref true in
   List.iter
     (fun kinds ->
-      let accepted = List.map (Family.test ~kinds) drawn in
+      let accepted = Util.pmap (Family.test ~kinds) drawn in
       let n_accepted = List.length (List.filter Fun.id accepted) in
       let escapes =
         List.fold_left2
@@ -56,7 +56,7 @@ let run ~samples =
         && Mvcc_classes.Mvsg.write_order_serializable s v)
       (Mvcc_core.Version_fn.enumerate s)
   in
-  let count pred = List.length (List.filter pred distinct) in
+  let count pred = Util.pcount pred distinct in
   let n_dmvsr = count Mvcc_classes.Dmvsr.test in
   let n_fam = count (Family.test ~kinds:[ Family.Ww; Family.Rw ]) in
   let n_wo = count write_order in

@@ -27,7 +27,7 @@ let run ~samples =
   in
   let drawn = Mvcc_workload.Schedule_gen.sample params rng samples in
   let counts = Hashtbl.create 8 in
-  let memberships = List.map T.classify drawn in
+  let memberships = Util.pmap T.classify drawn in
   List.iter
     (fun m ->
       let r = T.region m in

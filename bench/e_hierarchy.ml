@@ -16,7 +16,7 @@ let run ~samples =
       n_txns = 3; n_entities = 2; distinct_accesses = true }
   in
   let drawn = Mvcc_workload.Schedule_gen.sample params rng samples in
-  let count pred = List.length (List.filter pred drawn) in
+  let count pred = Util.pcount pred drawn in
   let serial = count Schedule.is_serial in
   let csr = count Mvcc_classes.Csr.test in
   let vsr = count Mvcc_classes.Vsr.test in
@@ -62,11 +62,9 @@ let run ~samples =
       rng samples
   in
   let dmvsr_neq_mvsr =
-    List.length
-      (List.filter
-         (fun s ->
-           Mvcc_classes.Dmvsr.test s <> Mvcc_classes.Mvsr.test s)
-         restricted)
+    Util.pcount
+      (fun s -> Mvcc_classes.Dmvsr.test s <> Mvcc_classes.Mvsr.test s)
+      restricted
   in
   Util.row
     "%d restricted schedules: DMVSR/MVSR disagreements: %d (they coincide)@."
@@ -78,7 +76,7 @@ let run ~samples =
       { params with two_step = true; no_blind_writes = true; max_steps = 4 }
       rng samples
   in
-  let c2 pred = List.length (List.filter pred two_step) in
+  let c2 pred = Util.pcount pred two_step in
   Util.row
     "class sizes: CSR %5.1f%%, VSR %5.1f%%, MVCSR %5.1f%%, MVSR %5.1f%%@."
     (Util.pct (c2 Mvcc_classes.Csr.test) samples)
@@ -86,10 +84,9 @@ let run ~samples =
     (Util.pct (c2 Mvcc_classes.Mvcsr.test) samples)
     (Util.pct (c2 Mvcc_classes.Mvsr.test) samples);
   let dmvsr2 =
-    List.length
-      (List.filter
-         (fun s -> Mvcc_classes.Dmvsr.test s <> Mvcc_classes.Mvsr.test s)
-         two_step)
+    Util.pcount
+      (fun s -> Mvcc_classes.Dmvsr.test s <> Mvcc_classes.Mvsr.test s)
+      two_step
   in
   Util.row "DMVSR/MVSR disagreements in the 2-step model: %d@." dmvsr2;
   violations = 0 && dmvsr_neq_mvsr = 0 && dmvsr2 = 0 && incomparable

@@ -22,7 +22,7 @@ let run ~per_size =
       let drawn = Mvcc_workload.Schedule_gen.sample params rng per_size in
       let time_all test =
         let t0 = Unix.gettimeofday () in
-        List.iter (fun s -> ignore (test s)) drawn;
+        ignore (Util.pmap (fun s -> ignore (test s)) drawn);
         (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int per_size
       in
       let t_csr = time_all Mvcc_classes.Csr.test in

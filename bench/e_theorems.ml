@@ -60,13 +60,11 @@ let run ~samples =
   let violations = ref 0 in
   let mvcsr_count = ref 0 and strict = ref 0 in
   List.iter
-    (fun s ->
-      let mc = MC.test s in
-      let ms = MS.test s in
+    (fun (mc, ms) ->
       if mc then incr mvcsr_count;
       if mc && not ms then incr violations;
       if ms && not mc then incr strict)
-    drawn;
+    (Util.pmap (fun s -> (MC.test s, MS.test s)) drawn);
   Util.row "samples: %d, MVCSR: %d, Theorem 3 violations: %d@." samples
     !mvcsr_count !violations;
   Util.row "strictness witnesses (MVSR but not MVCSR): %d@." !strict;

@@ -4,14 +4,25 @@
 
      dune exec bench/main.exe            full run
      dune exec bench/main.exe -- quick   reduced sample counts
-     dune exec bench/main.exe -- e9      a single experiment *)
+     dune exec bench/main.exe -- e9      a single experiment
+     dune exec bench/main.exe -- jobs=4  parallel sweeps (4 domains) *)
 
 let quick = Array.exists (( = ) "quick") Sys.argv
+
+let () =
+  Array.iter
+    (fun a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "jobs" ->
+          Util.set_jobs
+            (int_of_string (String.sub a (i + 1) (String.length a - i - 1)))
+      | _ -> ())
+    Sys.argv
 
 let selected name =
   let explicit =
     Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "quick")
+    |> List.filter (fun a -> a <> "quick" && not (String.contains a '='))
   in
   explicit = [] || List.mem name explicit
 
@@ -59,6 +70,9 @@ let () =
   if selected "e19" then
     record "E19 observability"
       (E_obs.run ~seeds:(if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ]));
+  if selected "e21" then
+    record "E21 ctx-sharing+jobs"
+      (E_ctx.run ~samples:(if quick then 120 else 400));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

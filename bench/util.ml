@@ -17,3 +17,16 @@ let pct n total =
   if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total
 
 let rng seed = Random.State.make [| seed |]
+
+(* The harness-wide worker pool. Defaults to sequential; main sets it
+   from a [jobs=N] argument. Sweeps that go through [pmap]/[pcount] pick
+   the parallelism up without further plumbing; results are independent
+   of the job count (Pool's determinism contract). *)
+let pool = ref Mvcc_exec.Pool.sequential
+
+let set_jobs jobs = pool := Mvcc_exec.Pool.create ~jobs
+
+let pmap f xs = Mvcc_exec.Pool.map !pool f xs
+
+let pcount pred xs =
+  List.length (List.filter Fun.id (pmap pred xs))

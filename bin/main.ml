@@ -212,22 +212,22 @@ let explain_cmd =
       & info [] ~docv:"SCHEDULE"
           ~doc:"Schedule in the paper's notation (omit with $(b,--fig1)).")
   in
-  let deciders =
-    [
-      ("CSR", Mvcc_classes.Csr.decide);
-      ("MVCSR", Mvcc_classes.Mvcsr.decide);
-      ("VSR", Mvcc_classes.Vsr.decide);
-      ("VSR/sat", Mvcc_classes.Vsr.decide_sat);
-      ("MVSR", Mvcc_classes.Mvsr.decide);
-      ("FSR", Mvcc_classes.Fsr.decide);
-      ("DMVSR", Mvcc_classes.Dmvsr.decide);
-    ]
+  let module D = Mvcc_analysis.Decider in
+  let module Ctx = Mvcc_analysis.Ctx in
+  (* Every registered decider over ONE shared context per schedule, plus
+     the SAT cross-check route (which shares the context's polygraph). *)
+  let deciders c =
+    List.map
+      (fun d -> (D.name d, fun () -> D.decide d c))
+      Mvcc_classes.Deciders.all
+    @ [ ("VSR/sat", fun () -> Mvcc_classes.Vsr.decide_sat_ctx c) ]
   in
   let explain_one ~dot s =
+    let c = Ctx.make s in
     let all_confirmed = ref true in
     List.iter
       (fun (name, decide) ->
-        let verdict, w = decide s in
+        let verdict, w = decide () in
         let outcome = P.Checker.check s w in
         if outcome = P.Checker.Refuted then all_confirmed := false;
         Format.printf "  %-8s %-3s  %a  [checker: %s]@." name
@@ -235,9 +235,10 @@ let explain_cmd =
           P.Witness.pp w
           (P.Checker.outcome_name outcome);
         match w.P.Witness.evidence with
-        | P.Witness.Reject_cycle arcs when dot ->
+        | P.Witness.Reject_cycle arcs
+          when dot && (name = "CSR" || name = "MVCSR") ->
             let g =
-              if name = "CSR" then Conflict.graph s else Conflict.mv_graph s
+              if name = "CSR" then Ctx.conflict_graph c else Ctx.mv_graph c
             in
             print_string
               (Mvcc_graph.Dot.to_dot
@@ -247,7 +248,7 @@ let explain_cmd =
                    if List.mem (u, v) arcs then Some "cycle" else None)
                  g)
         | _ -> ())
-      deciders;
+      (deciders c);
     !all_confirmed
   in
   let run fig1 dot text =
@@ -278,6 +279,74 @@ let explain_cmd =
          "Decide every serializability class with a witness certificate, \
           re-verified by the independent checker")
     Term.(const run $ fig1_arg $ dot_arg $ schedule_opt)
+
+(* census *)
+
+let census_cmd =
+  let txns_arg =
+    Arg.(value & opt int 3 & info [ "txns" ] ~doc:"Transactions per schedule.")
+  in
+  let entities_arg =
+    Arg.(value & opt int 2 & info [ "entities" ] ~doc:"Entities.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-steps" ] ~doc:"Maximum steps per transaction.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1000 & info [ "samples" ] ~doc:"Schedules to draw.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the classification sweep. The output is \
+             identical for every job count (generation is sequential and \
+             seeded; classification is pure).")
+  in
+  let run txns entities max_steps samples jobs seed =
+    let params =
+      {
+        Mvcc_workload.Schedule_gen.default with
+        n_txns = txns;
+        n_entities = entities;
+        min_steps = 1;
+        max_steps;
+      }
+    in
+    let rng = Random.State.make [| seed |] in
+    let schedules = Mvcc_workload.Schedule_gen.sample params rng samples in
+    let pool = Mvcc_exec.Pool.create ~jobs in
+    let regions =
+      Mvcc_exec.Pool.map pool
+        (fun s ->
+          T.region (T.classify_ctx (Mvcc_analysis.Ctx.make s)))
+        schedules
+    in
+    List.iteri
+      (fun i (s, r) ->
+        Format.printf "%4d  %-34s  %s@." i (Schedule.to_string s)
+          (T.region_name r))
+      (List.combine schedules regions);
+    let count r = List.length (List.filter (( = ) r) regions) in
+    Format.printf "---@.";
+    List.iter
+      (fun r -> Format.printf "%-34s %d@." (T.region_name r) (count r))
+      [
+        T.Outside_mvsr; T.Mvsr_only; T.Vsr_not_mvcsr; T.Mvcsr_not_vsr;
+        T.Vsr_and_mvcsr_not_csr; T.Csr_not_serial; T.Serial;
+      ]
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:
+         "Classify a random sample of schedules into the Fig. 1 regions, \
+          optionally across multiple domains ($(b,--jobs))")
+    Term.(
+      const run $ txns_arg $ entities_arg $ max_steps_arg $ samples_arg
+      $ jobs_arg $ seed_arg)
 
 (* simulate *)
 
@@ -509,4 +578,5 @@ let () =
           [
             classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
             simulate_cmd; dot_cmd; switch_cmd; explain_cmd; replay_cmd;
+            census_cmd;
           ]))

@@ -1,23 +1,26 @@
 open Mvcc_core
-module Cycle = Mvcc_graph.Cycle
-module Topo = Mvcc_graph.Topo
-
-let test s = Cycle.is_acyclic (Conflict.graph s)
-
-let witness s =
-  match Topo.sort (Conflict.graph s) with
-  | None -> None
-  | Some order -> Some (Schedule.serialization s order)
-
-let violation s = Cycle.find_cycle (Conflict.graph s)
-
+module Ctx = Mvcc_analysis.Ctx
 module Witness = Mvcc_provenance.Witness
 
-let decide s =
-  let g = Conflict.graph s in
-  match Topo.sort g with
-  | Some order ->
-      (true, { Witness.claim = Member Csr; evidence = Accept_topo order })
-  | None ->
-      let arcs = Option.get (Cycle.shortest_cycle g) in
-      (false, { Witness.claim = Non_member Csr; evidence = Reject_cycle arcs })
+module Decider = struct
+  let name = "CSR"
+  let test c = Ctx.conflict_topo c <> None
+
+  let witness c =
+    Option.map (Schedule.serialization (Ctx.schedule c)) (Ctx.conflict_topo c)
+
+  let violation c = Ctx.conflict_cycle c
+
+  let decide c =
+    match Ctx.conflict_topo c with
+    | Some order ->
+        (true, { Witness.claim = Member Csr; evidence = Accept_topo order })
+    | None ->
+        let arcs = Option.get (Ctx.conflict_shortest_cycle c) in
+        (false, { Witness.claim = Non_member Csr; evidence = Reject_cycle arcs })
+end
+
+let test s = Decider.test (Ctx.make s)
+let witness s = Decider.witness (Ctx.make s)
+let violation s = Decider.violation (Ctx.make s)
+let decide s = Decider.decide (Ctx.make s)

@@ -4,8 +4,16 @@
     iff its conflict graph is acyclic. Decidable in polynomial time; the
     class output by locking schedulers (Yannakakis [11]). *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The CSR decision procedures over a shared analysis context: the
+    conflict graph, its topological order and its cycles are computed
+    once per context however many of [test]/[witness]/[violation]/
+    [decide] are called. *)
+
 val test : Mvcc_core.Schedule.t -> bool
-(** [test s] iff [s] is conflict-serializable. O(steps² + txns). *)
+(** [test s] iff [s] is conflict-serializable. O(steps² + txns).
+    Single-use context; batch callers should hold a [Ctx.t] and use
+    {!Decider}. *)
 
 val witness : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t option
 (** A serial schedule conflict-equivalent to [s], if any: the transactions

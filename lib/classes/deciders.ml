@@ -1,0 +1,14 @@
+module Decider = Mvcc_analysis.Decider
+
+let all : Decider.t list =
+  [
+    (module Csr.Decider);
+    (module Mvcsr.Decider);
+    (module Vsr.Decider);
+    (module Mvsr.Decider);
+    (module Fsr.Decider);
+    (module Dmvsr.Decider);
+    Family.decider ~kinds:[ Family.Ww; Family.Rw ];
+  ]
+
+let find name = List.find_opt (fun d -> Decider.name d = name) all

@@ -1,0 +1,13 @@
+(** The registry of first-class deciders.
+
+    Every serializability class in the repository, as a
+    {!Mvcc_analysis.Decider}: CSR, MVCSR, VSR, MVSR, FSR, DMVSR, plus a
+    representative of the Ibaraki-Kameda lattice ([K{WW,RW}] — the other
+    subsets are reachable through {!Family.decider}). The CLI's explain
+    command, the invariance tests and the census sweeps iterate this
+    list over one shared context per schedule. *)
+
+val all : Mvcc_analysis.Decider.t list
+
+val find : string -> Mvcc_analysis.Decider.t option
+(** Look a decider up by its [name] (["CSR"], ["K{WW,RW}"], ...). *)

@@ -29,13 +29,33 @@ let transform s =
   in
   Schedule.of_steps ~n_txns:(Schedule.n_txns s) steps
 
-let test s = Mvsr.test (transform s)
-
+module Ctx = Mvcc_analysis.Ctx
 module Witness = Mvcc_provenance.Witness
 
-let decide s =
-  let ok, (w : Witness.t) = Mvsr.decide (transform s) in
-  let claim =
-    if ok then Witness.Member Witness.Dmvsr else Witness.Non_member Witness.Dmvsr
-  in
-  (ok, { w with claim })
+(* The context of the blind-write-padded schedule. When there are no
+   blind writes the transform is the identity, so the sub-context IS the
+   context itself and the MVSR search is shared with the MVSR decider. *)
+let sub_key : Ctx.t Ctx.key = Ctx.key "dmvsr_transform"
+
+let sub_ctx c =
+  Ctx.memo c sub_key (fun c ->
+      let s = Ctx.schedule c in
+      if has_blind_writes s then Ctx.make (transform s) else c)
+
+module Decider = struct
+  let name = "DMVSR"
+  let test c = Mvsr.Decider.test (sub_ctx c)
+  let witness _ = None
+  let violation _ = None
+
+  let decide c =
+    let ok, (w : Witness.t) = Mvsr.Decider.decide (sub_ctx c) in
+    let claim =
+      if ok then Witness.Member Witness.Dmvsr
+      else Witness.Non_member Witness.Dmvsr
+    in
+    (ok, { w with claim })
+end
+
+let test s = Decider.test (Ctx.make s)
+let decide s = Decider.decide (Ctx.make s)

@@ -7,6 +7,14 @@
     The paper notes MVCSR corresponds to [8]'s MRW class, a superset of
     DMVSR (their MWW). *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The DMVSR decision procedures over a shared analysis context. The
+    blind-write transform and the MVSR search over it run once per
+    context; when the schedule has no blind writes the transform is the
+    identity and the search is shared with the MVSR decider's cache.
+    [witness] and [violation] are [None] (the certificate's order and
+    version function live over the transformed schedule, not [s]). *)
+
 val transform : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t
 (** Insert [R_i(x)] immediately before every write [W_i(x)] whose
     transaction has not read [x] earlier in its program. *)

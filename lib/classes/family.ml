@@ -2,6 +2,8 @@ open Mvcc_core
 module Digraph = Mvcc_graph.Digraph
 module Cycle = Mvcc_graph.Cycle
 module Topo = Mvcc_graph.Topo
+module Ctx = Mvcc_analysis.Ctx
+module Witness = Mvcc_provenance.Witness
 
 type conflict_kind = Ww | Wr | Rw
 
@@ -15,28 +17,41 @@ let pp_kinds ppf = function
       Format.fprintf ppf "{%s}"
         (String.concat "," (List.map kind_name kinds))
 
-let kind_of (a : Step.t) (b : Step.t) =
-  if a.entity <> b.entity || a.txn = b.txn then None
-  else
-    match (a.action, b.action) with
-    | Step.Write, Step.Write -> Some Ww
-    | Step.Write, Step.Read -> Some Wr
-    | Step.Read, Step.Write -> Some Rw
-    | Step.Read, Step.Read -> None
+let bools ~kinds =
+  (List.mem Ww kinds, List.mem Wr kinds, List.mem Rw kinds)
 
-let graph ~kinds s =
-  let steps = Schedule.steps s in
-  let n = Array.length steps in
-  let g = Digraph.create (Schedule.n_txns s) in
-  for p = 0 to n - 1 do
-    for q = p + 1 to n - 1 do
-      match kind_of steps.(p) steps.(q) with
-      | Some k when List.mem k kinds ->
-          Digraph.add_edge g steps.(p).txn steps.(q).txn
-      | Some _ | None -> ()
-    done
-  done;
-  g
+let mask ~kinds =
+  let ww, wr, rw = bools ~kinds in
+  (if ww then 4 else 0) + (if wr then 2 else 0) + if rw then 1 else 0
+
+let graph_ctx ~kinds c =
+  let ww, wr, rw = bools ~kinds in
+  Ctx.kind_graph c ~ww ~wr ~rw
+
+(* Per-mask topological orders and shortest cycles, cached like the
+   CSR/MVCSR ones. The full subset and {Rw} alias the dedicated
+   conflict-graph/MVCG caches so lattice sweeps share them. *)
+let topo_keys : int list option Ctx.key array =
+  Array.init 8 (fun m -> Ctx.key (Printf.sprintf "kind_topo:%d" m))
+
+let cycle_keys : (int * int) list option Ctx.key array =
+  Array.init 8 (fun m -> Ctx.key (Printf.sprintf "kind_shortest_cycle:%d" m))
+
+let topo_ctx ~kinds c =
+  match mask ~kinds with
+  | 7 -> Ctx.conflict_topo c
+  | 1 -> Ctx.mv_topo c
+  | m -> Ctx.memo c topo_keys.(m) (fun c -> Topo.sort (graph_ctx ~kinds c))
+
+let shortest_cycle_ctx ~kinds c =
+  match mask ~kinds with
+  | 7 -> Ctx.conflict_shortest_cycle c
+  | 1 -> Ctx.mv_shortest_cycle c
+  | m ->
+      Ctx.memo c cycle_keys.(m) (fun c ->
+          Cycle.shortest_cycle (graph_ctx ~kinds c))
+
+let graph ~kinds s = graph_ctx ~kinds (Ctx.make s)
 
 let test ~kinds s = Cycle.is_acyclic (graph ~kinds s)
 
@@ -44,6 +59,35 @@ let witness ~kinds s =
   match Topo.sort (graph ~kinds s) with
   | None -> None
   | Some order -> Some (Schedule.serialization s order)
+
+let decider ~kinds : Mvcc_analysis.Decider.t =
+  let ww, wr, rw = bools ~kinds in
+  (module struct
+    let name = Witness.kinds_name ~ww ~wr ~rw
+    let test c = topo_ctx ~kinds c <> None
+
+    let witness c =
+      Option.map
+        (Schedule.serialization (Ctx.schedule c))
+        (topo_ctx ~kinds c)
+
+    let violation c =
+      Option.map (List.map fst) (shortest_cycle_ctx ~kinds c)
+
+    let decide c =
+      match topo_ctx ~kinds c with
+      | Some order ->
+          ( true,
+            { Witness.claim = Member (Kinds { ww; wr; rw });
+              evidence = Accept_topo order;
+            } )
+      | None ->
+          let arcs = Option.get (shortest_cycle_ctx ~kinds c) in
+          ( false,
+            { Witness.claim = Non_member (Kinds { ww; wr; rw });
+              evidence = Reject_cycle arcs;
+            } )
+  end)
 
 let subsets =
   [ []; [ Ww ]; [ Wr ]; [ Rw ]; [ Ww; Wr ]; [ Ww; Rw ]; [ Wr; Rw ];

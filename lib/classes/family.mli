@@ -39,6 +39,14 @@ val witness :
 (** A serial schedule ordering the transactions by a topological sort of
     the [kinds]-conflict graph, if acyclic. *)
 
+val decider : kinds:conflict_kind list -> Mvcc_analysis.Decider.t
+(** The [kinds]-conflict-serializability decider as a first-class
+    {!Mvcc_analysis.Decider}: named ["K{WW,RW}"]-style, certified by a
+    topological order ([Member (Kinds ...)]) or a shortest cycle of the
+    restricted graph. The restricted graph, its order and its cycle are
+    cached per context and per subset; the full subset and [{Rw}] share
+    the CSR/MVCSR caches. *)
+
 val subsets : conflict_kind list list
 (** All eight subsets of the three conflict kinds, smallest first. *)
 

@@ -1,4 +1,6 @@
 open Mvcc_core
+module Ctx = Mvcc_analysis.Ctx
+module Witness = Mvcc_provenance.Witness
 
 let signature s = (Liveness.live_read_froms s, Read_from.final_writers s)
 
@@ -6,16 +8,6 @@ let equivalent s1 s2 =
   if not (Schedule.same_system s1 s2) then
     invalid_arg "Fsr.equivalent: schedules of different transaction systems";
   signature s1 = signature s2
-
-let witness s =
-  let sig_s = signature s in
-  List.find_opt
-    (fun r -> signature r = sig_s)
-    (Schedule.all_serializations s)
-
-let test s = Option.is_some (witness s)
-
-module Witness = Mvcc_provenance.Witness
 
 (* All permutations of [0 .. n-1]; the order all_serializations uses. *)
 let rec perms = function
@@ -25,21 +17,49 @@ let rec perms = function
         (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
         l
 
-let decide s =
-  let sig_s = signature s in
-  let tried = ref 0 in
-  let hit =
-    List.find_opt
-      (fun order ->
-        incr tried;
-        signature (Schedule.serialization s order) = sig_s)
-      (perms (List.init (Schedule.n_txns s) Fun.id))
-  in
-  match hit with
-  | Some order ->
-      (true, { Witness.claim = Member Fsr; evidence = Accept_topo order })
-  | None ->
-      ( false,
-        { Witness.claim = Non_member Fsr;
-          evidence = Reject_exhausted { branches = !tried; propagated = 0 };
-        } )
+(* One factorial search per context: the first serialization order whose
+   final-state signature matches, plus the number of orders tried. *)
+let search_key : (int list option * int) Ctx.key = Ctx.key "fsr_search"
+
+let search c =
+  Ctx.memo c search_key (fun c ->
+      let s = Ctx.schedule c in
+      let lrf_s = Ctx.live_read_froms c and fw_s = Ctx.final_writers c in
+      let tried = ref 0 in
+      let hit =
+        List.find_opt
+          (fun order ->
+            incr tried;
+            let ser = Schedule.serialization s order in
+            (* check the cheap component first: the liveness fixpoint
+               dominates the signature, and most non-equivalent orders
+               already disagree on their final writers *)
+            Read_from.final_writers ser = fw_s
+            && Liveness.live_read_froms ser = lrf_s)
+          (perms (List.init (Schedule.n_txns s) Fun.id))
+      in
+      (hit, !tried))
+
+module Decider = struct
+  let name = "FSR"
+  let test c = fst (search c) <> None
+
+  let witness c =
+    Option.map (Schedule.serialization (Ctx.schedule c)) (fst (search c))
+
+  let violation _ = None
+
+  let decide c =
+    match search c with
+    | Some order, _ ->
+        (true, { Witness.claim = Member Fsr; evidence = Accept_topo order })
+    | None, tried ->
+        ( false,
+          { Witness.claim = Non_member Fsr;
+            evidence = Reject_exhausted { branches = tried; propagated = 0 };
+          } )
+end
+
+let test s = Decider.test (Ctx.make s)
+let witness s = Decider.witness (Ctx.make s)
+let decide s = Decider.decide (Ctx.make s)

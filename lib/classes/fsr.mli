@@ -10,6 +10,12 @@
     schedule. Testing FSR is NP-complete [6]; this is an exact
     factorial-search procedure for small instances. *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The FSR decision procedures over a shared analysis context: the
+    factorial signature search runs once per context (memoized under a
+    context key, reusing the cached live READ-FROMs and final writers)
+    however many operations are called. [violation] is [None]. *)
+
 val equivalent : Mvcc_core.Schedule.t -> Mvcc_core.Schedule.t -> bool
 (** Final-state equivalence of two schedules of the same system.
     @raise Invalid_argument on different systems. *)

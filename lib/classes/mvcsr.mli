@@ -6,6 +6,11 @@
     proposes it as the multiversion analogue of CSR. Theorem 3: every
     MVCSR schedule is MVSR. *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The MVCSR decision procedures over a shared analysis context: the
+    multiversion conflict graph, its topological order and its cycles
+    are computed once per context however many operations are called. *)
+
 val test : Mvcc_core.Schedule.t -> bool
 (** [test s] iff MVCG(s) is acyclic (Theorem 1). *)
 

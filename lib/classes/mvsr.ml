@@ -204,17 +204,51 @@ let search s pinned =
 let certificate_pinned s ~pinned = search s pinned
 let certificate s = search s Version_fn.empty
 
+module Actx = Mvcc_analysis.Ctx
 module Witness = Mvcc_provenance.Witness
 
-let decide s =
-  match search_stats s Version_fn.empty with
-  | Some (order, v), _, _ ->
-      (true, { Witness.claim = Member Mvsr; evidence = Accept_version_fn (order, v) })
-  | None, branches, propagated ->
-      ( false,
-        { Witness.claim = Non_member Mvsr;
-          evidence = Reject_exhausted { branches; propagated };
-        } )
+(* One unpinned backtracking search per context, shared by the test,
+   witness, certificate and certificate paths. *)
+let search_key : ((int list * Version_fn.t) option * int * int) Actx.key =
+  Actx.key "mvsr_search"
+
+let search_ctx c =
+  Actx.memo c search_key (fun c ->
+      search_stats (Actx.schedule c) Version_fn.empty)
+
+let certificate_ctx c =
+  let r, _, _ = search_ctx c in
+  r
+
+module Decider = struct
+  let name = "MVSR"
+
+  let test c =
+    let r, _, _ = search_ctx c in
+    r <> None
+
+  let witness c =
+    Option.map
+      (fun (order, _) -> Schedule.serialization (Actx.schedule c) order)
+      (certificate_ctx c)
+
+  let violation _ = None
+
+  let decide c =
+    match search_ctx c with
+    | Some (order, v), _, _ ->
+        ( true,
+          { Witness.claim = Member Mvsr;
+            evidence = Accept_version_fn (order, v);
+          } )
+    | None, branches, propagated ->
+        ( false,
+          { Witness.claim = Non_member Mvsr;
+            evidence = Reject_exhausted { branches; propagated };
+          } )
+end
+
+let decide s = Decider.decide (Actx.make s)
 let test s = Option.is_some (certificate s)
 let test_pinned s ~pinned = Option.is_some (certificate_pinned s ~pinned)
 

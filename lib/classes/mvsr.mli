@@ -19,6 +19,16 @@
     write of [x] (the paper writes one value [x_j] per transaction and
     entity). *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The MVSR decision procedures over a shared analysis context: the
+    unpinned backtracking search runs once per context (memoized under a
+    context key) however many operations are called. [witness] is the
+    serialization of the certificate order; [violation] is [None]. *)
+
+val certificate_ctx :
+  Mvcc_analysis.Ctx.t -> (int list * Mvcc_core.Version_fn.t) option
+(** {!certificate} through the context's cached search. *)
+
 val test : Mvcc_core.Schedule.t -> bool
 (** Exact MVSR decision. Exponential in the number of transactions. *)
 

@@ -27,40 +27,43 @@ let cycle_note name = function
            (String.concat " -> "
               (List.map (fun i -> "T" ^ string_of_int (i + 1)) nodes)))
 
-let make s =
+module Ctx = Mvcc_analysis.Ctx
+
+let of_ctx c =
+  let s = Ctx.schedule c in
   let csr =
     {
-      in_class = Csr.test s;
-      witness = Csr.witness s;
-      note = cycle_note "conflict-graph" (Csr.violation s);
+      in_class = Csr.Decider.test c;
+      witness = Csr.Decider.witness c;
+      note = cycle_note "conflict-graph" (Csr.Decider.violation c);
     }
   in
   let mvcsr =
     {
-      in_class = Mvcsr.test s;
-      witness = Mvcsr.witness s;
-      note = cycle_note "MVCG" (Mvcsr.violation s);
+      in_class = Mvcsr.Decider.test c;
+      witness = Mvcsr.Decider.witness c;
+      note = cycle_note "MVCG" (Mvcsr.Decider.violation c);
     }
   in
   let vsr =
     {
-      in_class = Vsr.test s;
-      witness = Vsr.witness s;
+      in_class = Vsr.Decider.test c;
+      witness = Vsr.Decider.witness c;
       note =
-        (if Vsr.test s then None
+        (if Vsr.Decider.test c then None
          else Some "the padded polygraph has no compatible acyclic digraph");
     }
   in
   let fsr =
     {
-      in_class = Fsr.test s;
-      witness = Fsr.witness s;
+      in_class = Fsr.Decider.test c;
+      witness = Fsr.Decider.witness c;
       note =
-        (if Fsr.test s then None
+        (if Fsr.Decider.test c then None
          else Some "no serialization matches the live read-froms and finals");
     }
   in
-  let cert = Mvsr.certificate s in
+  let cert = Mvsr.certificate_ctx c in
   let mvsr =
     {
       in_class = cert <> None;
@@ -73,7 +76,7 @@ let make s =
   in
   let dmvsr =
     {
-      in_class = Dmvsr.test s;
+      in_class = Dmvsr.Decider.test c;
       witness = None;
       note =
         (if Dmvsr.has_blind_writes s then
@@ -83,7 +86,7 @@ let make s =
   in
   let membership =
     {
-      Topography.serial = Schedule.is_serial s;
+      Topography.serial = Ctx.is_serial c;
       csr = csr.in_class;
       vsr = vsr.in_class;
       mvcsr = mvcsr.in_class;
@@ -93,7 +96,7 @@ let make s =
   in
   {
     schedule = s;
-    serial = Schedule.is_serial s;
+    serial = Ctx.is_serial c;
     csr;
     vsr;
     fsr;
@@ -103,6 +106,11 @@ let make s =
     region = Topography.region membership;
     mvsr_certificate = cert;
   }
+
+let make s = of_ctx (Ctx.make s)
+
+let make_batch ?(pool = Mvcc_exec.Pool.sequential) ss =
+  Mvcc_exec.Pool.map pool make ss
 
 let pp_verdict name ppf v =
   Format.fprintf ppf "%-6s: %s" name (if v.in_class then "yes" else "no ");

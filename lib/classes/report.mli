@@ -23,7 +23,20 @@ type t = {
 }
 
 val make : Mvcc_core.Schedule.t -> t
-(** Run every decision procedure (exponential for the NP-complete ones). *)
+(** Run every decision procedure (exponential for the NP-complete ones).
+    All verdicts are derived from one shared {!Mvcc_analysis.Ctx}: the
+    conflict graph, MVCG, polygraph solve and MVSR search each run
+    once. *)
+
+val of_ctx : Mvcc_analysis.Ctx.t -> t
+(** {!make} over a caller-provided context (for callers that also need
+    other analyses of the same schedule). *)
+
+val make_batch :
+  ?pool:Mvcc_exec.Pool.t -> Mvcc_core.Schedule.t list -> t list
+(** Reports for many schedules, optionally in parallel. Results are in
+    input order and identical to [List.map make] regardless of the
+    pool's job count (each domain builds its own contexts). *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering. *)

@@ -42,6 +42,17 @@ let bfs ?(max_states = 200_000) s =
 let reaches_serial ?max_states s = fst (bfs ?max_states s)
 let test ?max_states s = Option.is_some (reaches_serial ?max_states s)
 
+module Ctx = Mvcc_analysis.Ctx
+
+(* One BFS per context, at the default state bound only — callers that
+   tune [max_states] go through the uncached entry points. *)
+let reachable_key : Schedule.t option Ctx.key = Ctx.key "switching_reachable"
+
+let reaches_serial_ctx c =
+  Ctx.memo c reachable_key (fun c -> reaches_serial (Ctx.schedule c))
+
+let test_ctx c = Option.is_some (reaches_serial_ctx c)
+
 let path_to_serial ?max_states s =
   let found, parent = bfs ?max_states s in
   match found with

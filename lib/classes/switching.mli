@@ -24,6 +24,13 @@ val reaches_serial :
 val test : ?max_states:int -> Mvcc_core.Schedule.t -> bool
 (** Theorem 2 decision: a serial schedule is reachable. *)
 
+val reaches_serial_ctx :
+  Mvcc_analysis.Ctx.t -> Mvcc_core.Schedule.t option
+(** {!reaches_serial} at the default state bound, cached in the context
+    (one BFS per context however many switching queries run). *)
+
+val test_ctx : Mvcc_analysis.Ctx.t -> bool
+
 val distance_to_serial : ?max_states:int -> Mvcc_core.Schedule.t -> int option
 (** Minimum number of switches to reach some serial schedule. *)
 

@@ -9,15 +9,19 @@ type membership = {
   dmvsr : bool;
 }
 
-let classify s =
+module Ctx = Mvcc_analysis.Ctx
+
+let classify_ctx c =
   {
-    serial = Schedule.is_serial s;
-    csr = Csr.test s;
-    vsr = Vsr.test s;
-    mvcsr = Mvcsr.test s;
-    mvsr = Mvsr.test s;
-    dmvsr = Dmvsr.test s;
+    serial = Ctx.is_serial c;
+    csr = Csr.Decider.test c;
+    vsr = Vsr.Decider.test c;
+    mvcsr = Mvcsr.Decider.test c;
+    mvsr = Mvsr.Decider.test c;
+    dmvsr = Dmvsr.Decider.test c;
   }
+
+let classify s = classify_ctx (Ctx.make s)
 
 let consistent m =
   (not m.serial || m.csr)

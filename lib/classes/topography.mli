@@ -19,6 +19,11 @@ val classify : Mvcc_core.Schedule.t -> membership
 (** Run every decision procedure. Exponential in the worst case (VSR and
     MVSR are NP-complete). *)
 
+val classify_ctx : Mvcc_analysis.Ctx.t -> membership
+(** {!classify} over a shared analysis context: all six memberships are
+    read off the context's caches (the DMVSR search reuses the MVSR one
+    when the schedule has no blind writes). *)
+
 val consistent : membership -> bool
 (** Do the memberships respect the provable containments: serial ⊆ CSR;
     CSR ⊆ VSR ∩ MVCSR; VSR ∪ MVCSR ∪ DMVSR ⊆ MVSR; DMVSR ⊆ MVCSR? *)

@@ -1,99 +1,10 @@
 open Mvcc_core
-module Polygraph = Mvcc_polygraph.Polygraph
 module Acyclicity = Mvcc_polygraph.Acyclicity
-
-let polygraph_of s =
-  let p = Padding.pad s in
-  let n = Schedule.n_txns p in
-  (* writers of each entity, as padded transaction indices *)
-  let writers = Hashtbl.create 8 in
-  Array.iter
-    (fun (st : Step.t) ->
-      if Step.is_write st then begin
-        let l = Option.value (Hashtbl.find_opt writers st.entity) ~default:[] in
-        if not (List.mem st.txn l) then
-          Hashtbl.replace writers st.entity (st.txn :: l)
-      end)
-    (Schedule.steps p);
-  let arcs = ref [] in
-  let choices = ref [] in
-  (* Anchor the padding: T0 precedes everything, Tf follows everything —
-     a serialization of the original system always pads this way, and a
-     compatible dag violating it would have no unpadded counterpart. *)
-  for t = 1 to n - 1 do
-    arcs := (0, t) :: !arcs
-  done;
-  for t = 0 to n - 2 do
-    arcs := (t, n - 1) :: !arcs
-  done;
-  let add_read_from reader entity writer =
-    if reader <> writer then begin
-      arcs := (writer, reader) :: !arcs;
-      let others =
-        List.filter
-          (fun k -> k <> writer && k <> reader)
-          (Option.value (Hashtbl.find_opt writers entity) ~default:[])
-      in
-      List.iter
-        (fun k -> choices := { Polygraph.j = reader; k; i = writer } :: !choices)
-        others
-    end
-  in
-  (* A read served an external writer in s, while its own transaction
-     wrote the entity earlier in program order, can never be realized
-     serially: in a serial schedule the own write interposes. Such a
-     schedule is not VSR at all (in the one-access-per-entity model). *)
-  let std = Version_fn.standard p in
-  let own_write_before = Hashtbl.create 8 in
-  let unrealizable = ref false in
-  Array.iteri
-    (fun pos (st : Step.t) ->
-      match st.action with
-      | Step.Write -> Hashtbl.replace own_write_before (st.txn, st.entity) pos
-      | Step.Read -> (
-          match Version_fn.get std pos with
-          | Some (Version_fn.From q)
-            when (Schedule.step p q).txn <> st.txn
-                 && Hashtbl.mem own_write_before (st.txn, st.entity) ->
-              unrealizable := true
-          | _ -> ()))
-    (Schedule.steps p);
-  if !unrealizable then
-    (* trivially cyclic polygraph: the padded schedule always has >= 2
-       transactions (T0 and Tf) *)
-    Polygraph.make ~n ~arcs:[ (0, 1); (1, 0) ] ~choices:[]
-  else begin
-    List.iter
-      (fun (pos, w) ->
-        let st = Schedule.step p pos in
-        let writer = match w with Read_from.T0 -> 0 | Read_from.T j -> j in
-        add_read_from st.txn st.entity writer)
-      (Read_from.per_step p (Version_fn.standard p));
-    Polygraph.make ~n ~arcs:!arcs ~choices:(List.sort_uniq compare !choices)
-  end
-
-let test s = Acyclicity.is_acyclic (polygraph_of s)
-
-let witness s =
-  match Acyclicity.witness_order (polygraph_of s) with
-  | None -> None
-  | Some order ->
-      (* Drop T0/Tf and shift back to original indices. *)
-      let n = Schedule.n_txns s in
-      let original =
-        List.filter_map
-          (fun i -> if i = 0 || i = n + 1 then None else Some (i - 1))
-          order
-      in
-      Some (Schedule.serialization s original)
-
-let test_exact s =
-  List.exists
-    (fun r -> Equiv.view_equivalent s r)
-    (Schedule.all_serializations s)
-
+module Ctx = Mvcc_analysis.Ctx
 module Witness = Mvcc_provenance.Witness
 module Topo = Mvcc_graph.Topo
+
+let polygraph_of s = Ctx.polygraph (Ctx.make s)
 
 (* Drop the padding transactions T0 (index 0) and Tf (index n+1) and
    shift back to original indices. *)
@@ -103,21 +14,48 @@ let unpad_order s order =
     (fun i -> if i = 0 || i = n + 1 then None else Some (i - 1))
     order
 
-let decide s =
-  let p = polygraph_of s in
-  match Acyclicity.solve_stats p with
-  | Some g, _ ->
-      let order = Option.get (Topo.sort g) in
-      ( true,
-        { Witness.claim = Member Vsr; evidence = Accept_topo (unpad_order s order) } )
-  | None, { Acyclicity.branches; propagated } ->
-      ( false,
-        { Witness.claim = Non_member Vsr;
-          evidence = Reject_exhausted { branches; propagated };
-        } )
+module Decider = struct
+  let name = "VSR"
+  let test c = fst (Ctx.polygraph_solution c) <> None
 
-let decide_sat s =
-  let p = polygraph_of s in
+  let witness c =
+    match fst (Ctx.polygraph_solution c) with
+    | None -> None
+    | Some g ->
+        let s = Ctx.schedule c in
+        let order = Option.get (Topo.sort g) in
+        Some (Schedule.serialization s (unpad_order s order))
+
+  let violation _ = None
+
+  let decide c =
+    let s = Ctx.schedule c in
+    match Ctx.polygraph_solution c with
+    | Some g, _ ->
+        let order = Option.get (Topo.sort g) in
+        ( true,
+          { Witness.claim = Member Vsr;
+            evidence = Accept_topo (unpad_order s order);
+          } )
+    | None, { Acyclicity.branches; propagated } ->
+        ( false,
+          { Witness.claim = Non_member Vsr;
+            evidence = Reject_exhausted { branches; propagated };
+          } )
+end
+
+let test s = Decider.test (Ctx.make s)
+let witness s = Decider.witness (Ctx.make s)
+let decide s = Decider.decide (Ctx.make s)
+
+let test_exact s =
+  List.exists
+    (fun r -> Equiv.view_equivalent s r)
+    (Schedule.all_serializations s)
+
+let decide_sat_ctx c =
+  let s = Ctx.schedule c in
+  let p = Ctx.polygraph c in
   let cnf = Mvcc_polygraph.Sat_encoding.encode p in
   match Mvcc_sat.Dpll.solve_stats cnf with
   | Some a, _ ->
@@ -132,3 +70,5 @@ let decide_sat s =
           evidence =
             Reject_exhausted { branches = decisions; propagated = propagations };
         } )
+
+let decide_sat s = decide_sat_ctx (Ctx.make s)

@@ -7,6 +7,13 @@
     is NP-complete [6]; two exact procedures are provided and
     cross-validated in the test suite. *)
 
+module Decider : Mvcc_analysis.Decider.S
+(** The VSR decision procedures over a shared analysis context: the
+    polygraph is built and solved once per context ([Ctx.polygraph] /
+    [Ctx.polygraph_solution]) however many operations are called.
+    [violation] is [None] — VSR rejections are certified by search
+    exhaustion, not a cycle. *)
+
 val test : Mvcc_core.Schedule.t -> bool
 (** Decide VSR via the polygraph of the padded schedule
     ({!polygraph_of}) — the construction of [6]. *)
@@ -35,3 +42,8 @@ val decide_sat : Mvcc_core.Schedule.t -> bool * Mvcc_provenance.Witness.t
 (** Like {!decide} through the SAT order encoding: the order decoded
     from a satisfying assignment ([Accept_assignment]) on acceptance,
     DPLL search effort on rejection. *)
+
+val decide_sat_ctx :
+  Mvcc_analysis.Ctx.t -> bool * Mvcc_provenance.Witness.t
+(** {!decide_sat} sharing the context's cached polygraph (the SAT solve
+    itself is not cached — it is the cross-check route). *)

@@ -2,11 +2,10 @@
    final writes are live; the source write of a live read is live; a read
    is live when a later write of the same transaction is live. *)
 
-let live_positions s =
+let live_positions_std s std =
   let n = Schedule.length s in
   let steps = Schedule.steps s in
   let live = Array.make n false in
-  let std = Version_fn.standard s in
   (* final write of each entity *)
   let final = Hashtbl.create 8 in
   Array.iteri
@@ -52,10 +51,12 @@ let live_positions s =
   done;
   live
 
+let live_positions s = live_positions_std s (Version_fn.standard s)
+
 let live_read_froms s =
-  let live = live_positions s in
-  let steps = Schedule.steps s in
   let std = Version_fn.standard s in
+  let live = live_positions_std s std in
+  let steps = Schedule.steps s in
   Array.to_list steps
   |> List.mapi (fun pos st -> (pos, st))
   |> List.filter_map (fun (pos, (st : Step.t)) ->

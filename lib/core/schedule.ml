@@ -151,6 +151,18 @@ let equal s1 s2 =
   && Array.length s1.steps = Array.length s2.steps
   && Array.for_all2 Step.equal s1.steps s2.steps
 
+(* Hashtbl.hash on the whole value would stop after its default
+   meaningful-node budget and collapse long schedules onto a handful of
+   buckets, so fold over every step explicitly. *)
+let hash s =
+  let combine h x = (h * 31) + x land max_int in
+  Array.fold_left
+    (fun h (st : Step.t) ->
+      combine h (Hashtbl.hash (st.txn, st.action, st.entity)))
+    (combine (Hashtbl.hash s.n_txns) (Array.length s.steps))
+    s.steps
+  land max_int
+
 let pp ppf s =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")

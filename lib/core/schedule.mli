@@ -92,6 +92,13 @@ val all_serializations : t -> t list
 val equal : t -> t -> bool
 (** Same system and same step sequence. *)
 
+val hash : t -> int
+(** Consistent with {!equal} (equal schedules hash alike) and sensitive
+    to every step — unlike polymorphic [Hashtbl.hash], which only
+    inspects a bounded prefix of the structure. Together with {!equal}
+    this makes [Schedule] usable as a [Hashtbl.Make] key for analysis
+    caches and sweep deduplication. *)
+
 val pp : Format.formatter -> t -> unit
 (** Linear rendering: [R1(x) W1(x) R2(y)]. *)
 

@@ -61,6 +61,43 @@ let valid_cycle arcs rel =
 (* Final-state signature (FSR): live READ-FROMs plus final writers. *)
 let fsr_signature s = (Liveness.live_read_froms s, Read_from.final_writers s)
 
+(* Conflict-family (Ibaraki-Kameda) pairs, re-derived from the raw step
+   actions: position pairs (p, q), p < q, whose ordered step pair is one
+   of the selected kinds. *)
+let kind_pairs ~ww ~wr ~rw s =
+  let steps = Schedule.steps s in
+  let selected (a : Step.t) (b : Step.t) =
+    a.entity = b.entity && a.txn <> b.txn
+    &&
+    match (a.action, b.action) with
+    | Step.Write, Step.Write -> ww
+    | Step.Write, Step.Read -> wr
+    | Step.Read, Step.Write -> rw
+    | Step.Read, Step.Read -> false
+  in
+  let acc = ref [] in
+  let n = Array.length steps in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      if selected steps.(p) steps.(q) then acc := (p, q) :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* Kinds-conflict equivalence to the serialization in [order]: every
+   selected ordered pair of s must keep its transaction order. In a
+   serialization each transaction's steps are contiguous, so the pair
+   (u, v) keeps its order iff u precedes v in [order]. *)
+let member_by_kinds ~ww ~wr ~rw s order =
+  is_permutation (Schedule.n_txns s) order
+  &&
+  let rank = Array.make (Schedule.n_txns s) 0 in
+  List.iteri (fun i t -> rank.(t) <- i) order;
+  let steps = Schedule.steps s in
+  List.for_all
+    (fun (p, q) -> rank.(steps.(p).Step.txn) < rank.(steps.(q).Step.txn))
+    (kind_pairs ~ww ~wr ~rw s)
+
 (* The DMVSR blind-write padding, re-derived: a read of the same entity
    is inserted immediately before the transaction's first write of an
    entity it has not read earlier in its program. *)
@@ -92,6 +129,11 @@ let member_by_order k s order =
   | Witness.Mvcsr -> Equiv.mv_conflict_equivalent s r
   | Witness.Vsr -> Equiv.view_equivalent s r
   | Witness.Fsr -> fsr_signature s = fsr_signature r
+  | Witness.Kinds { ww; wr; rw } -> (
+      (* handled directly on the order elsewhere; equivalent here *)
+      match Schedule.serial_order r with
+      | Some order -> member_by_kinds ~ww ~wr ~rw s order
+      | None -> false)
   | Witness.Mvsr | Witness.Dmvsr -> false
 
 (* MVSR membership via (order, version function): the full schedule
@@ -108,6 +150,22 @@ let member_mvsr s order v =
 let recheck_not_serial_equiv equiv s =
   if fact (Schedule.n_txns s) > max_recheck_cost then Too_large
   else if List.exists (equiv s) (Schedule.all_serializations s) then Refuted
+  else Confirmed
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+        l
+
+let recheck_not_kinds ~ww ~wr ~rw s =
+  if fact (Schedule.n_txns s) > max_recheck_cost then Too_large
+  else if
+    List.exists
+      (member_by_kinds ~ww ~wr ~rw s)
+      (perms (List.init (Schedule.n_txns s) Fun.id))
+  then Refuted
   else Confirmed
 
 let recheck_not_mvsr s =
@@ -144,6 +202,8 @@ let check s (w : Witness.t) =
       confirmed (member_by_order k s order)
   | Member Vsr, Accept_assignment order ->
       confirmed (member_by_order Witness.Vsr s order)
+  | Member (Kinds { ww; wr; rw }), Accept_topo order ->
+      confirmed (member_by_kinds ~ww ~wr ~rw s order)
   | Member Mvsr, Accept_version_fn (order, v) ->
       confirmed (member_mvsr s order v)
   | Member Dmvsr, Accept_version_fn (order, v) ->
@@ -155,6 +215,8 @@ let check s (w : Witness.t) =
       confirmed (valid_cycle arcs (arc_set Conflict.conflicting_pairs s))
   | Non_member Mvcsr, Reject_cycle arcs ->
       confirmed (valid_cycle arcs (arc_set Conflict.mv_conflicting_pairs s))
+  | Non_member (Kinds { ww; wr; rw }), Reject_cycle arcs ->
+      confirmed (valid_cycle arcs (arc_set (kind_pairs ~ww ~wr ~rw) s))
   (* -- rejections by exhaustion: re-establish independently -- *)
   | Non_member Csr, Reject_exhausted _ ->
       recheck_not_serial_equiv Equiv.conflict_equivalent s
@@ -166,6 +228,8 @@ let check s (w : Witness.t) =
       recheck_not_serial_equiv (fun a b -> fsr_signature a = fsr_signature b) s
   | Non_member Mvsr, Reject_exhausted _ -> recheck_not_mvsr s
   | Non_member Dmvsr, Reject_exhausted _ -> recheck_not_mvsr (pad_blind s)
+  | Non_member (Kinds { ww; wr; rw }), Reject_exhausted _ ->
+      recheck_not_kinds ~ww ~wr ~rw s
   (* -- every other pairing is ill-formed -- *)
   | _ -> Refuted
 

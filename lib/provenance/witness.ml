@@ -1,6 +1,21 @@
 open Mvcc_core
 
-type klass = Csr | Vsr | Mvcsr | Mvsr | Fsr | Dmvsr
+type klass =
+  | Csr
+  | Vsr
+  | Mvcsr
+  | Mvsr
+  | Fsr
+  | Dmvsr
+  | Kinds of { ww : bool; wr : bool; rw : bool }
+
+let kinds_name ~ww ~wr ~rw =
+  let l =
+    (if ww then [ "WW" ] else [])
+    @ (if wr then [ "WR" ] else [])
+    @ if rw then [ "RW" ] else []
+  in
+  Printf.sprintf "K{%s}" (String.concat "," l)
 
 let klass_name = function
   | Csr -> "CSR"
@@ -9,6 +24,7 @@ let klass_name = function
   | Mvsr -> "MVSR"
   | Fsr -> "FSR"
   | Dmvsr -> "DMVSR"
+  | Kinds { ww; wr; rw } -> kinds_name ~ww ~wr ~rw
 
 type claim = Member of klass | Non_member of klass | Read_consistent
 

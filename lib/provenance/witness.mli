@@ -9,9 +9,24 @@
     {!Checker} re-validates the pair against the schedule using only
     [lib/core] primitives, independently of the code that produced it. *)
 
-type klass = Csr | Vsr | Mvcsr | Mvsr | Fsr | Dmvsr
+type klass =
+  | Csr
+  | Vsr
+  | Mvcsr
+  | Mvsr
+  | Fsr
+  | Dmvsr
+  | Kinds of { ww : bool; wr : bool; rw : bool }
+      (** a class of the Ibaraki-Kameda conflict-family lattice [5]: the
+          schedules whose conflict graph restricted to the selected kinds
+          is acyclic. [Kinds {ww=true; wr=true; rw=true}] coincides with
+          CSR and [Kinds {rw=true; ...false}] with MVCSR, but carries the
+          lattice name. *)
 
 val klass_name : klass -> string
+
+val kinds_name : ww:bool -> wr:bool -> rw:bool -> string
+(** ["K{WW,RW}"]-style lattice names. *)
 
 type claim =
   | Member of klass  (** the schedule belongs to the class *)
