@@ -1,0 +1,192 @@
+(* E22 — the compact interned core: dense entity ids, per-entity step
+   buckets and bitset adjacency vs the pre-refactor string-keyed path.
+
+   Every decision layer consults [Repr.reference] at its choke points:
+   with the flag set, conflict/mv-conflict enumeration, the standard
+   version function, final writers, the liveness fixpoint, the kind
+   graph, the polygraph's writer tables and the online maintainers run
+   the seed's string-keyed O(n^2) scans; with it clear they run the
+   interned bucket sweeps. The flag is only allowed to move time: both
+   paths must produce byte-identical verdicts, witnesses and census
+   regions. (The reference leg still pays index construction — every
+   schedule carries its interned view — so the ratios understate the
+   refactor slightly; the comparison is conservative.)
+
+   Part 1 re-runs E21's 5-transaction classification sweep as paired
+   passes (reference sweep immediately followed by interned sweep) and
+   keeps the median of the per-pass ratios, exactly as E21 does, so the
+   headline number survives single-core noise. Part 2 checks the census
+   region sequence at jobs 1/2/4 against the reference sequence. Part 3
+   feeds an E18-style step stream through the online certifiers in both
+   modes. Timings land in e22.json for CI to keep as an artifact. *)
+
+open Mvcc_core
+module T = Mvcc_classes.Topography
+module Ctx = Mvcc_analysis.Ctx
+module Pool = Mvcc_exec.Pool
+module Certifier = Mvcc_online.Certifier
+
+(* Byte-comparable image of a full report: verdicts plus printed
+   witnesses for every class, the MVSR certificate, and the region. *)
+let digest_report (r : Mvcc_classes.Report.t) =
+  let w = Option.map Schedule.to_string in
+  ( (r.csr.in_class, w r.csr.witness),
+    (r.mvcsr.in_class, w r.mvcsr.witness),
+    (r.vsr.in_class, w r.vsr.witness),
+    (r.fsr.in_class, w r.fsr.witness),
+    r.mvsr_certificate,
+    r.dmvsr.in_class,
+    T.region_name r.region )
+
+let run ~samples =
+  Util.section "E22  Interned core vs the string-keyed reference path";
+  let json_rows = ref [] in
+  let emit row =
+    json_rows := row :: !json_rows;
+    Util.row "  %s@." row
+  in
+
+  Util.subsection "part 1: 5-txn classification sweep, paired passes";
+  let rng = Util.rng 92 in
+  let params =
+    { Mvcc_workload.Schedule_gen.default with
+      n_txns = 5; n_entities = 3; min_steps = 2; max_steps = 4 }
+  in
+  let p1_samples = max samples 300 in
+  let drawn = Mvcc_workload.Schedule_gen.sample params rng p1_samples in
+  let sweep flag () =
+    Repr.with_reference flag (fun () ->
+        List.map (fun s -> digest_report (Mvcc_classes.Report.make s)) drawn)
+  in
+  let ref_digests = sweep true () and fast_digests = sweep false () in
+  let passes =
+    List.init 5 (fun _ ->
+        let _, r = Util.time_ms (sweep true) in
+        let _, f = Util.time_ms (sweep false) in
+        (r, f))
+  in
+  let ref_ms, fast_ms =
+    match
+      List.sort (fun (r, f) (r', f') -> compare (r /. f) (r' /. f')) passes
+    with
+    | _ :: _ :: median :: _ -> median
+    | _ -> assert false
+  in
+  let invariant = ref_digests = fast_digests in
+  let speedup = ref_ms /. fast_ms in
+  Util.row "schedules: %d@." p1_samples;
+  Util.row "verdicts and witnesses identical on every schedule: %b@."
+    invariant;
+  emit
+    (Printf.sprintf
+       "{\"experiment\":\"e22\",\"part\":\"classification\",\"samples\":%d,\
+        \"reference_ms\":%.2f,\"interned_ms\":%.2f,\"speedup\":%.2f}"
+       p1_samples ref_ms fast_ms speedup);
+
+  Util.subsection "part 2: census regions at jobs 1/2/4 vs reference";
+  let rng = Util.rng 93 in
+  let universe =
+    Mvcc_workload.Schedule_gen.sample
+      { params with n_txns = 6; max_steps = 3 }
+      rng samples
+  in
+  let classify s = T.region_name (T.region (T.classify_ctx (Ctx.make s))) in
+  let census flag jobs =
+    Repr.with_reference flag (fun () ->
+        let pool = Pool.create ~jobs in
+        Util.time_ms (fun () -> Pool.map pool classify universe))
+  in
+  let ref_regions, _ = census true 1 in
+  let r1, _ = census false 1 in
+  let r2, _ = census false 2 in
+  let r4, _ = census false 4 in
+  let census_passes =
+    List.init 3 (fun _ ->
+        let _, r = census true 1 in
+        let _, f = census false 1 in
+        (r, f))
+  in
+  let ref_census_ms, ms1 =
+    match
+      List.sort
+        (fun (r, f) (r', f') -> compare (r /. f) (r' /. f'))
+        census_passes
+    with
+    | _ :: median :: _ -> median
+    | _ -> assert false
+  in
+  let census_invariant =
+    ref_regions = r1 && r1 = r2 && r2 = r4
+  in
+  Util.row
+    "region sequence identical to reference at jobs 1/2/4: %b (%d core(s))@."
+    census_invariant
+    (Domain.recommended_domain_count ());
+  emit
+    (Printf.sprintf
+       "{\"experiment\":\"e22\",\"part\":\"census\",\"samples\":%d,\
+        \"reference_ms\":%.2f,\"interned_ms\":%.2f,\"speedup\":%.2f}"
+       samples ref_census_ms ms1 (ref_census_ms /. ms1));
+
+  Util.subsection "part 3: online certifier feed, both maintainers";
+  let n = 8 * max 400 samples in
+  let rng = Util.rng (900 + n) in
+  let stream_params =
+    { Mvcc_workload.Schedule_gen.default with
+      n_txns = max 4 (n / 8);
+      n_entities = max 16 (n / 4);
+      min_steps = 8;
+      max_steps = 8;
+    }
+  in
+  let s = Mvcc_workload.Schedule_gen.schedule stream_params rng in
+  let feed mode () =
+    let cert = Certifier.create mode in
+    Array.to_list (Schedule.steps s)
+    |> List.map (fun st -> Certifier.feed cert st = Certifier.Accepted)
+  in
+  let online_invariant = ref true in
+  List.iter
+    (fun (label, mode) ->
+      let ref_dec = Repr.with_reference true (feed mode) in
+      let fast_dec = Repr.with_reference false (feed mode) in
+      if ref_dec <> fast_dec then online_invariant := false;
+      (* same pairing-and-median discipline as part 1, at a smaller
+         pass count: the per-feed times are small enough that one GC
+         spike can flip a single-shot ratio *)
+      let passes =
+        List.init 3 (fun _ ->
+            let _, r =
+              Util.time_ms (fun () -> Repr.with_reference true (feed mode))
+            in
+            let _, f =
+              Util.time_ms (fun () -> Repr.with_reference false (feed mode))
+            in
+            (r, f))
+      in
+      let ref_t, fast_t =
+        match
+          List.sort
+            (fun (r, f) (r', f') -> compare (r /. f) (r' /. f'))
+            passes
+        with
+        | _ :: median :: _ -> median
+        | _ -> assert false
+      in
+      emit
+        (Printf.sprintf
+           "{\"experiment\":\"e22\",\"part\":\"online-%s\",\"steps\":%d,\
+            \"reference_ms\":%.2f,\"interned_ms\":%.2f,\"speedup\":%.2f}"
+           label
+           (Array.length (Schedule.steps s))
+           ref_t fast_t (ref_t /. fast_t)))
+    [ ("sgt", Certifier.Conflict); ("mvcg", Certifier.Mv_conflict) ];
+  Util.row "online decisions identical in both modes: %b@."
+    !online_invariant;
+
+  let oc = open_out "e22.json" in
+  List.iter (fun r -> output_string oc (r ^ "\n")) (List.rev !json_rows);
+  close_out oc;
+  Util.row "@.rows written to e22.json@.";
+  Util.row "classification speedup: %.2fx (gate: >= 2.0)@." speedup;
+  invariant && census_invariant && !online_invariant && speedup >= 2.0

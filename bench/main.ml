@@ -73,6 +73,9 @@ let () =
   if selected "e21" then
     record "E21 ctx-sharing+jobs"
       (E_ctx.run ~samples:(if quick then 120 else 400));
+  if selected "e22" then
+    record "E22 interned-core"
+      (E_repr.run ~samples:(if quick then 120 else 300));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

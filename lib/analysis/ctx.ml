@@ -89,20 +89,45 @@ let kind_selected ~ww ~wr ~rw (a : Step.t) (b : Step.t) =
   | Step.Read, Step.Write -> rw
   | Step.Read, Step.Read -> false
 
+(* Entity equality is implied inside a bucket, so the sweep only
+   inspects the action pair. *)
+let kind_selected_same_entity ~ww ~wr ~rw (a : Step.t) (b : Step.t) =
+  a.txn <> b.txn
+  &&
+  match (a.action, b.action) with
+  | Step.Write, Step.Write -> ww
+  | Step.Write, Step.Read -> wr
+  | Step.Read, Step.Write -> rw
+  | Step.Read, Step.Read -> false
+
 let kind_graph t ~ww ~wr ~rw =
   if ww && wr && rw then conflict_graph t
   else if rw && (not ww) && not wr then mv_graph t
   else
     memo t kind_graph_keys.(mask ~ww ~wr ~rw) (fun t ->
-        let steps = Schedule.steps t.schedule in
+        let s = t.schedule in
+        let steps = Schedule.steps s in
         let n = Array.length steps in
-        let g = Digraph.create (Schedule.n_txns t.schedule) in
-        for p = 0 to n - 1 do
-          for q = p + 1 to n - 1 do
-            if kind_selected ~ww ~wr ~rw steps.(p) steps.(q) then
-              Digraph.add_edge g steps.(p).txn steps.(q).txn
+        let g = Digraph.create (Schedule.n_txns s) in
+        if !Repr.reference then
+          (* pre-refactor all-pairs scan, string equality innermost *)
+          for p = 0 to n - 1 do
+            for q = p + 1 to n - 1 do
+              if kind_selected ~ww ~wr ~rw steps.(p) steps.(q) then
+                Digraph.add_edge g steps.(p).txn steps.(q).txn
+            done
           done
-        done;
+        else
+          (* per-entity bucket sweep emitting the same edges in the
+             same order *)
+          for p = 0 to n - 1 do
+            let b = Schedule.entity_bucket s (Schedule.entity_at s p) in
+            for i = Schedule.entity_rank s p + 1 to Array.length b - 1 do
+              let q = b.(i) in
+              if kind_selected_same_entity ~ww ~wr ~rw steps.(p) steps.(q)
+              then Digraph.add_edge g steps.(p).txn steps.(q).txn
+            done
+          done;
         g)
 
 let conflict_topo_key : int list option key = key "conflict_topo"

@@ -5,18 +5,51 @@
 open Mvcc_core
 module Polygraph = Mvcc_polygraph.Polygraph
 
-let of_padded ~padded:p ~std =
-  let n = Schedule.n_txns p in
-  (* writers of each entity, as padded transaction indices *)
+let compare_choice (c1 : Polygraph.choice) (c2 : Polygraph.choice) =
+  let c = Int.compare c1.j c2.j in
+  if c <> 0 then c
+  else
+    let c = Int.compare c1.k c2.k in
+    if c <> 0 then c else Int.compare c1.i c2.i
+
+(* Writers of each entity as padded transaction indices: a string-keyed
+   table on the reference path, the padded schedule's own entity ids on
+   the interned one. Both list writers in reverse first-write order; the
+   choices built from them are sorted before use either way. *)
+let writers_tbl_ref p =
   let writers = Hashtbl.create 8 in
   Array.iter
     (fun (st : Step.t) ->
       if Step.is_write st then begin
-        let l = Option.value (Hashtbl.find_opt writers st.entity) ~default:[] in
+        let l =
+          Option.value (Hashtbl.find_opt writers st.entity) ~default:[]
+        in
         if not (List.mem st.txn l) then
           Hashtbl.replace writers st.entity (st.txn :: l)
       end)
     (Schedule.steps p);
+  fun entity -> Option.value (Hashtbl.find_opt writers entity) ~default:[]
+
+let writers_arr p =
+  let writers = Array.make (max 1 (Schedule.n_entities p)) [] in
+  Array.iteri
+    (fun pos (st : Step.t) ->
+      if Step.is_write st then begin
+        let e = Schedule.entity_at p pos in
+        if not (List.mem st.txn writers.(e)) then
+          writers.(e) <- st.txn :: writers.(e)
+      end)
+    (Schedule.steps p);
+  fun entity ->
+    match Schedule.entity_index p entity with
+    | Some e -> writers.(e)
+    | None -> []
+
+let of_padded ~padded:p ~std =
+  let n = Schedule.n_txns p in
+  let writers_of =
+    if !Repr.reference then writers_tbl_ref p else writers_arr p
+  in
   let arcs = ref [] in
   let choices = ref [] in
   (* Anchor the padding: T0 precedes everything, Tf follows everything —
@@ -32,12 +65,11 @@ let of_padded ~padded:p ~std =
     if reader <> writer then begin
       arcs := (writer, reader) :: !arcs;
       let others =
-        List.filter
-          (fun k -> k <> writer && k <> reader)
-          (Option.value (Hashtbl.find_opt writers entity) ~default:[])
+        List.filter (fun k -> k <> writer && k <> reader) (writers_of entity)
       in
       List.iter
-        (fun k -> choices := { Polygraph.j = reader; k; i = writer } :: !choices)
+        (fun k ->
+          choices := { Polygraph.j = reader; k; i = writer } :: !choices)
         others
     end
   in
@@ -45,17 +77,21 @@ let of_padded ~padded:p ~std =
      wrote the entity earlier in program order, can never be realized
      serially: in a serial schedule the own write interposes. Such a
      schedule is not VSR at all (in the one-access-per-entity model). *)
-  let own_write_before = Hashtbl.create 8 in
+  let own_write_before =
+    Array.make (max 1 (n * max 1 (Schedule.n_entities p))) false
+  in
+  let slot txn e = (txn * Schedule.n_entities p) + e in
   let unrealizable = ref false in
   Array.iteri
     (fun pos (st : Step.t) ->
+      let e = Schedule.entity_at p pos in
       match st.action with
-      | Step.Write -> Hashtbl.replace own_write_before (st.txn, st.entity) pos
+      | Step.Write -> own_write_before.(slot st.txn e) <- true
       | Step.Read -> (
           match Version_fn.get std pos with
           | Some (Version_fn.From q)
             when (Schedule.step p q).txn <> st.txn
-                 && Hashtbl.mem own_write_before (st.txn, st.entity) ->
+                 && own_write_before.(slot st.txn e) ->
               unrealizable := true
           | _ -> ()))
     (Schedule.steps p);
@@ -70,5 +106,6 @@ let of_padded ~padded:p ~std =
         let writer = match w with Read_from.T0 -> 0 | Read_from.T j -> j in
         add_read_from st.txn st.entity writer)
       (Read_from.per_step p std);
-    Polygraph.make ~n ~arcs:!arcs ~choices:(List.sort_uniq compare !choices)
+    Polygraph.make ~n ~arcs:!arcs
+      ~choices:(List.sort_uniq compare_choice !choices)
   end

@@ -35,14 +35,16 @@ let version_fn_for s r =
     (fun p (st : Step.t) ->
       if Step.is_read st then begin
         (* source of this read in (r, V_r): last write of the entity
-           before the read's position in r *)
+           before the read's position in r — found by walking the
+           entity's bucket in r (same system, so the entity exists) *)
         let pos_r = to_r.(p) in
+        let e_r = Option.get (Schedule.entity_index r st.entity) in
         let src = ref Version_fn.Initial in
-        for q = 0 to pos_r - 1 do
-          let w = r_steps.(q) in
-          if Step.is_write w && w.entity = st.entity then
-            src := Version_fn.From to_s.(q)
-        done;
+        Array.iter
+          (fun q ->
+            if q < pos_r && Step.is_write r_steps.(q) then
+              src := Version_fn.From to_s.(q))
+          (Schedule.entity_bucket r e_r);
         (match !src with
         | Version_fn.From q_s when q_s >= p ->
             invalid_arg

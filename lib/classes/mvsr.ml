@@ -27,18 +27,18 @@ type ctx = {
 }
 
 let analyse s pinned =
-  let entities = Schedule.entities s in
-  let ent_id = Hashtbl.create 8 in
-  List.iteri (fun i e -> Hashtbl.replace ent_id e i) entities;
+  (* dense entity ids come straight from the schedule's interned index;
+     renaming ids only permutes the last-writer state vector, so the
+     search explores the same tree either way *)
   let n = Schedule.n_txns s in
-  let n_ents = List.length entities in
-  let write_positions = Array.make_matrix n n_ents [] in
-  let own_last = Array.make_matrix n n_ents (-1) in
+  let n_ents = Schedule.n_entities s in
+  let write_positions = Array.make_matrix n (max 1 n_ents) [] in
+  let own_last = Array.make_matrix n (max 1 n_ents) (-1) in
   let reads = Array.make n [] in
   let writes = Array.make n [] in
   Array.iteri
     (fun pos (st : Step.t) ->
-      let e = Hashtbl.find ent_id st.entity in
+      let e = Schedule.entity_at s pos in
       match st.action with
       | Step.Write ->
           own_last.(st.txn).(e) <- pos;

@@ -1,3 +1,7 @@
+(* All-pairs reference enumeration, kept as the oracle the bucketed
+   sweeps are qcheck-pinned against (and as the "before" leg of the E22
+   paired benchmark): O(n²) with the relation — string equality
+   included — in the innermost loop. *)
 let pairs_satisfying rel s =
   let steps = Schedule.steps s in
   let n = Array.length steps in
@@ -9,10 +13,41 @@ let pairs_satisfying rel s =
   done;
   List.rev !acc
 
-let conflicting_pairs s = pairs_satisfying Step.conflicts s
+(* The bucketed sweep: for each position [p] in schedule order, only the
+   later positions in [p]'s own entity bucket can satisfy a same-entity
+   relation, and the bucket lists them in ascending order — so emitting
+   bucket tails position by position reproduces exactly the (p, q)
+   lexicographic order of the all-pairs scan, without ever comparing an
+   entity name. [keep] sees two same-entity steps. *)
+let sweep_pairs keep s =
+  let n = Schedule.length s in
+  let acc = ref [] in
+  for p = 0 to n - 1 do
+    let b = Schedule.entity_bucket s (Schedule.entity_at s p) in
+    for i = Schedule.entity_rank s p + 1 to Array.length b - 1 do
+      let q = b.(i) in
+      if keep (Schedule.step s p) (Schedule.step s q) then
+        acc := (p, q) :: !acc
+    done
+  done;
+  List.rev !acc
+
+(* Same-entity specializations of Step.conflicts / Step.mv_conflicts:
+   the bucket already guarantees entity equality. *)
+let conflicts_same_entity (a : Step.t) (b : Step.t) =
+  a.txn <> b.txn && (a.action = Step.Write || b.action = Step.Write)
+
+let mv_conflicts_same_entity (a : Step.t) (b : Step.t) =
+  a.txn <> b.txn && a.action = Step.Read && b.action = Step.Write
+
+let conflicting_pairs s =
+  if !Repr.reference then pairs_satisfying Step.conflicts s
+  else sweep_pairs conflicts_same_entity s
 
 let mv_conflicting_pairs s =
-  pairs_satisfying (fun a b -> Step.mv_conflicts ~first:a ~second:b) s
+  if !Repr.reference then
+    pairs_satisfying (fun a b -> Step.mv_conflicts ~first:a ~second:b) s
+  else sweep_pairs mv_conflicts_same_entity s
 
 let graph_of_pairs s pairs =
   let g = Mvcc_graph.Digraph.create (Schedule.n_txns s) in
@@ -23,18 +58,54 @@ let graph_of_pairs s pairs =
     pairs;
   g
 
-let graph s = graph_of_pairs s (conflicting_pairs s)
-let mv_graph s = graph_of_pairs s (mv_conflicting_pairs s)
+(* The graph constructors add edges during the sweep itself instead of
+   materializing the pair list; insertion order is the pair order, so
+   the graphs are identical either way. *)
+let sweep_graph keep s =
+  let g = Mvcc_graph.Digraph.create (Schedule.n_txns s) in
+  let n = Schedule.length s in
+  for p = 0 to n - 1 do
+    let b = Schedule.entity_bucket s (Schedule.entity_at s p) in
+    for i = Schedule.entity_rank s p + 1 to Array.length b - 1 do
+      let q = b.(i) in
+      if keep (Schedule.step s p) (Schedule.step s q) then
+        Mvcc_graph.Digraph.add_edge g (Schedule.step s p).txn
+          (Schedule.step s q).txn
+    done
+  done;
+  g
+
+let graph s =
+  if !Repr.reference then
+    graph_of_pairs s (pairs_satisfying Step.conflicts s)
+  else sweep_graph conflicts_same_entity s
+
+let mv_graph s =
+  if !Repr.reference then
+    graph_of_pairs s
+      (pairs_satisfying (fun a b -> Step.mv_conflicts ~first:a ~second:b) s)
+  else sweep_graph mv_conflicts_same_entity s
+
+let compare_arc (u1, v1, e1) (u2, v2, e2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare v1 v2 in
+    if c <> 0 then c else String.compare e1 e2
 
 let mv_arcs s =
   mv_conflicting_pairs s
   |> List.map (fun (p, q) ->
          let a = Schedule.step s p and b = Schedule.step s q in
          (a.txn, b.txn, a.entity))
-  |> List.sort_uniq compare
+  |> List.sort_uniq compare_arc
+
+let compare_edge (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
 
 let pp_graph ppf g =
-  let es = List.sort compare (Mvcc_graph.Digraph.edges g) in
+  let es = List.sort compare_edge (Mvcc_graph.Digraph.edges g) in
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")

@@ -12,9 +12,18 @@
     follows [R_i(x)] in [s]; Theorem 1: [s] is MVCSR iff MVCG(s) is
     acyclic. *)
 
+val pairs_satisfying :
+  (Step.t -> Step.t -> bool) -> Schedule.t -> (int * int) list
+(** All-pairs reference enumeration: position pairs [(p, q)], [p < q],
+    with [rel (step p) (step q)], in lexicographic order. O(n²) with
+    the relation in the innermost loop — kept as the oracle the
+    bucketed sweeps are property-tested against; the default paths
+    below produce identical lists via per-entity bucket sweeps. *)
+
 val conflicting_pairs : Schedule.t -> (int * int) list
 (** Position pairs [(p, q)], [p < q], whose steps conflict
-    (single-version). *)
+    (single-version). Same pairs, same order, as
+    [pairs_satisfying Step.conflicts]. *)
 
 val mv_conflicting_pairs : Schedule.t -> (int * int) list
 (** Position pairs [(p, q)], [p < q], where step [p] is a read and step

@@ -6,7 +6,7 @@ let occurrence_map s s' =
   require_same_system s s';
   let n_txns = Schedule.n_txns s in
   (* positions of each transaction's steps in s', indexed by occurrence *)
-  let pos' = Array.init n_txns (fun i -> Array.of_list (Schedule.txn_positions s' i)) in
+  let pos' = Array.init n_txns (Schedule.txn_positions_arr s') in
   let counters = Array.make n_txns 0 in
   Array.mapi
     (fun _p (st : Step.t) ->
@@ -29,12 +29,15 @@ let mv_conflict_equivalent s s' =
 
 let view_equivalent_unpadded s1 s2 =
   require_same_system s1 s2;
-  Read_from.std_relation s1 = Read_from.std_relation s2
+  Read_from.equal_relation (Read_from.std_relation s1)
+    (Read_from.std_relation s2)
 
 let view_equivalent s1 s2 =
   view_equivalent_unpadded s1 s2
-  && Read_from.final_writers s1 = Read_from.final_writers s2
+  && Read_from.equal_finals (Read_from.final_writers s1)
+       (Read_from.final_writers s2)
 
 let full_view_equivalent (s1, v1) (s2, v2) =
   require_same_system s1 s2;
-  Read_from.relation s1 v1 = Read_from.relation s2 v2
+  Read_from.equal_relation (Read_from.relation s1 v1)
+    (Read_from.relation s2 v2)

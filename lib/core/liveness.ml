@@ -1,8 +1,13 @@
 (* Liveness is a backward fixpoint over the dataflow:
    final writes are live; the source write of a live read is live; a read
-   is live when a later write of the same transaction is live. *)
+   is live when a later write of the same transaction is live.
 
-let live_positions_std s std =
+   Both implementations run the same descending sweep to the same least
+   fixpoint; the reference one rescans the whole suffix of the schedule
+   at every step, the interned one consults the per-transaction position
+   arrays and a once-built readers-of-write index. *)
+
+let live_positions_std_ref s std =
   let n = Schedule.length s in
   let steps = Schedule.steps s in
   let live = Array.make n false in
@@ -50,6 +55,59 @@ let live_positions_std s std =
     done
   done;
   live
+
+let live_positions_std_fast s std =
+  let n = Schedule.length s in
+  let steps = Schedule.steps s in
+  let live = Array.make n false in
+  (* the last write in each entity bucket is final *)
+  for e = 0 to Schedule.n_entities s - 1 do
+    let b = Schedule.entity_bucket s e in
+    (try
+       for i = Array.length b - 1 downto 0 do
+         if Step.is_write steps.(b.(i)) then begin
+           live.(b.(i)) <- true;
+           raise Exit
+         end
+       done
+     with Exit -> ())
+  done;
+  (* reads served each write, straight from the version function *)
+  let readers_of = Array.make (max 1 n) [] in
+  List.iter
+    (fun (q, src) ->
+      match src with
+      | Version_fn.From p -> readers_of.(p) <- q :: readers_of.(p)
+      | Version_fn.Initial -> ())
+    (Version_fn.to_list std);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pos = n - 1 downto 0 do
+      let st = steps.(pos) in
+      if not live.(pos) then
+        let alive =
+          match st.action with
+          | Step.Read ->
+              (* live if a later write of the same transaction is live *)
+              Array.exists
+                (fun q -> q > pos && Step.is_write steps.(q) && live.(q))
+                (Schedule.txn_positions_arr s st.txn)
+          | Step.Write ->
+              (* live if some live read is served this write *)
+              List.exists (fun q -> live.(q)) readers_of.(pos)
+        in
+        if alive then begin
+          live.(pos) <- true;
+          changed := true
+        end
+    done
+  done;
+  live
+
+let live_positions_std s std =
+  if !Repr.reference then live_positions_std_ref s std
+  else live_positions_std_fast s std
 
 let live_positions s = live_positions_std s (Version_fn.standard s)
 

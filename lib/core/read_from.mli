@@ -10,9 +10,25 @@ type writer = T0 | T of int
 
 val pp_writer : Format.formatter -> writer -> unit
 
+val compare_writer : writer -> writer -> int
+(** Monomorphic writer order, [T0] below every [T _] — the order
+    polymorphic compare gave. *)
+
+val equal_writer : writer -> writer -> bool
+
 type triple = { reader : int; entity : string; writer : writer }
 
 val compare_triple : triple -> triple -> int
+(** Monomorphic: reader, then entity, then writer. *)
+
+val equal_triple : triple -> triple -> bool
+
+val equal_relation : triple list -> triple list -> bool
+(** Monomorphic list equality, for comparing READ-FROM relations
+    without polymorphic [=] over strings. *)
+
+val equal_finals : (string * writer) list -> (string * writer) list -> bool
+(** Monomorphic equality of {!final_writers}-shaped lists. *)
 
 val relation : Schedule.t -> Version_fn.t -> triple list
 (** READ-FROM relation of the full schedule [(s, V)], as a sorted,

@@ -1,0 +1,11 @@
+(* The representation switch exists so E22 can time the pre-refactor
+   enumeration paths against the interned ones inside one binary. It is
+   not a tuning knob: both paths produce identical results (qcheck-pinned
+   in test_core/test_online) and production code never flips it. *)
+
+let reference = ref false
+
+let with_reference flag f =
+  let saved = !reference in
+  reference := flag;
+  Fun.protect ~finally:(fun () -> reference := saved) f

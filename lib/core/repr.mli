@@ -1,0 +1,17 @@
+(** Benchmark-only switch between the interned (default) and the
+    pre-refactor reference implementations of the hot enumeration paths:
+    conflict/MV-conflict sweeps, kind graphs, the standard version
+    function, final writers, the liveness fixpoint, the polygraph
+    writer tables and the online maintainers' entity keying.
+
+    Both paths are decision- and output-identical; the reference path
+    exists as an oracle for tests and as the "before" leg of the E22
+    paired benchmark. *)
+
+val reference : bool ref
+(** When [true], the hot paths run their pre-refactor O(n²)
+    string-comparing implementations. Default [false]. *)
+
+val with_reference : bool -> (unit -> 'a) -> 'a
+(** [with_reference flag f] runs [f] with {!reference} set to [flag],
+    restoring the previous value afterwards (also on exceptions). *)

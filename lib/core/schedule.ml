@@ -1,4 +1,83 @@
-type t = { n_txns : int; steps : Step.t array }
+(* The interned core. Every schedule carries, besides its step array, a
+   compact index computed once at construction:
+
+   - a per-schedule symbol table interning entity names to dense ids in
+     first-appearance order (strings survive only in [Step.t] and at the
+     parse/print edges);
+   - per-entity step buckets: the positions touching each entity, in
+     schedule order, plus each position's rank within its bucket — the
+     substrate of the bucketed conflict/MV-conflict/read-from sweeps;
+   - per-transaction position arrays.
+
+   Construction is O(length + entities), the same order as the array
+   copy every constructor already performs. *)
+
+type index = {
+  n_entities : int;
+  entity_tbl : (string, int) Hashtbl.t; (* name -> id *)
+  entity_names : string array; (* id -> name, first-appearance order *)
+  ent : int array; (* position -> entity id *)
+  bucket : int array array; (* entity id -> positions, ascending *)
+  rank : int array; (* position -> index within its bucket *)
+  txn_pos : int array array; (* txn -> positions, ascending *)
+}
+
+type t = { n_txns : int; steps : Step.t array; index : index }
+
+let index_of n_txns (steps : Step.t array) =
+  let n = Array.length steps in
+  let entity_tbl = Hashtbl.create (max 8 (n / 2)) in
+  let rev_names = ref [] in
+  let n_entities = ref 0 in
+  let ent = Array.make n 0 in
+  for p = 0 to n - 1 do
+    let e = steps.(p).entity in
+    let id =
+      match Hashtbl.find_opt entity_tbl e with
+      | Some id -> id
+      | None ->
+          let id = !n_entities in
+          incr n_entities;
+          Hashtbl.replace entity_tbl e id;
+          rev_names := e :: !rev_names;
+          id
+    in
+    ent.(p) <- id
+  done;
+  let k = !n_entities in
+  let entity_names = Array.make k "" in
+  List.iteri
+    (fun i e -> entity_names.(k - 1 - i) <- e)
+    !rev_names;
+  let bucket_len = Array.make k 0 in
+  for p = 0 to n - 1 do
+    bucket_len.(ent.(p)) <- bucket_len.(ent.(p)) + 1
+  done;
+  let bucket = Array.init k (fun e -> Array.make bucket_len.(e) 0) in
+  let rank = Array.make n 0 in
+  let fill = Array.make k 0 in
+  for p = 0 to n - 1 do
+    let e = ent.(p) in
+    bucket.(e).(fill.(e)) <- p;
+    rank.(p) <- fill.(e);
+    fill.(e) <- fill.(e) + 1
+  done;
+  let txn_len = Array.make n_txns 0 in
+  for p = 0 to n - 1 do
+    txn_len.(steps.(p).txn) <- txn_len.(steps.(p).txn) + 1
+  done;
+  let txn_pos = Array.init n_txns (fun i -> Array.make txn_len.(i) 0) in
+  let tfill = Array.make n_txns 0 in
+  for p = 0 to n - 1 do
+    let i = steps.(p).txn in
+    txn_pos.(i).(tfill.(i)) <- p;
+    tfill.(i) <- tfill.(i) + 1
+  done;
+  { n_entities = k; entity_tbl; entity_names; ent; bucket; rank; txn_pos }
+
+(* Every construction site funnels here so the index always exists. The
+   array is owned by the new schedule (not copied). *)
+let make n_txns steps = { n_txns; steps; index = index_of n_txns steps }
 
 let of_steps ?n_txns steps =
   let max_txn =
@@ -10,29 +89,38 @@ let of_steps ?n_txns steps =
       if s.txn < 0 || s.txn >= n then
         invalid_arg "Schedule.of_steps: transaction index out of range")
     steps;
-  { n_txns = n; steps = Array.of_list steps }
+  make n (Array.of_list steps)
 
 let steps s = Array.copy s.steps
 let step s p = s.steps.(p)
 let length s = Array.length s.steps
 let n_txns s = s.n_txns
 
+(* -- the interned view -- *)
+
+let n_entities s = s.index.n_entities
+let entity_name s e = s.index.entity_names.(e)
+let entity_index s name = Hashtbl.find_opt s.index.entity_tbl name
+let entity_at s p = s.index.ent.(p)
+let entity_bucket s e = s.index.bucket.(e)
+let entity_rank s p = s.index.rank.(p)
+let txn_positions_arr s i = s.index.txn_pos.(i)
+
 let entities s =
-  Array.fold_left
-    (fun acc (st : Step.t) ->
-      if List.mem st.entity acc then acc else st.entity :: acc)
-    [] s.steps
-  |> List.sort compare
+  Array.to_list s.index.entity_names |> List.sort String.compare
+
+let sorted_entity_ids s =
+  let ids = Array.init s.index.n_entities Fun.id in
+  Array.sort
+    (fun a b ->
+      String.compare s.index.entity_names.(a) s.index.entity_names.(b))
+    ids;
+  ids
 
 let txn_program s i =
-  Array.fold_right
-    (fun (st : Step.t) acc -> if st.txn = i then st :: acc else acc)
-    s.steps []
+  Array.to_list (Array.map (fun p -> s.steps.(p)) s.index.txn_pos.(i))
 
-let txn_positions s i =
-  let acc = ref [] in
-  Array.iteri (fun p (st : Step.t) -> if st.txn = i then acc := p :: !acc) s.steps;
-  List.rev !acc
+let txn_positions s i = Array.to_list s.index.txn_pos.(i)
 
 let same_system s1 s2 =
   s1.n_txns = s2.n_txns
@@ -73,13 +161,83 @@ let serial_order s =
   end
 
 let is_permutation n order =
-  List.sort compare order = List.init n Fun.id
+  List.sort Int.compare order = List.init n Fun.id
+
+(* A serialization's index is a pure permutation of the parent's: same
+   entities, buckets filled in the new order, transactions contiguous.
+   Building it from the parent's index is all int-array work — no string
+   hashing, no per-transaction lists — which matters because factorial
+   searches (FSR, the naive oracles) construct one serialization per
+   permutation. The generic [make] funnel below remains the reference
+   leg; both produce structurally identical schedules (qcheck-pinned). *)
+let serialization_interned s order =
+  let n = Array.length s.steps in
+  if n = 0 then make s.n_txns [||]
+  else begin
+    let steps = Array.make n s.steps.(0) in
+    let old_pos = Array.make n 0 in
+    let txn_pos = Array.make s.n_txns [||] in
+    let p = ref 0 in
+    List.iter
+      (fun i ->
+        let ps = s.index.txn_pos.(i) in
+        let len = Array.length ps in
+        txn_pos.(i) <- Array.init len (fun j -> !p + j);
+        Array.iter
+          (fun q ->
+            steps.(!p) <- s.steps.(q);
+            old_pos.(!p) <- q;
+            incr p)
+          ps)
+      order;
+    let k = s.index.n_entities in
+    let remap = Array.make k (-1) in
+    let entity_names = Array.make k "" in
+    let entity_tbl = Hashtbl.create (max 8 k) in
+    let n_entities = ref 0 in
+    let ent = Array.make n 0 in
+    for q = 0 to n - 1 do
+      let old_e = s.index.ent.(old_pos.(q)) in
+      let id =
+        if remap.(old_e) >= 0 then remap.(old_e)
+        else begin
+          let id = !n_entities in
+          incr n_entities;
+          remap.(old_e) <- id;
+          entity_names.(id) <- s.index.entity_names.(old_e);
+          Hashtbl.replace entity_tbl entity_names.(id) id;
+          id
+        end
+      in
+      ent.(q) <- id
+    done;
+    let bucket_len = Array.make k 0 in
+    for q = 0 to n - 1 do
+      bucket_len.(ent.(q)) <- bucket_len.(ent.(q)) + 1
+    done;
+    let bucket = Array.init k (fun e -> Array.make bucket_len.(e) 0) in
+    let rank = Array.make n 0 in
+    let fill = Array.make k 0 in
+    for q = 0 to n - 1 do
+      let e = ent.(q) in
+      bucket.(e).(fill.(e)) <- q;
+      rank.(q) <- fill.(e);
+      fill.(e) <- fill.(e) + 1
+    done;
+    let index =
+      { n_entities = k; entity_tbl; entity_names; ent; bucket; rank;
+        txn_pos }
+    in
+    { n_txns = s.n_txns; steps; index }
+  end
 
 let serialization s order =
   if not (is_permutation s.n_txns order) then
     invalid_arg "Schedule.serialization: not a permutation";
-  let steps = List.concat_map (fun i -> txn_program s i) order in
-  { n_txns = s.n_txns; steps = Array.of_list steps }
+  if !Repr.reference then
+    let steps = List.concat_map (fun i -> txn_program s i) order in
+    make s.n_txns (Array.of_list steps)
+  else serialization_interned s order
 
 let append s (st : Step.t) =
   if st.txn < 0 then
@@ -87,11 +245,11 @@ let append s (st : Step.t) =
   let n = Array.length s.steps in
   let steps = Array.make (n + 1) st in
   Array.blit s.steps 0 steps 0 n;
-  { n_txns = max s.n_txns (st.txn + 1); steps }
+  make (max s.n_txns (st.txn + 1)) steps
 
 let prefix s k =
   if k < 0 || k > length s then invalid_arg "Schedule.prefix";
-  { n_txns = s.n_txns; steps = Array.sub s.steps 0 k }
+  make s.n_txns (Array.sub s.steps 0 k)
 
 let is_prefix p ~of_ =
   length p <= length of_
@@ -110,7 +268,7 @@ let swap_adjacent s p =
   let tmp = a.(p) in
   a.(p) <- a.(p + 1);
   a.(p + 1) <- tmp;
-  { s with steps = a }
+  make s.n_txns a
 
 let interleavings programs =
   let progs = Array.of_list (List.map steps programs) in
@@ -121,7 +279,7 @@ let interleavings programs =
   let total = Array.fold_left (fun acc p -> acc + Array.length p) 0 progs in
   let rec gen idx acc len : t Seq.t =
     if len = total then
-      Seq.return { n_txns = n; steps = Array.of_list (List.rev acc) }
+      Seq.return (make n (Array.of_list (List.rev acc)))
     else
       let branch i : t Seq.t =
         if idx.(i) >= Array.length progs.(i) then Seq.empty

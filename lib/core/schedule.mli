@@ -34,6 +34,45 @@ val n_txns : t -> int
 val entities : t -> string list
 (** Distinct entities accessed, sorted. *)
 
+(** {2 The interned view}
+
+    Every schedule interns its entity names to dense ids
+    [0 .. n_entities - 1] in first-appearance order and precomputes
+    per-entity step buckets and per-transaction position arrays at
+    construction. Strings survive only in the [Step.t] records and at
+    the parse/print edges; the decision layers sweep these indexes. *)
+
+val n_entities : t -> int
+(** Number of distinct entities accessed. *)
+
+val entity_name : t -> int -> string
+(** [entity_name s e] is the name of entity id [e]
+    ([0 <= e < n_entities s]). *)
+
+val entity_index : t -> string -> int option
+(** The id of an entity name, if the schedule accesses it. *)
+
+val entity_at : t -> int -> int
+(** [entity_at s p] is the entity id accessed by the step at position
+    [p]. *)
+
+val entity_bucket : t -> int -> int array
+(** [entity_bucket s e] is the positions accessing entity [e], in
+    ascending schedule order. Physically the schedule's own index — do
+    not mutate. *)
+
+val entity_rank : t -> int -> int
+(** [entity_rank s p] is position [p]'s index within
+    [entity_bucket s (entity_at s p)]. *)
+
+val txn_positions_arr : t -> int -> int array
+(** Positions (ascending) of transaction [i]'s steps, as an array.
+    Physically the schedule's own index — do not mutate. *)
+
+val sorted_entity_ids : t -> int array
+(** Entity ids in ascending name order — the order {!entities} lists
+    names in. Fresh array, computed per call. *)
+
 val txn_program : t -> int -> Step.t list
 (** [txn_program s i] is transaction [i]'s program: the subsequence of its
     steps in order. *)

@@ -17,8 +17,24 @@ let mv_conflicts ~first ~second =
   && first.action = Read
   && second.action = Write
 
-let equal a b = a = b
-let compare = Stdlib.compare
+(* Monomorphic comparisons, field order matching what [Stdlib.compare]
+   produced on the record (txn, then action with Read < Write, then
+   entity) so sorted output is byte-identical to the seed. *)
+let action_compare a b =
+  match (a, b) with
+  | Read, Read | Write, Write -> 0
+  | Read, Write -> -1
+  | Write, Read -> 1
+
+let equal a b =
+  a.txn = b.txn && a.action = b.action && String.equal a.entity b.entity
+
+let compare a b =
+  let c = Int.compare a.txn b.txn in
+  if c <> 0 then c
+  else
+    let c = action_compare a.action b.action in
+    if c <> 0 then c else String.compare a.entity b.entity
 
 let pp ppf s =
   let letter = match s.action with Read -> 'R' | Write -> 'W' in

@@ -28,8 +28,16 @@ val mv_conflicts : first:t -> second:t -> bool
     serve an old version to a late read but cannot help a read that came
     too early. *)
 
+val action_compare : action -> action -> int
+(** Monomorphic action comparison, [Read < Write]. *)
+
 val equal : t -> t -> bool
+(** Monomorphic structural equality (no polymorphic [=]). *)
+
 val compare : t -> t -> int
+(** Monomorphic total order: transaction, then action ([Read < Write]),
+    then entity name — the order polymorphic [Stdlib.compare] gave on
+    the record, so existing sorted output is unchanged. *)
 
 val pp : Format.formatter -> t -> unit
 (** Paper notation with 1-based transaction subscripts: [R1(x)], [W2(y)].

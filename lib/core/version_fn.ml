@@ -3,6 +3,12 @@ module Int_map = Map.Make (Int)
 type source = Initial | From of int
 type t = source Int_map.t
 
+let source_equal a b =
+  match (a, b) with
+  | Initial, Initial -> true
+  | From p, From q -> p = q
+  | Initial, From _ | From _, Initial -> false
+
 let empty = Int_map.empty
 let add pos src v = Int_map.add pos src v
 let get v pos = Int_map.find_opt pos v
@@ -10,7 +16,8 @@ let domain v = Int_map.bindings v |> List.map fst
 let of_list l = List.fold_left (fun v (p, s) -> add p s v) empty l
 let to_list v = Int_map.bindings v
 
-let standard s =
+(* Pre-refactor reference: a string-keyed last-write table. *)
+let standard_ref s =
   let last_write = Hashtbl.create 8 in
   let v = ref empty in
   Array.iteri
@@ -27,6 +34,26 @@ let standard s =
     (Schedule.steps s);
   !v
 
+let standard s =
+  if !Repr.reference then standard_ref s
+  else begin
+    (* One pass over the interned view: the last write per dense entity
+       id lives in a flat array, no string ever hashed. *)
+    let n = Schedule.length s in
+    let last_write = Array.make (max 1 (Schedule.n_entities s)) (-1) in
+    let v = ref empty in
+    for pos = 0 to n - 1 do
+      let e = Schedule.entity_at s pos in
+      if Step.is_write (Schedule.step s pos) then last_write.(e) <- pos
+      else
+        let src =
+          if last_write.(e) >= 0 then From last_write.(e) else Initial
+        in
+        v := add pos src !v
+    done;
+    !v
+  end
+
 let legal s v =
   let n = Schedule.length s in
   Int_map.for_all
@@ -39,7 +66,7 @@ let legal s v =
       | From p ->
           p >= 0 && p < pos
           && Step.is_write (Schedule.step s p)
-          && (Schedule.step s p).entity = (Schedule.step s pos).entity)
+          && Schedule.entity_at s p = Schedule.entity_at s pos)
     v
 
 let total s v =
@@ -53,10 +80,13 @@ let total s v =
 let choices s pos =
   let st = Schedule.step s pos in
   if not (Step.is_read st) then invalid_arg "Version_fn.choices: not a read";
+  (* The earlier writes of the read's entity are exactly the write
+     positions in its bucket prefix, already in ascending order. *)
+  let b = Schedule.entity_bucket s (Schedule.entity_at s pos) in
   let writes = ref [] in
-  for p = pos - 1 downto 0 do
-    let w = Schedule.step s p in
-    if Step.is_write w && w.entity = st.entity then writes := From p :: !writes
+  for i = Schedule.entity_rank s pos - 1 downto 0 do
+    if Step.is_write (Schedule.step s b.(i)) then
+      writes := From b.(i) :: !writes
   done;
   Initial :: !writes
 
@@ -82,11 +112,12 @@ let enumerate ?(fixed = empty) s =
 
 let extends v ~base =
   Int_map.for_all
-    (fun pos src -> match get v pos with Some s -> s = src | None -> false)
+    (fun pos src ->
+      match get v pos with Some s -> source_equal s src | None -> false)
     base
 
 let restrict v ~upto = Int_map.filter (fun pos _ -> pos < upto) v
-let equal = Int_map.equal ( = )
+let equal = Int_map.equal source_equal
 
 let pp s ppf v =
   let pp_binding ppf (pos, src) =

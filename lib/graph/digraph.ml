@@ -1,12 +1,31 @@
-type t = {
-  n : int;
-  adj : (int, unit) Hashtbl.t array; (* adj.(u) holds successors of u *)
-  mutable m : int;
-}
+(* Two adjacency representations behind one interface:
+
+   - [Bits]: one native-int successor bitmask per node, for graphs of at
+     most [bits_max] nodes. This is the dense small case every sweep
+     lives in (transaction graphs of a handful of transactions, padded
+     polygraph dags): membership is a mask test, edge insertion two
+     loads, and successor iteration walks set bits with no allocation
+     and in deterministic ascending order.
+   - [Tbl]: the hash-table adjacency the seed used, for larger graphs.
+
+   The representation is chosen at [create] from the node count and
+   never changes; both expose identical semantics. *)
+
+let bits_max = Sys.int_size - 1 (* 62 on 64-bit: safe [1 lsl v] masks *)
+
+type rep =
+  | Bits of int array (* adj.(u) = bitmask of successors of u *)
+  | Tbl of (int, unit) Hashtbl.t array
+
+type t = { n : int; mutable m : int; rep : rep }
 
 let create n =
   if n < 0 then invalid_arg "Digraph.create: negative node count";
-  { n; adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0 }
+  let rep =
+    if n <= bits_max then Bits (Array.make n 0)
+    else Tbl (Array.init n (fun _ -> Hashtbl.create 4))
+  in
+  { n; m = 0; rep }
 
 let n_nodes g = g.n
 let n_edges g = g.m
@@ -17,42 +36,93 @@ let check g u =
 let mem_edge g u v =
   check g u;
   check g v;
-  Hashtbl.mem g.adj.(u) v
+  match g.rep with
+  | Bits adj -> adj.(u) land (1 lsl v) <> 0
+  | Tbl adj -> Hashtbl.mem adj.(u) v
 
 let add_edge g u v =
   check g u;
   check g v;
-  if not (Hashtbl.mem g.adj.(u) v) then begin
-    Hashtbl.replace g.adj.(u) v ();
-    g.m <- g.m + 1
-  end
+  match g.rep with
+  | Bits adj ->
+      let bit = 1 lsl v in
+      if adj.(u) land bit = 0 then begin
+        adj.(u) <- adj.(u) lor bit;
+        g.m <- g.m + 1
+      end
+  | Tbl adj ->
+      if not (Hashtbl.mem adj.(u) v) then begin
+        Hashtbl.replace adj.(u) v ();
+        g.m <- g.m + 1
+      end
 
 let remove_edge g u v =
   check g u;
   check g v;
-  if Hashtbl.mem g.adj.(u) v then begin
-    Hashtbl.remove g.adj.(u) v;
-    g.m <- g.m - 1
-  end
+  match g.rep with
+  | Bits adj ->
+      let bit = 1 lsl v in
+      if adj.(u) land bit <> 0 then begin
+        adj.(u) <- adj.(u) land lnot bit;
+        g.m <- g.m - 1
+      end
+  | Tbl adj ->
+      if Hashtbl.mem adj.(u) v then begin
+        Hashtbl.remove adj.(u) v;
+        g.m <- g.m - 1
+      end
 
-let succ g u =
-  check g u;
-  Hashtbl.fold (fun v () acc -> v :: acc) g.adj.(u) []
+(* Walk the set bits of [mask] in ascending order: skip over runs of
+   clear bits with a trailing-zero count so sparse rows cost one
+   iteration per successor, not one per node. *)
+let iter_bits f mask =
+  let m = ref mask in
+  while !m <> 0 do
+    let low = !m land (- !m) in
+    (* index of the isolated low bit *)
+    let v = ref 0 in
+    let b = ref low in
+    if !b land 0xFFFFFFFF = 0 then begin v := !v + 32; b := !b lsr 32 end;
+    if !b land 0xFFFF = 0 then begin v := !v + 16; b := !b lsr 16 end;
+    if !b land 0xFF = 0 then begin v := !v + 8; b := !b lsr 8 end;
+    if !b land 0xF = 0 then begin v := !v + 4; b := !b lsr 4 end;
+    if !b land 0x3 = 0 then begin v := !v + 2; b := !b lsr 2 end;
+    if !b land 0x1 = 0 then v := !v + 1;
+    f !v;
+    m := !m land lnot low
+  done
 
 let iter_succ f g u =
   check g u;
-  Hashtbl.iter (fun v () -> f v) g.adj.(u)
+  match g.rep with
+  | Bits adj -> iter_bits f adj.(u)
+  | Tbl adj -> Hashtbl.iter (fun v () -> f v) adj.(u)
 
 let fold_succ f g u init =
   check g u;
-  Hashtbl.fold (fun v () acc -> f v acc) g.adj.(u) init
+  match g.rep with
+  | Bits adj ->
+      let acc = ref init in
+      iter_bits (fun v -> acc := f v !acc) adj.(u);
+      !acc
+  | Tbl adj -> Hashtbl.fold (fun v () acc -> f v acc) adj.(u) init
+
+let succ g u = List.rev (fold_succ (fun v acc -> v :: acc) g u [])
 
 let out_degree g u =
   check g u;
-  Hashtbl.length g.adj.(u)
+  match g.rep with
+  | Bits adj ->
+      let rec popcount m acc =
+        if m = 0 then acc else popcount (m land (m - 1)) (acc + 1)
+      in
+      popcount adj.(u) 0
+  | Tbl adj -> Hashtbl.length adj.(u)
 
 let iter_edges f g =
-  Array.iteri (fun u tbl -> Hashtbl.iter (fun v () -> f u v) tbl) g.adj
+  for u = 0 to g.n - 1 do
+    iter_succ (fun v -> f u v) g u
+  done
 
 let fold_edges f g init =
   let acc = ref init in
@@ -61,14 +131,25 @@ let fold_edges f g init =
 
 let pred g u =
   check g u;
-  fold_edges (fun a b acc -> if b = u then a :: acc else acc) g []
+  match g.rep with
+  | Bits adj ->
+      let bit = 1 lsl u in
+      let acc = ref [] in
+      for w = g.n - 1 downto 0 do
+        if adj.(w) land bit <> 0 then acc := w :: !acc
+      done;
+      !acc
+  | Tbl _ -> fold_edges (fun a b acc -> if b = u then a :: acc else acc) g []
 
 let edges g = fold_edges (fun u v acc -> (u, v) :: acc) g []
 
 let copy g =
-  let g' = create g.n in
-  iter_edges (fun u v -> add_edge g' u v) g;
-  g'
+  match g.rep with
+  | Bits adj -> { g with rep = Bits (Array.copy adj) }
+  | Tbl _ ->
+      let g' = create g.n in
+      iter_edges (fun u v -> add_edge g' u v) g;
+      g'
 
 let of_edges n es =
   let g = create n in
@@ -85,8 +166,12 @@ let equal g1 g2 =
   && g1.m = g2.m
   && fold_edges (fun u v ok -> ok && mem_edge g2 u v) g1 true
 
+let compare_edge (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
+
 let pp ppf g =
-  let es = List.sort compare (edges g) in
+  let es = List.sort compare_edge (edges g) in
   Format.fprintf ppf "digraph(%d;@ %a)" g.n
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")

@@ -3,7 +3,13 @@
     This is the shared graph substrate for conflict graphs, multiversion
     conflict graphs, serialization orders, and the directed part of
     polygraphs. Nodes are dense integers so that callers index transactions
-    directly; parallel edges are collapsed. *)
+    directly; parallel edges are collapsed.
+
+    Graphs of at most [Sys.int_size - 1] nodes (62 on 64-bit — the dense
+    small case every classification sweep lives in) store adjacency as
+    one native-int bitmask per node: membership is a mask test and
+    {!iter_succ}/{!fold_succ} walk set bits in ascending order without
+    allocating. Larger graphs fall back to the hash-table adjacency. *)
 
 type t
 (** A mutable directed graph with a fixed node count. *)
@@ -30,16 +36,19 @@ val mem_edge : t -> int -> int -> bool
 (** [mem_edge g u v] is [true] iff the edge [u -> v] is present. *)
 
 val succ : t -> int -> int list
-(** Successors of a node, in unspecified order. Materializes a fresh
-    list; hot loops should prefer {!iter_succ} or {!fold_succ}. *)
+(** Successors of a node, in unspecified order (ascending on the
+    bitmask representation). Materializes a fresh list; hot loops
+    should prefer {!iter_succ} or {!fold_succ}. *)
 
 val iter_succ : (int -> unit) -> t -> int -> unit
 (** [iter_succ f g u] applies [f] to each successor of [u], in
-    unspecified order, without materializing the successor list. *)
+    unspecified order (ascending on the bitmask representation),
+    without materializing the successor list or allocating. *)
 
 val fold_succ : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
 (** [fold_succ f g u init] folds [f] over the successors of [u], in
-    unspecified order, without materializing the successor list. *)
+    the {!iter_succ} order, without materializing the successor
+    list. *)
 
 val pred : t -> int -> int list
 (** Predecessors of a node, in unspecified order (computed, O(E)). *)

@@ -15,14 +15,14 @@ let components g =
     incr next_index;
     stack := v :: !stack;
     on_stack.(v) <- true;
-    List.iter
+    Digraph.iter_succ
       (fun w ->
         if index.(w) = -1 then begin
           strongconnect w;
           lowlink.(v) <- min lowlink.(v) lowlink.(w)
         end
         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
-      (Digraph.succ g v);
+      g v;
     if lowlink.(v) = index.(v) then begin
       let rec pop acc =
         match !stack with

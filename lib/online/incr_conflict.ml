@@ -1,19 +1,62 @@
 open Mvcc_core
 
+(* Entity histories are keyed by dense interned ids: the stream's own
+   symbol table maps each entity name to an id once per step, and the
+   per-entity reader/writer sets live in flat arrays. The pre-refactor
+   string-keyed tables are kept behind [Repr.reference] (captured at
+   [create]) as the "before" leg of E22; both paths maintain identical
+   per-entity sets, so the arc order — and every accept/reject decision
+   — is the same. *)
+
 type t = {
   graph : Incr_digraph.t;
-  readers : (string, (int, unit) Hashtbl.t) Hashtbl.t;
-  writers : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  reference : bool;
+  (* interned path *)
+  intern : (string, int) Hashtbl.t;
+  mutable readers : (int, unit) Hashtbl.t array; (* entity id -> txns *)
+  mutable writers : (int, unit) Hashtbl.t array;
+  mutable n_entities : int;
+  (* reference path *)
+  readers_by_name : (string, (int, unit) Hashtbl.t) Hashtbl.t;
+  writers_by_name : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable steps : int;
 }
 
 let create () =
   {
     graph = Incr_digraph.create ();
-    readers = Hashtbl.create 16;
-    writers = Hashtbl.create 16;
+    reference = !Repr.reference;
+    intern = Hashtbl.create 16;
+    readers = Array.make 16 (Hashtbl.create 0);
+    writers = Array.make 16 (Hashtbl.create 0);
+    n_entities = 0;
+    readers_by_name = Hashtbl.create 16;
+    writers_by_name = Hashtbl.create 16;
     steps = 0;
   }
+
+let grow t needed =
+  let len = Array.length t.readers in
+  if needed > len then begin
+    let len' = max needed (2 * len) in
+    let extend a =
+      Array.init len' (fun i -> if i < len then a.(i) else Hashtbl.create 0)
+    in
+    t.readers <- extend t.readers;
+    t.writers <- extend t.writers
+  end
+
+let entity_id t e =
+  match Hashtbl.find_opt t.intern e with
+  | Some id -> id
+  | None ->
+      let id = t.n_entities in
+      t.n_entities <- id + 1;
+      Hashtbl.replace t.intern e id;
+      grow t t.n_entities;
+      t.readers.(id) <- Hashtbl.create 4;
+      t.writers.(id) <- Hashtbl.create 4;
+      id
 
 let set_of tbl e =
   match Hashtbl.find_opt tbl e with
@@ -26,27 +69,46 @@ let set_of tbl e =
 (* Arcs the step introduces: every earlier conflicting accessor of the
    entity points at the new step's transaction. A write conflicts with
    prior readers and writers; a read only with prior writers. *)
-let new_arcs t (st : Step.t) =
+let arcs_from_sets ~readers ~writers (st : Step.t) =
   let arcs = ref [] in
   let from_set s =
     Hashtbl.iter
       (fun j () -> if j <> st.txn then arcs := (j, st.txn) :: !arcs)
       s
   in
-  (match Hashtbl.find_opt t.writers st.entity with
-  | Some s -> from_set s
-  | None -> ());
-  if Step.is_write st then (
-    match Hashtbl.find_opt t.readers st.entity with
-    | Some s -> from_set s
-    | None -> ());
+  (match writers with Some s -> from_set s | None -> ());
+  (if Step.is_write st then
+     match readers with Some s -> from_set s | None -> ());
   !arcs
+
+let new_arcs t (st : Step.t) =
+  if t.reference then
+    arcs_from_sets
+      ~readers:(Hashtbl.find_opt t.readers_by_name st.entity)
+      ~writers:(Hashtbl.find_opt t.writers_by_name st.entity)
+      st
+  else
+    let e = entity_id t st.entity in
+    arcs_from_sets ~readers:(Some t.readers.(e))
+      ~writers:(Some t.writers.(e)) st
+
+let record t (st : Step.t) =
+  if t.reference then begin
+    let tbl =
+      if Step.is_read st then t.readers_by_name else t.writers_by_name
+    in
+    Hashtbl.replace (set_of tbl st.entity) st.txn ()
+  end
+  else begin
+    let e = entity_id t st.entity in
+    let sets = if Step.is_read st then t.readers else t.writers in
+    Hashtbl.replace sets.(e) st.txn ()
+  end
 
 let feed t (st : Step.t) =
   if Incr_digraph.add_edges t.graph (new_arcs t st) then begin
     Incr_digraph.ensure_node t.graph st.txn;
-    let tbl = if Step.is_read st then t.readers else t.writers in
-    Hashtbl.replace (set_of tbl st.entity) st.txn ();
+    record t st;
     t.steps <- t.steps + 1;
     true
   end
@@ -56,7 +118,14 @@ let n_steps t = t.steps
 let graph t = t.graph
 
 let forget_txn t i =
-  Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.readers;
-  Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.writers;
+  if t.reference then begin
+    Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.readers_by_name;
+    Hashtbl.iter (fun _ s -> Hashtbl.remove s i) t.writers_by_name
+  end
+  else
+    for e = 0 to t.n_entities - 1 do
+      Hashtbl.remove t.readers.(e) i;
+      Hashtbl.remove t.writers.(e) i
+    done;
   if i >= 0 && i < Incr_digraph.n_nodes t.graph then
     Incr_digraph.remove_incident t.graph i

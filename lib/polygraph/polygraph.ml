@@ -4,11 +4,15 @@ module Cycle = Mvcc_graph.Cycle
 type choice = { j : int; k : int; i : int }
 type t = { n : int; arcs : (int * int) list; choices : choice list }
 
+let compare_arc (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
+
 let make ~n ~arcs ~choices =
   let check v =
     if v < 0 || v >= n then invalid_arg "Polygraph.make: node out of range"
   in
-  let arcs = List.sort_uniq compare arcs in
+  let arcs = List.sort_uniq compare_arc arcs in
   List.iter
     (fun (u, v) ->
       check u;

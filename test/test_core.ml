@@ -315,6 +315,145 @@ let prop_conflict_equiv_reflexive =
       Equiv.conflict_equivalent s s && Equiv.mv_conflict_equivalent s s
       && Equiv.view_equivalent s s)
 
+(* -- the interned representation (PR 5) -- *)
+
+(* Generator biased toward the index's edge cases: entity names with
+   digits and several characters, transactions that never act (empty
+   position buckets), entities written but never read, and the empty
+   schedule. *)
+let gen_edge_schedule =
+  QCheck2.Gen.(
+    let names = [| "x"; "y"; "x1"; "tmp2"; "acct"; "v10" |] in
+    let* n_txns = int_range 1 4 in
+    let* steps =
+      list_size (int_range 0 10)
+        (let* t = int_range 0 (n_txns - 1) in
+         let* e = int_range 0 (Array.length names - 1) in
+         let* w = bool in
+         return
+           (if w then Step.write t names.(e) else Step.read t names.(e)))
+    in
+    return (Schedule.of_steps ~n_txns steps))
+
+let mv_rel a b = Step.mv_conflicts ~first:a ~second:b
+
+let sweeps_match s =
+  Conflict.conflicting_pairs s = Conflict.pairs_satisfying Step.conflicts s
+  && Conflict.mv_conflicting_pairs s = Conflict.pairs_satisfying mv_rel s
+
+let prop_sweep_matches_oracle =
+  QCheck2.Test.make
+    ~name:"bucket sweeps = all-pairs oracle (same pairs, same order)"
+    ~count:300 gen_schedule sweeps_match
+
+let prop_sweep_matches_oracle_edges =
+  QCheck2.Test.make
+    ~name:"bucket sweeps = oracle on empty txns and unread entities"
+    ~count:300 gen_edge_schedule sweeps_match
+
+(* The [Repr.reference] flag must only move time, never output. *)
+let reference_invariant s =
+  let both f =
+    ( Repr.with_reference true (fun () -> f s),
+      Repr.with_reference false (fun () -> f s) )
+  in
+  let pairs_r, pairs_f = both Conflict.conflicting_pairs in
+  let mv_r, mv_f = both Conflict.mv_conflicting_pairs in
+  let std_r, std_f = both Version_fn.standard in
+  let fin_r, fin_f = both Read_from.final_writers in
+  let live_r, live_f = both Liveness.live_read_froms in
+  pairs_r = pairs_f && mv_r = mv_f
+  && Version_fn.equal std_r std_f
+  && Read_from.equal_finals fin_r fin_f
+  && Read_from.equal_relation live_r live_f
+
+(* The two serialization constructors (generic re-interning vs the
+   int-only permutation of the parent index) must agree on steps AND on
+   every observable of the interned view. *)
+let same_index a b =
+  Schedule.equal a b
+  && Schedule.n_entities a = Schedule.n_entities b
+  && List.init (Schedule.n_entities a) Fun.id
+     |> List.for_all (fun e ->
+            Schedule.entity_name a e = Schedule.entity_name b e
+            && Schedule.entity_bucket a e = Schedule.entity_bucket b e)
+  && List.init (Schedule.length a) Fun.id
+     |> List.for_all (fun p ->
+            Schedule.entity_at a p = Schedule.entity_at b p
+            && Schedule.entity_rank a p = Schedule.entity_rank b p)
+  && List.init (Schedule.n_txns a) Fun.id
+     |> List.for_all (fun i ->
+            Schedule.txn_positions_arr a i = Schedule.txn_positions_arr b i)
+
+let serialization_invariant s =
+  List.for_all2 same_index
+    (Repr.with_reference true (fun () -> Schedule.all_serializations s))
+    (Repr.with_reference false (fun () -> Schedule.all_serializations s))
+
+let prop_serialization_invariant =
+  QCheck2.Test.make
+    ~name:"serialization: permuted index = re-interned index" ~count:150
+    gen_edge_schedule serialization_invariant
+
+let prop_reference_invariant =
+  QCheck2.Test.make
+    ~name:"reference and interned paths produce identical results"
+    ~count:200 gen_schedule reference_invariant
+
+let prop_reference_invariant_edges =
+  QCheck2.Test.make
+    ~name:"reference/interned agree on edge-case schedules" ~count:200
+    gen_edge_schedule reference_invariant
+
+(* Round trip through each separator style the parser accepts. *)
+let render sep s =
+  Array.to_list (Schedule.steps s)
+  |> List.map Step.to_string |> String.concat sep
+
+let prop_parse_separators =
+  QCheck2.Test.make
+    ~name:"parser round-trips all separator styles and entity names"
+    ~count:200
+    QCheck2.Gen.(pair gen_edge_schedule (int_range 0 2))
+    (fun (s, sep_ix) ->
+      let sep = [| " "; ", "; ";" |].(sep_ix) in
+      let parsed = Schedule.of_string (render sep s) in
+      Schedule.steps parsed = Schedule.steps s)
+
+let test_interned_index () =
+  let s = sched "R1(x) W2(y) W1(x) R3(y) W3(z)" in
+  check_int "entity count" 3 (Schedule.n_entities s);
+  (* first-appearance ids *)
+  check_str "id 0" "x" (Schedule.entity_name s 0);
+  check_str "id 1" "y" (Schedule.entity_name s 1);
+  Alcotest.(check (option int)) "lookup" (Some 2)
+    (Schedule.entity_index s "z");
+  Alcotest.(check (option int)) "unknown entity" None
+    (Schedule.entity_index s "w");
+  check_int "entity of step 3" 1 (Schedule.entity_at s 3);
+  Alcotest.(check (array int)) "bucket of y" [| 1; 3 |]
+    (Schedule.entity_bucket s 1);
+  check_int "rank of step 3 in its bucket" 1 (Schedule.entity_rank s 3);
+  Alcotest.(check (array int)) "positions of T1" [| 0; 2 |]
+    (Schedule.txn_positions_arr s 0);
+  Alcotest.(check (list int)) "ids sorted by name" [ 0; 1; 2 ]
+    (Array.to_list (Schedule.sorted_entity_ids s))
+
+let test_sweep_enumerated () =
+  (* every interleaving of a two-transaction system, plus hand-picked
+     schedules with empty transactions and write-only entities *)
+  let progs = [ sched "R1(x) W1(y)"; sched "W1(x) R1(y)" ] in
+  Seq.iter
+    (fun s -> check "interleaving" true (sweeps_match s))
+    (Schedule.interleavings progs);
+  List.iter
+    (fun s -> check "edge case" true (sweeps_match s))
+    [
+      Schedule.of_steps ~n_txns:3 [];
+      Schedule.of_steps ~n_txns:3 [ Step.write 1 "lonely" ];
+      sched "W1(x) W2(x) W1(x)";
+    ]
+
 let () =
   Alcotest.run "core"
     [
@@ -368,6 +507,12 @@ let () =
           Alcotest.test_case "read-only transactions" `Quick
             test_liveness_read_only_txn;
         ] );
+      ( "interned",
+        [
+          Alcotest.test_case "index accessors" `Quick test_interned_index;
+          Alcotest.test_case "sweeps on enumerated schedules" `Quick
+            test_sweep_enumerated;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -375,5 +520,11 @@ let () =
             prop_serialization_same_system;
             prop_pad_unpad;
             prop_conflict_equiv_reflexive;
+            prop_sweep_matches_oracle;
+            prop_sweep_matches_oracle_edges;
+            prop_reference_invariant;
+            prop_reference_invariant_edges;
+            prop_serialization_invariant;
+            prop_parse_separators;
           ] );
     ]
