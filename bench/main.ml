@@ -76,6 +76,8 @@ let () =
   if selected "e22" then
     record "E22 interned-core"
       (E_repr.run ~samples:(if quick then 120 else 300));
+  if selected "e23" then
+    record "E23 durability" (E_durable.run ~passes:(if quick then 3 else 5));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

@@ -15,6 +15,15 @@ let schedule_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let policy_conv =
+  Arg.enum
+    [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
+      ("mvto", Mvcc_engine.Engine.Mvto); ("si", Mvcc_engine.Engine.Si);
+      ("sgt", Mvcc_engine.Engine.Sgt) ]
+
+let policy_arg ~doc =
+  Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto & info [ "policy" ] ~doc)
+
 (* classify *)
 
 let classify_cmd =
@@ -351,16 +360,7 @@ let census_cmd =
 (* simulate *)
 
 let simulate_cmd =
-  let policy_arg =
-    let policy_conv =
-      Arg.enum
-        [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
-          ("mvto", Mvcc_engine.Engine.Mvto); ("si", Mvcc_engine.Engine.Si);
-          ("sgt", Mvcc_engine.Engine.Sgt) ]
-    in
-    Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto
-         & info [ "policy" ] ~doc:"Concurrency control policy.")
-  in
+  let policy_arg = policy_arg ~doc:"Concurrency control policy." in
   let readers_arg =
     Arg.(value & opt int 6 & info [ "readers" ] ~doc:"Analytics transactions.")
   in
@@ -395,7 +395,28 @@ let simulate_cmd =
              and re-verify it with the independent checker; exit non-zero \
              if the checker refutes it.")
   in
-  let run policy readers writers stats trace_file certify seed =
+  let wal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write a CRC-framed write-ahead log of the run to $(docv); \
+             $(b,recover) rebuilds the committed state and history from \
+             it (or any crash-truncated prefix).")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--wal FILE), snapshot the version chains to \
+             $(i,FILE).snap every $(docv) commits and log a checkpoint, \
+             so recovery can replay only the log tail.")
+  in
+  let run policy readers writers stats trace_file certify wal_file
+      snapshot_every seed =
     let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
     let initial = List.map (fun a -> (a, 100)) accounts in
     let programs =
@@ -424,8 +445,17 @@ let simulate_cmd =
       else Mvcc_obs.Sink.noop
     in
     let prov = if certify then Some (Mvcc_provenance.Log.create ()) else None in
+    let hook =
+      Option.map
+        (fun file ->
+          let writer = Mvcc_durable.Wal.writer ~path:file () in
+          (writer, Mvcc_durable.Hook.create ~snapshot_path:(file ^ ".snap") writer))
+        wal_file
+    in
+    let wal = Option.map (fun (_, h) -> Mvcc_durable.Hook.listener h) hook in
     let r =
-      Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ~seed ()
+      Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ?wal
+        ?snapshot_every ~seed ()
     in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
@@ -447,6 +477,17 @@ let simulate_cmd =
     (match metrics with
     | Some m -> print_endline (Mvcc_obs.Metrics.to_json m)
     | None -> ());
+    (match (hook, wal_file) with
+    | Some (writer, h), Some file ->
+        Mvcc_durable.Wal.close writer;
+        Format.printf "wal: %d records to %s (%d snapshot(s)%s)@."
+          (Mvcc_durable.Wal.next_lsn writer)
+          file
+          (List.length (Mvcc_durable.Hook.snapshots h))
+          (if Mvcc_durable.Hook.snapshots h <> [] then
+             " to " ^ file ^ ".snap"
+           else "")
+    | _ -> ());
     match (trace_file, tr) with
     | Some file, Some t ->
         let oc = open_out file in
@@ -463,21 +504,12 @@ let simulate_cmd =
        ~doc:"Run a banking workload through the storage engine")
     Term.(
       const run $ policy_arg $ readers_arg $ writers_arg $ stats_arg
-      $ trace_arg $ certify_arg $ seed_arg)
+      $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg $ seed_arg)
 
 (* replay *)
 
 let replay_cmd =
-  let policy_arg =
-    let policy_conv =
-      Arg.enum
-        [ ("s2pl", Mvcc_engine.Engine.S2pl); ("to", Mvcc_engine.Engine.To);
-          ("mvto", Mvcc_engine.Engine.Mvto); ("si", Mvcc_engine.Engine.Si);
-          ("sgt", Mvcc_engine.Engine.Sgt) ]
-    in
-    Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto
-         & info [ "policy" ] ~doc:"Concurrency control policy of the run.")
-  in
+  let policy_arg = policy_arg ~doc:"Concurrency control policy of the run." in
   let readers_arg =
     Arg.(value & opt int 6 & info [ "readers" ] ~doc:"Analytics transactions.")
   in
@@ -493,7 +525,7 @@ let replay_cmd =
   in
   let run policy readers writers trace_file seed =
     let ic = open_in trace_file in
-    let recorded, skipped = Mvcc_obs.Trace.read_jsonl ic in
+    let recorded, rstats = Mvcc_obs.Trace.read_jsonl ic in
     close_in ic;
     (* reconstruct the run: same workload, same seed, fresh trace *)
     let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
@@ -516,8 +548,10 @@ let replay_cmd =
     let replayed = Mvcc_obs.Trace.to_list t in
     let lines l = List.map (fun (seq, ev) -> Mvcc_obs.Trace.to_json seq ev) l in
     let rec_lines = lines recorded and rep_lines = lines replayed in
-    Format.printf "recorded: %d events (%d unparseable line(s) skipped)@."
-      (List.length recorded) skipped;
+    Format.printf "recorded: %d events (%d unparseable line(s) skipped%s)@."
+      (List.length recorded) rstats.Mvcc_obs.Jsonl.skipped
+      (if rstats.Mvcc_obs.Jsonl.torn_tail then ", torn final line dropped"
+       else "");
     Format.printf "replayed: %d events@." (List.length replayed);
     let events_match = rec_lines = rep_lines in
     if events_match then Format.printf "events  : byte-for-byte identical@."
@@ -565,6 +599,179 @@ let replay_cmd =
       const run $ policy_arg $ readers_arg $ writers_arg $ trace_arg
       $ seed_arg)
 
+(* recover *)
+
+let recover_cmd =
+  let module D = Mvcc_durable in
+  let policy_arg =
+    policy_arg ~doc:"Concurrency control policy the log was written under."
+  in
+  let wal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:"Write-ahead log captured by $(b,simulate --wal).")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Recover from this snapshot plus the log tail instead of \
+             replaying the whole log. The recovered store is identical \
+             either way; the history and witness cover only the tail, so \
+             no certificate is issued.")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Also print the recovered version chains, one entity per line.")
+  in
+  let run policy wal_file snapshot_file dump =
+    let read = D.Wal.read_file wal_file in
+    let snapshot =
+      Option.map
+        (fun f ->
+          match D.Snapshot.read_file f with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "recover: %s is not a valid snapshot\n" f;
+              exit 2)
+        snapshot_file
+    in
+    let r = D.Recovery.recover ~policy ?snapshot read in
+    Format.printf "log     : %d valid records, %d skipped%s@."
+      (List.length read.D.Wal.records)
+      read.D.Wal.stats.Mvcc_obs.Jsonl.skipped
+      (if read.D.Wal.stats.Mvcc_obs.Jsonl.torn_tail then
+         ", torn final record dropped"
+       else "");
+    (match snapshot with
+    | Some s ->
+        Format.printf "snapshot: lsn %d (%d commits), tail replayed@."
+          s.D.Snapshot.lsn s.D.Snapshot.commits
+    | None -> ());
+    Format.printf "commits : %d recovered [%s]@."
+      (List.length r.D.Recovery.commit_order)
+      (String.concat " " (List.map string_of_int r.D.Recovery.commit_order));
+    Format.printf "undone  : %d in-flight [%s]@."
+      (List.length r.D.Recovery.undone)
+      (String.concat " " (List.map string_of_int r.D.Recovery.undone));
+    if r.D.Recovery.cascaded <> [] then
+      Format.printf "cascaded: %d committed-but-lost [%s]@."
+        (List.length r.D.Recovery.cascaded)
+        (String.concat " " (List.map string_of_int r.D.Recovery.cascaded));
+    Format.printf "state   : %s@."
+      (String.concat ", "
+         (List.map
+            (fun (e, v) -> Printf.sprintf "%s=%d" e v)
+            r.D.Recovery.state));
+    if dump then
+      Format.printf "chains  :@.%s@." (D.Recovery.dump_string r.D.Recovery.store);
+    match r.D.Recovery.witness with
+    | None -> Format.printf "witness : none (tail recovery)@."
+    | Some w ->
+        Format.printf "history : %d committed steps@."
+          (Schedule.length r.D.Recovery.history);
+        Format.printf "witness : %a@." Mvcc_provenance.Witness.pp w;
+        let o = Mvcc_provenance.Checker.check r.D.Recovery.history w in
+        Format.printf "checker : %s@." (Mvcc_provenance.Checker.outcome_name o);
+        if o = Mvcc_provenance.Checker.Refuted then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild committed state and history from a write-ahead log (or \
+          snapshot + tail), certified by the independent checker")
+    Term.(const run $ policy_arg $ wal_arg $ snapshot_arg $ dump_arg)
+
+(* crash *)
+
+let crash_cmd =
+  let module D = Mvcc_durable in
+  let policy_arg = policy_arg ~doc:"Concurrency control policy." in
+  let points_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "points" ] ~docv:"N" ~doc:"Crash points to inject.")
+  in
+  let point_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "point" ] ~docv:"K"
+          ~doc:
+            "Re-check only crash point $(docv) of the same seeded \
+             sequence — the one-command reproduction for a reported \
+             failure.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 8 & info [ "txns" ] ~doc:"Concurrent transactions.")
+  in
+  let entities_arg =
+    Arg.(value & opt int 6 & info [ "entities" ] ~doc:"Entities.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "theta" ] ~doc:"Zipfian skew of entity selection.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 6 & info [ "ops" ] ~doc:"Operations per transaction.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) (Some 3)
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Commits between snapshots (0 disables snapshots).")
+  in
+  let run policy points point txns entities theta ops snapshot_every seed =
+    let cfg =
+      {
+        D.Crash.policy;
+        seed;
+        txns;
+        entities;
+        theta;
+        ops_per_txn = ops;
+        snapshot_every =
+          (match snapshot_every with Some 0 -> None | s -> s);
+        points;
+        only = point;
+      }
+    in
+    let report = D.Crash.run cfg in
+    Format.printf "%a@." D.Crash.pp_report report;
+    if report.D.Crash.failures <> [] then begin
+      List.iter
+        (fun f ->
+          if f.D.Crash.point >= 0 then
+            Printf.eprintf
+              "reproduce: mvcc crash --policy %s --seed %d --txns %d \
+               --entities %d --theta %g --ops %d --snapshot-every %d \
+               --points %d --point %d\n"
+              (Mvcc_engine.Engine.policy_name policy)
+              seed txns entities theta ops
+              (Option.value ~default:0 snapshot_every)
+              points f.D.Crash.point)
+        report.D.Crash.failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Crash-injection harness: truncate a run's write-ahead log at \
+          seeded-random record boundaries (torn tails included), recover \
+          from each cut, and property-check the result")
+    Term.(
+      const run $ policy_arg $ points_arg $ point_arg $ txns_arg
+      $ entities_arg $ theta_arg $ ops_arg $ snapshot_every_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "mvcc" ~version:"1.0.0"
@@ -578,5 +785,5 @@ let () =
           [
             classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
             simulate_cmd; dot_cmd; switch_cmd; explain_cmd; replay_cmd;
-            census_cmd;
+            census_cmd; recover_cmd; crash_cmd;
           ]))

@@ -1,0 +1,212 @@
+module Engine = Mvcc_engine.Engine
+module Program = Mvcc_engine.Program
+module Checker = Mvcc_provenance.Checker
+
+type config = {
+  policy : Engine.policy;
+  seed : int;
+  txns : int;
+  entities : int;
+  theta : float;
+  ops_per_txn : int;
+  snapshot_every : int option;
+  points : int;
+  only : int option;
+}
+
+let default =
+  {
+    policy = Engine.Mvto;
+    seed = 0;
+    txns = 8;
+    entities = 6;
+    theta = 0.9;
+    ops_per_txn = 6;
+    snapshot_every = Some 3;
+    points = 100;
+    only = None;
+  }
+
+let entity i = Printf.sprintf "e%d" i
+
+(* The workload draws from its own stream so crash-point draws below
+   stay identical whatever the workload parameters. *)
+let workload cfg =
+  let rng = Random.State.make [| cfg.seed; 0x517ca5e |] in
+  let zipf = Mvcc_workload.Zipf.make ~n:cfg.entities ~theta:cfg.theta in
+  let pick () = entity (Mvcc_workload.Zipf.sample zipf rng) in
+  List.init cfg.txns (fun i ->
+      let read = Hashtbl.create 4 in
+      let ops =
+        List.init cfg.ops_per_txn (fun _ ->
+            let e = pick () in
+            if Random.State.int rng 3 < 2 && not (Hashtbl.mem read e) then begin
+              Hashtbl.replace read e ();
+              Program.Read e
+            end
+            else
+              let v = Random.State.int rng 10 in
+              let expr =
+                if Hashtbl.length read > 0 && Random.State.bool rng then
+                  let regs = Hashtbl.fold (fun k () acc -> k :: acc) read [] in
+                  let r =
+                    List.nth (List.sort compare regs)
+                      (Random.State.int rng (List.length regs))
+                  in
+                  Program.Add (Reg r, Const v)
+                else Program.Const v
+              in
+              Program.Write (e, expr))
+      in
+      { Program.label = Printf.sprintf "t%d" i; ops })
+
+type failure = { point : int; cut : int; what : string }
+
+type report = {
+  config : config;
+  log_bytes : int;
+  records : int;
+  commits : int;
+  snapshots : int;
+  checked : int;
+  torn : int;
+  failures : failure list;
+}
+
+let is_prefix ~of_:full xs =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && go xs' ys'
+    | _ :: _, [] -> false
+  in
+  go xs full
+
+let run cfg =
+  let programs = workload cfg in
+  let initial = List.init cfg.entities (fun i -> (entity i, 100)) in
+  let writer = Wal.writer () in
+  let hook = Hook.create writer in
+  let result =
+    Engine.run ~policy:cfg.policy ~initial ~programs
+      ~wal:(Hook.listener hook) ?snapshot_every:cfg.snapshot_every
+      ~seed:cfg.seed ()
+  in
+  let whole = Wal.contents writer in
+  let len = String.length whole in
+  (* byte offset where record [i] starts; offsets.(n_records) = len *)
+  let offsets =
+    let acc = ref [ 0 ] and i = ref 0 in
+    String.iter
+      (fun c ->
+        incr i;
+        if c = '\n' then acc := !i :: !acc)
+      whole;
+    if List.hd !acc <> len then acc := len :: !acc;
+    Array.of_list (List.rev !acc)
+  in
+  let n_records = Array.length offsets - 1 in
+  let snapshots = Hook.snapshots hook in
+  let full = Recovery.recover ~policy:cfg.policy (Wal.read_string whole) in
+  let failures = ref [] in
+  let checked = ref 0 in
+  let torn_count = ref 0 in
+  let fail point cut what = failures := { point; cut; what } :: !failures in
+  let check_point point cut expect_torn kept =
+    incr checked;
+    if expect_torn then incr torn_count;
+    let bytes = String.sub whole 0 cut in
+    let r1 = Recovery.recover ~policy:cfg.policy (Wal.read_string bytes) in
+    let fail = fail point cut in
+    if r1.stats.skipped <> 0 then
+      fail (Printf.sprintf "pure truncation skipped %d records" r1.stats.skipped);
+    if r1.stats.torn_tail <> expect_torn then
+      fail
+        (Printf.sprintf "torn_tail=%b, expected %b" r1.stats.torn_tail
+           expect_torn);
+    if r1.cascaded <> [] then
+      fail
+        (Printf.sprintf "tail truncation cascaded %d commits"
+           (List.length r1.cascaded));
+    if not (is_prefix ~of_:full.commit_order r1.commit_order) then
+      fail "recovered commit order is not a prefix of the full run's";
+    (match r1.witness with
+    | None -> fail "full-log recovery produced no witness"
+    | Some w ->
+        if not (Checker.verify r1.history w) then
+          fail
+            (Printf.sprintf "checker refuted the recovered %s witness"
+               (Engine.policy_name cfg.policy)));
+    (* replay determinism: same bytes, byte-identical outcome *)
+    let r2 = Recovery.recover ~policy:cfg.policy (Wal.read_string bytes) in
+    if Recovery.dump_string r1.store <> Recovery.dump_string r2.store then
+      fail "double recovery: store dumps differ";
+    if
+      Mvcc_core.Schedule.steps r1.history <> Mvcc_core.Schedule.steps r2.history
+      || r1.commit_order <> r2.commit_order
+    then fail "double recovery: histories differ";
+    (* snapshot + tail must agree with the full log prefix *)
+    match
+      List.filter (fun (lsn, _) -> lsn <= kept) snapshots |> List.rev
+    with
+    | [] -> ()
+    | (_, snap) :: _ ->
+        let rs =
+          Recovery.recover ~policy:cfg.policy ~snapshot:snap
+            (Wal.read_string bytes)
+        in
+        if Recovery.dump_string rs.store <> Recovery.dump_string r1.store then
+          fail "snapshot+tail store differs from full-log recovery"
+  in
+  let rng = Random.State.make [| cfg.seed; 0xc4a54 |] in
+  for point = 0 to cfg.points - 1 do
+    (* draw unconditionally so [only] replays the same point *)
+    let b = Random.State.int rng (n_records + 1) in
+    let cut, expect_torn, kept =
+      if b < n_records && Random.State.bool rng then
+        (* tear the next record: keep 1..rlen of its bytes, where rlen
+           excludes the newline — keeping all of them is a complete
+           record that merely lost its terminator, and must be kept *)
+        let rlen = offsets.(b + 1) - 1 - offsets.(b) in
+        let partial = 1 + Random.State.int rng rlen in
+        ( offsets.(b) + partial,
+          partial < rlen,
+          if partial < rlen then b else b + 1 )
+      else (offsets.(b), false, b)
+    in
+    match cfg.only with
+    | Some k when k <> point -> ()
+    | _ -> check_point point cut expect_torn kept
+  done;
+  (* the uncrashed log must recover the live run's final state *)
+  (match cfg.only with
+  | Some _ -> ()
+  | None ->
+      if full.state <> result.final_state then
+        fail (-1) len "full-log recovery disagrees with the live final state";
+      if full.undone <> [] || full.cascaded <> [] then
+        fail (-1) len "full-log recovery undid transactions");
+  {
+    config = cfg;
+    log_bytes = len;
+    records = n_records;
+    commits = result.stats.commits;
+    snapshots = List.length snapshots;
+    checked = !checked;
+    torn = !torn_count;
+    failures = List.rev !failures;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>policy=%s seed=%d: %d records (%d bytes), %d commits, %d snapshots@,\
+     %d crash points checked (%d torn): %s@]"
+    (Engine.policy_name r.config.policy)
+    r.config.seed r.records r.log_bytes r.commits r.snapshots r.checked r.torn
+    (if r.failures = [] then "all properties hold"
+     else Printf.sprintf "%d FAILURES" (List.length r.failures));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,  point %d (cut at byte %d): %s" f.point f.cut
+        f.what)
+    r.failures

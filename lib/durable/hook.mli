@@ -1,0 +1,26 @@
+(** The bridge from the engine's durability events to the log.
+
+    [lib/engine] cannot depend on this library (it would be circular),
+    so {!Mvcc_engine.Engine.run} exposes durability as a plain
+    [?wal:(wal_event -> unit)] callback. A hook is that callback,
+    closed over a {!Wal.writer}: it translates each event into a
+    {!Wal.record} and appends it, and on a [Wal_checkpoint] captures a
+    {!Snapshot} at the current LSN — written to [snapshot_path ^
+    ".snap"] when a path is configured, kept in memory either way —
+    before appending the [Checkpoint] record that names it. *)
+
+type t
+
+val create : ?snapshot_path:string -> Wal.writer -> t
+(** A hook appending to [writer]. With [snapshot_path], each checkpoint
+    overwrites that file with the latest snapshot; without it,
+    snapshots are only retained in memory (see {!snapshots}). *)
+
+val listener : t -> Mvcc_engine.Engine.wal_event -> unit
+(** Pass as [Engine.run ~wal:(Hook.listener h)]. *)
+
+val snapshots : t -> (int * Snapshot.t) list
+(** Every snapshot captured so far as [(lsn, snapshot)], oldest
+    first. *)
+
+val last_snapshot : t -> Snapshot.t option

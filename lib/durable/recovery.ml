@@ -1,0 +1,222 @@
+module Store = Mvcc_engine.Store
+module Engine = Mvcc_engine.Engine
+module Schedule = Mvcc_core.Schedule
+module Step = Mvcc_core.Step
+module W = Mvcc_provenance.Witness
+
+type t = {
+  n_txns : int;
+  commit_order : int list;
+  undone : int list;
+  cascaded : int list;
+  store : Store.t;
+  state : (string * int) list;
+  history : Schedule.t;
+  witness : W.t option;
+  stats : Mvcc_obs.Jsonl.stats;
+}
+
+let recover ~policy ?snapshot (read : Wal.read) =
+  let start_lsn =
+    match snapshot with Some s -> s.Snapshot.lsn | None -> 0
+  in
+  let records =
+    List.filter (fun (lsn, _) -> lsn >= start_lsn) read.Wal.records
+  in
+  (* Analysis: number attempts, collect ops/installs/commits. *)
+  let attempt = Hashtbl.create 16 in
+  let ts_of = Hashtbl.create 16 in
+  let begun = Hashtbl.create 16 in
+  let committed_at = Hashtbl.create 16 in
+  let ops = ref [] in
+  let installs = ref [] in
+  let commit_seq = ref [] in
+  let initial = ref [] in
+  let n_txns = ref 0 in
+  let att_of txn = try Hashtbl.find attempt txn with Not_found -> 0 in
+  let saw txn =
+    n_txns := max !n_txns (txn + 1);
+    Hashtbl.replace begun txn ()
+  in
+  List.iter
+    (fun (_, r) ->
+      match (r : Wal.record) with
+      | State { entity; value } -> initial := (entity, value) :: !initial
+      | Begin { txn; ts } ->
+          saw txn;
+          Hashtbl.replace attempt txn (att_of txn + 1);
+          Hashtbl.replace ts_of txn ts
+      | Op { txn; entity; write; src } ->
+          saw txn;
+          ops := (txn, att_of txn, write, entity, src) :: !ops
+      | Install { txn; entity; value; wts } ->
+          saw txn;
+          installs := (txn, att_of txn, entity, value, wts) :: !installs
+      | Commit { txn } ->
+          saw txn;
+          Hashtbl.replace committed_at txn (att_of txn);
+          commit_seq := txn :: !commit_seq
+      | Abort _ | Checkpoint _ -> ())
+    records;
+  let n = !n_txns in
+  let ops = List.rev !ops in
+  let installs = List.rev !installs in
+  let commit_seq = List.rev !commit_seq in
+  (* Cascade fixpoint: a committed transaction whose final attempt read
+     from a transaction that did not survive is itself undone. A source
+     never seen in the replayed range predates the snapshot and is
+     therefore committed. *)
+  let valid = Hashtbl.copy committed_at in
+  let is_final_of_valid txn att =
+    match Hashtbl.find_opt valid txn with
+    | Some fa -> fa = att
+    | None -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (txn, att, write, _entity, src) ->
+        if (not write) && is_final_of_valid txn att then
+          match src with
+          | Some (Wal.Txn w)
+            when Hashtbl.mem begun w && not (Hashtbl.mem valid w) ->
+              Hashtbl.remove valid txn;
+              changed := true
+          | _ -> ())
+      ops
+  done;
+  let commit_order = List.filter (Hashtbl.mem valid) commit_seq in
+  let cascaded =
+    List.filter (fun t -> not (Hashtbl.mem valid t)) commit_seq
+  in
+  let undone =
+    Hashtbl.fold
+      (fun t () acc -> if Hashtbl.mem committed_at t then acc else t :: acc)
+      begun []
+    |> List.sort compare
+  in
+  (* Redo: re-install surviving committed versions, in log order, onto
+     the base image. Undo is the absence of redo — no-steal means the
+     store never held uncommitted data. *)
+  let store =
+    match snapshot with
+    | Some s -> Snapshot.store s
+    | None -> Store.create ~initial:(List.rev !initial)
+  in
+  List.iter
+    (fun (txn, att, entity, value, wts) ->
+      if is_final_of_valid txn att then Store.install store entity ~value ~wts)
+    installs;
+  (* The committed history: surviving final attempts, operation order. *)
+  let final_ops =
+    List.filter (fun (txn, att, _, _, _) -> is_final_of_valid txn att) ops
+  in
+  let history =
+    Schedule.of_steps ~n_txns:n
+      (List.map
+         (fun (txn, _, write, entity, _) ->
+           if write then Step.write txn entity else Step.read txn entity)
+         final_ops)
+  in
+  let witness =
+    match snapshot with
+    | Some _ -> None (* the tail cannot carry the full history *)
+    | None ->
+        let append_missing order =
+          order
+          @ List.filter
+              (fun i -> not (List.mem i order))
+              (List.init n Fun.id)
+        in
+        let ts_order =
+          List.filter (Hashtbl.mem valid) commit_seq
+          |> List.sort (fun a b ->
+                 compare (Hashtbl.find ts_of a) (Hashtbl.find ts_of b))
+          |> append_missing
+        in
+        let version_fn () =
+          let hsteps = Schedule.steps history in
+          let v = ref Mvcc_core.Version_fn.empty in
+          List.iteri
+            (fun pos (txn, _, write, entity, src) ->
+              if not write then
+                match src with
+                | Some Wal.Init ->
+                    v := Mvcc_core.Version_fn.(add pos Initial !v)
+                | Some Wal.Self ->
+                    let q = ref (-1) in
+                    for k = 0 to pos - 1 do
+                      let s2 = hsteps.(k) in
+                      if
+                        s2.Mvcc_core.Step.txn = txn
+                        && s2.entity = entity
+                        && Mvcc_core.Step.is_write s2
+                      then q := k
+                    done;
+                    v := Mvcc_core.Version_fn.(add pos (From !q) !v)
+                | Some (Wal.Txn j) -> (
+                    match
+                      Mvcc_core.Read_from.last_write_of history ~txn:j
+                        ~entity
+                    with
+                    | Some q ->
+                        v := Mvcc_core.Version_fn.(add pos (From q) !v)
+                    | None -> ())
+                | None -> ())
+            final_ops;
+          !v
+        in
+        Some
+          (match (policy : Engine.policy) with
+          | S2pl ->
+              {
+                W.claim = Member Csr;
+                evidence = Accept_topo (append_missing commit_order);
+              }
+          | To -> { W.claim = Member Csr; evidence = Accept_topo ts_order }
+          | Sgt ->
+              (* the commit order is not a serialization order for SGT
+                 (rw anti-dependencies may point against it); recompute
+                 a topological order of the recovered history's own
+                 conflict graph *)
+              let order =
+                match
+                  Mvcc_graph.Topo.sort (Mvcc_core.Conflict.graph history)
+                with
+                | Some o -> o
+                | None -> append_missing commit_order
+              in
+              { W.claim = Member Csr; evidence = Accept_topo order }
+          | Mvto ->
+              {
+                W.claim = Member Mvsr;
+                evidence = Accept_version_fn (ts_order, version_fn ());
+              }
+          | Si ->
+              {
+                W.claim = Read_consistent;
+                evidence = Accept_version_fn ([], version_fn ());
+              })
+  in
+  {
+    n_txns = n;
+    commit_order;
+    undone;
+    cascaded;
+    store;
+    state = Store.value_map store;
+    history;
+    witness;
+    stats = read.Wal.stats;
+  }
+
+let dump_string store =
+  Store.dump store
+  |> List.map (fun (e, versions) ->
+         Printf.sprintf "%s: %s" e
+           (String.concat " "
+              (List.map
+                 (fun (wts, value) -> Printf.sprintf "%d=%d" wts value)
+                 versions)))
+  |> String.concat "\n"

@@ -1,0 +1,36 @@
+(** Point-in-time images of the engine's version chains.
+
+    A snapshot captures {!Mvcc_engine.Store.dump} — every entity's
+    committed versions, in write-timestamp order — together with the
+    LSN the log had reached when it was taken. Recovery loads the
+    snapshot and replays only the log tail from that LSN
+    ({!Recovery.recover} with [?snapshot]), which must agree
+    byte-for-byte with replaying the whole log (a tested invariant,
+    with garbage collection off).
+
+    The on-disk format reuses the WAL's CRC framing ({!Wal.frame}): a
+    header line declaring the LSN, commit count and version count,
+    then one line per version. A snapshot whose line count disagrees
+    with its header — e.g. a write torn mid-file — is rejected whole
+    rather than half-loaded. *)
+
+type t = {
+  lsn : int;  (** log length at capture; redo resumes here *)
+  commits : int;  (** commits applied when captured *)
+  dump : (string * (int * int) list) list;
+      (** per entity, its [(wts, value)] versions ascending — the
+          durable image, excluding runtime read-timestamp bookkeeping *)
+}
+
+val capture : lsn:int -> commits:int -> Mvcc_engine.Store.t -> t
+val store : t -> Mvcc_engine.Store.t
+
+val encode : t -> string
+(** The snapshot file's exact bytes (CRC-framed JSON lines). *)
+
+val decode : string -> t option
+(** Inverse of {!encode}. [None] if any line is malformed or fails its
+    CRC, or the version count disagrees with the header. *)
+
+val write_file : string -> t -> unit
+val read_file : string -> t option

@@ -1,0 +1,199 @@
+(* CRC-framed JSON-lines write-ahead log records.
+
+   Framing: a record encodes to a flat Json object whose first field is
+   the LSN and whose last field is a CRC-32 over the object as it would
+   be WITHOUT the crc field. Json.obj and Json.parse_obj are exact
+   inverses on this fragment, so the decoder can re-encode the parsed
+   prefix fields and recompute the checksum byte-for-byte — no second
+   framing layer needed, and the log stays plain JSONL. *)
+
+module Json = Mvcc_obs.Json
+
+type src = Init | Self | Txn of int
+
+type record =
+  | State of { entity : string; value : int }
+  | Begin of { txn : int; ts : int }
+  | Op of { txn : int; entity : string; write : bool; src : src option }
+  | Install of { txn : int; entity : string; value : int; wts : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int; reason : string }
+  | Checkpoint of { snapshot : string; commits : int }
+
+(* CRC-32 (IEEE 802.3, reflected), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+let fields = function
+  | State { entity; value } ->
+      [ ("rec", Json.Str "state"); ("entity", Json.Str entity);
+        ("value", Json.Int value) ]
+  | Begin { txn; ts } ->
+      [ ("rec", Json.Str "begin"); ("txn", Json.Int txn); ("ts", Json.Int ts) ]
+  | Op { txn; entity; write; src } ->
+      [ ("rec", Json.Str "op"); ("txn", Json.Int txn);
+        ("entity", Json.Str entity); ("write", Json.Bool write) ]
+      @ (match src with
+        | None -> []
+        | Some Init -> [ ("src", Json.Str "init") ]
+        | Some Self -> [ ("src", Json.Str "self") ]
+        | Some (Txn w) -> [ ("src", Json.Int w) ])
+  | Install { txn; entity; value; wts } ->
+      [ ("rec", Json.Str "install"); ("txn", Json.Int txn);
+        ("entity", Json.Str entity); ("value", Json.Int value);
+        ("wts", Json.Int wts) ]
+  | Commit { txn } -> [ ("rec", Json.Str "commit"); ("txn", Json.Int txn) ]
+  | Abort { txn; reason } ->
+      [ ("rec", Json.Str "abort"); ("txn", Json.Int txn);
+        ("reason", Json.Str reason) ]
+  | Checkpoint { snapshot; commits } ->
+      [ ("rec", Json.Str "checkpoint"); ("snapshot", Json.Str snapshot);
+        ("commits", Json.Int commits) ]
+
+let frame fs =
+  let body = Json.obj fs in
+  Printf.sprintf "%s,\"crc\":%d}"
+    (String.sub body 0 (String.length body - 1))
+    (crc32 body)
+
+let unframe line =
+  match Json.parse_obj line with
+  | None -> None
+  | Some parsed -> (
+      match List.rev parsed with
+      | ("crc", Json.Int crc) :: body_rev ->
+          let body_fields = List.rev body_rev in
+          if crc32 (Json.obj body_fields) = crc then Some body_fields
+          else None
+      | _ -> None)
+
+let encode ~lsn r = frame (("lsn", Json.Int lsn) :: fields r)
+
+let of_fields fields =
+  let int k =
+    match List.assoc_opt k fields with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let str k =
+    match List.assoc_opt k fields with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let bool k =
+    match List.assoc_opt k fields with
+    | Some (Json.Bool b) -> Some b
+    | _ -> None
+  in
+  let ( let* ) = Option.bind in
+  let* rec_ = str "rec" in
+  match rec_ with
+  | "state" ->
+      let* entity = str "entity" in
+      let* value = int "value" in
+      Some (State { entity; value })
+  | "begin" ->
+      let* txn = int "txn" in
+      let* ts = int "ts" in
+      Some (Begin { txn; ts })
+  | "op" ->
+      let* txn = int "txn" in
+      let* entity = str "entity" in
+      let* write = bool "write" in
+      let src =
+        match List.assoc_opt "src" fields with
+        | Some (Json.Str "init") -> Some Init
+        | Some (Json.Str "self") -> Some Self
+        | Some (Json.Int w) -> Some (Txn w)
+        | _ -> None
+      in
+      if write && src <> None then None
+      else if (not write) && src = None then None
+      else Some (Op { txn; entity; write; src })
+  | "install" ->
+      let* txn = int "txn" in
+      let* entity = str "entity" in
+      let* value = int "value" in
+      let* wts = int "wts" in
+      Some (Install { txn; entity; value; wts })
+  | "commit" ->
+      let* txn = int "txn" in
+      Some (Commit { txn })
+  | "abort" ->
+      let* txn = int "txn" in
+      let* reason = str "reason" in
+      Some (Abort { txn; reason })
+  | "checkpoint" ->
+      let* snapshot = str "snapshot" in
+      let* commits = int "commits" in
+      Some (Checkpoint { snapshot; commits })
+  | _ -> None
+
+let decode line =
+  match unframe line with
+  | Some (("lsn", Json.Int lsn) :: rest) ->
+      Option.map (fun r -> (lsn, r)) (of_fields rest)
+  | _ -> None
+
+type writer = {
+  buf : Buffer.t;
+  chan : out_channel option;
+  mutable lsn : int;
+  mutable closed : bool;
+}
+
+let writer ?path () =
+  {
+    buf = Buffer.create 4096;
+    chan = Option.map open_out path;
+    lsn = 0;
+    closed = false;
+  }
+
+let append w r =
+  let lsn = w.lsn in
+  let line = encode ~lsn r in
+  Buffer.add_string w.buf line;
+  Buffer.add_char w.buf '\n';
+  Option.iter
+    (fun oc ->
+      output_string oc line;
+      output_char oc '\n';
+      (* force the record before the action it covers *)
+      flush oc)
+    w.chan;
+  w.lsn <- lsn + 1;
+  lsn
+
+let next_lsn w = w.lsn
+let contents w = Buffer.contents w.buf
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    Option.iter close_out w.chan
+  end
+
+type read = { records : (int * record) list; stats : Mvcc_obs.Jsonl.stats }
+
+let read_string s =
+  let records, stats = Mvcc_obs.Jsonl.read_string decode s in
+  { records; stats }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records, stats = Mvcc_obs.Jsonl.read_channel decode ic in
+      { records; stats })

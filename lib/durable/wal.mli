@@ -1,0 +1,86 @@
+(** The write-ahead log: an append-only JSON-lines file of engine
+    events, each record framed with a log sequence number and a CRC-32.
+
+    The record grammar mirrors {!Mvcc_engine.Engine.wal_event} — initial
+    state, attempt begins with timestamps, operations with read sources,
+    version installs (logical redo records), commits, aborts, and
+    checkpoints naming a snapshot. Records are flat
+    {!Mvcc_obs.Json} objects, one per line, ending in a ["crc"] field
+    computed over the record's own encoding; a record survives ingestion
+    only if it parses {e and} its CRC matches, so a flipped byte or a
+    torn write is detected, never silently replayed.
+
+    Unlike an ARIES log there are no undo records and no CLRs: the
+    engine buffers writes until commit (no-steal), so the store never
+    holds uncommitted data and "undo" is simply not redoing — see
+    {!Recovery}. *)
+
+type src =
+  | Init  (** the entity's initial version *)
+  | Self  (** the transaction's own earlier write *)
+  | Txn of int  (** the writing transaction *)
+
+type record =
+  | State of { entity : string; value : int }
+  | Begin of { txn : int; ts : int }
+  | Op of { txn : int; entity : string; write : bool; src : src option }
+  | Install of { txn : int; entity : string; value : int; wts : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int; reason : string }
+  | Checkpoint of { snapshot : string; commits : int }
+      (** [snapshot] names the snapshot holding every install logged
+          before this record (a file path, or a harness-internal key) *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, reflected) of a string, as a non-negative int. *)
+
+val frame : (string * Mvcc_obs.Json.value) list -> string
+(** A field list as one CRC-suffixed JSON line (no newline): the fields
+    in order, then a ["crc"] field holding {!crc32} of the object
+    without it. The framing {!Snapshot} shares with the log itself. *)
+
+val unframe : string -> (string * Mvcc_obs.Json.value) list option
+(** Inverse of {!frame}: parse, verify the CRC, return the fields
+    without it. [None] on malformed input or a CRC mismatch. *)
+
+val encode : lsn:int -> record -> string
+(** One log line (without the newline): the record's fields prefixed
+    with the LSN and suffixed with the CRC of everything before it. *)
+
+val decode : string -> (int * record) option
+(** Inverse of {!encode}. [None] if the line does not parse, is not a
+    known record shape, or fails its CRC. *)
+
+(** {1 Appending} *)
+
+type writer
+
+val writer : ?path:string -> unit -> writer
+(** An appender assigning LSNs from 0. Records accumulate in memory
+    (for {!contents}); with [path] each append is also written through
+    to the file and flushed — the WAL discipline of forcing the record
+    before the action it covers. *)
+
+val append : writer -> record -> int
+(** Append one record; returns its LSN. *)
+
+val next_lsn : writer -> int
+(** The LSN the next {!append} will assign (= records appended). *)
+
+val contents : writer -> string
+(** Everything appended so far, as the exact bytes of the log file. *)
+
+val close : writer -> unit
+(** Flush and close the backing file, if any. Idempotent. *)
+
+(** {1 Reading} *)
+
+type read = {
+  records : (int * record) list;  (** CRC-valid records, in file order *)
+  stats : Mvcc_obs.Jsonl.stats;
+      (** mid-file skips vs a torn final record, from the shared
+          tolerant reader *)
+}
+
+val read_string : string -> read
+val read_file : string -> read

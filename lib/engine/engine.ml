@@ -43,6 +43,30 @@ type result = {
   provenance : (Mvcc_core.Schedule.t * W.t) option;
 }
 
+(* Durability hooks. The engine stays ignorant of log encodings and
+   files: with [?wal] it streams these events to whoever is listening
+   (lib/durable turns them into CRC'd log records), and with
+   [?snapshot_every] it additionally offers the live store for
+   checkpointing every N commits. Like [?obs], the hooks are pure
+   accounting — they never change a decision, and cost nothing when
+   absent. *)
+
+type read_src = From_init | From_self | From_txn of int
+
+type wal_event =
+  | Wal_state of { entity : string; value : int }
+  | Wal_begin of { txn : int; ts : int }
+  | Wal_op of {
+      txn : int;
+      entity : string;
+      write : bool;
+      src : read_src option;
+    }
+  | Wal_install of { txn : int; entity : string; value : int; wts : int }
+  | Wal_commit of { txn : int }
+  | Wal_abort of { txn : int; reason : Tr.reason }
+  | Wal_checkpoint of { store : Store.t; commits : int }
+
 type status =
   | Ready
   | Waiting of string
@@ -71,9 +95,12 @@ type lock = { mutable readers : int list; mutable writer : int option }
 
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ?prov
-    ~seed () =
+    ?wal ?snapshot_every ~seed () =
   let rng = Random.State.make [| seed |] in
   let store = Store.create ~initial in
+  (* the event is only built when a log hook is attached, so durability
+     is free when off — the same thunking discipline as Sink.emit *)
+  let wal_emit ev = match wal with None -> () | Some f -> f (ev ()) in
   let next_ts = ref 0 in
   let fresh_ts () =
     incr next_ts;
@@ -110,8 +137,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   let attempts = Array.make (Array.length clients) 0 in
   let writer_of_wts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let commit_seq = ref [] in
+  List.iter
+    (fun (entity, value) -> wal_emit (fun () -> Wal_state { entity; value }))
+    initial;
   Array.iter
-    (fun c -> Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id }))
+    (fun c ->
+      Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id });
+      wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts }))
     clients;
   let locks : (string, lock) Hashtbl.t = Hashtbl.create 16 in
   let lock_of e =
@@ -264,6 +296,30 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           else Mvcc_core.Step.read c.id e
         in
         prov_ops := (c.id, attempts.(c.id), st, src) :: !prov_ops);
+    (* the read's source under every policy — recovery re-derives the
+       read-from edges (and so cascading aborts across a crash) from
+       these. Pure re-derivation: read_at and latest never mutate. *)
+    wal_emit (fun () ->
+        let from_wts w =
+          if w = 0 then From_init
+          else From_txn (Hashtbl.find writer_of_wts w)
+        in
+        let src =
+          if write then None
+          else if List.mem_assoc e c.buffer then Some From_self
+          else
+            match policy with
+            | Mvto -> Some (from_wts (Store.read_at store e c.ts).Store.wts)
+            | Si ->
+                Some (from_wts (Store.read_at store e c.snapshot).Store.wts)
+            | Sgt -> (
+                match !(dirty_of e) with
+                | (w, _) :: _ -> Some (From_txn w)
+                | [] -> Some (from_wts (Store.latest store e).Store.wts))
+            | S2pl | To ->
+                Some (from_wts (Store.latest store e).Store.wts)
+        in
+        Wal_op { txn = c.id; entity = e; write; src });
     Sink.emit obs (fun () ->
         Tr.Step_scheduled { txn = c.id; entity = e; write })
   in
@@ -273,6 +329,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     Sink.incr obs "engine.aborts";
     Sink.incr obs ("engine.abort." ^ Tr.reason_name reason);
     Sink.emit obs (fun () -> Tr.Txn_abort { txn = c.id; reason });
+    wal_emit (fun () -> Wal_abort { txn = c.id; reason });
     release c;
     clear_pending c;
     c.pc <- 0;
@@ -280,6 +337,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     c.buffer <- [];
     c.ts <- fresh_ts ();
     c.snapshot <- c.ts;
+    wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts });
     (* randomized restart backoff: immediate retry livelocks symmetric
        conflicts (every victim re-collides with the transaction that beat
        it); a short random sit-out breaks the symmetry *)
@@ -382,9 +440,12 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     incr commits;
     commit_seq := c.id :: !commit_seq;
     Sink.incr obs "engine.commits";
-    Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id })
+    Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id });
+    wal_emit (fun () -> Wal_commit { txn = c.id })
   in
   let install_for c e ~value ~wts =
+    (* write-ahead: the install record precedes the store mutation *)
+    wal_emit (fun () -> Wal_install { txn = c.id; entity = e; value; wts });
     Store.install store e ~value ~wts;
     Hashtbl.replace writer_of_wts wts c.id
   in
@@ -630,7 +691,15 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       | Backoff k -> c.status <- (if k <= 1 then Ready else Backoff (k - 1))
       | Ready -> step c
       | Committed -> ());
-      if c.status = Committed then collect_garbage clients;
+      if c.status = Committed then begin
+        collect_garbage clients;
+        (* checkpoints sit on commit boundaries: every install of the
+           just-committed transaction is already logged and applied *)
+        match snapshot_every with
+        | Some n when n > 0 && !commits mod n = 0 ->
+            wal_emit (fun () -> Wal_checkpoint { store; commits = !commits })
+        | _ -> ()
+      end;
       loop ()
     end
   in

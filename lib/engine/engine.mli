@@ -46,6 +46,37 @@ type deadlock_policy =
 
 val deadlock_policy_name : deadlock_policy -> string
 
+type read_src =
+  | From_init  (** the entity's initial version (write timestamp 0) *)
+  | From_self  (** the transaction's own buffered write *)
+  | From_txn of int  (** the (possibly still dirty, under SGT) writer *)
+
+type wal_event =
+  | Wal_state of { entity : string; value : int }
+      (** one initial binding; emitted for every entity before any
+          transaction runs, so recovery can rebuild the base store *)
+  | Wal_begin of { txn : int; ts : int }
+      (** an attempt starts (at run start and after every abort) with
+          this timestamp; resets the transaction's logged footprint *)
+  | Wal_op of {
+      txn : int;
+      entity : string;
+      write : bool;
+      src : read_src option;
+    }
+      (** an executed operation of the current attempt; reads carry
+          their source so recovery can rebuild the committed history's
+          version function and read-from edges *)
+  | Wal_install of { txn : int; entity : string; value : int; wts : int }
+      (** a version about to be installed at commit (logical redo
+          record; emitted {e before} the store mutation) *)
+  | Wal_commit of { txn : int }  (** the attempt's commit point *)
+  | Wal_abort of { txn : int; reason : Mvcc_obs.Trace.reason }
+  | Wal_checkpoint of { store : Store.t; commits : int }
+      (** offered every [snapshot_every] commits, on a commit boundary:
+          the listener may persist {!Store.dump} and write a checkpoint
+          record. The store is the live one — read, don't mutate. *)
+
 type stats = {
   commits : int;
   aborts : int;  (** restarts: deadlock victims + timestamp violations *)
@@ -80,6 +111,8 @@ val run :
   ?deadlock:deadlock_policy ->
   ?obs:Mvcc_obs.Sink.t ->
   ?prov:Mvcc_provenance.Log.t ->
+  ?wal:(wal_event -> unit) ->
+  ?snapshot_every:int ->
   seed:int ->
   unit ->
   result
@@ -118,4 +151,15 @@ val run :
     in [prov] and a [Decision] trace event carries its id; the test
     suite verifies every witness with [Mvcc_provenance.Checker] against
     the returned history. Like [obs], provenance never changes a
-    decision. *)
+    decision.
+
+    [wal] (default off) streams {!wal_event}s — initial state, attempt
+    begins with timestamps, operations with read sources, version
+    installs (emitted before the store mutation), commits, aborts — to
+    a durability listener; [lib/durable] turns them into a CRC-framed
+    write-ahead log and recovers committed state and history from any
+    prefix of it. With [snapshot_every = Some n] a [Wal_checkpoint]
+    carrying the live store is additionally offered every [n] commits.
+    Both are pure accounting: with or without them the run is
+    bit-for-bit identical (a qcheck-pinned invariant, like [obs]), and
+    when absent no event is ever constructed. *)

@@ -76,3 +76,22 @@ let prune t e ~watermark =
 
 let value_map t =
   entities t |> List.map (fun e -> (e, (latest t e).value))
+
+let dump t =
+  entities t
+  |> List.map (fun e ->
+         ( e,
+           List.map (fun v -> (v.wts, v.value)) !(chain t e)
+           |> List.sort (fun (a, _) (b, _) -> compare a b) ))
+
+let of_dump chains =
+  let t = { chains = Hashtbl.create 16 } in
+  List.iter
+    (fun (e, versions) ->
+      Hashtbl.replace t.chains e
+        (ref
+           (List.rev_map
+              (fun (wts, value) -> { value; wts; max_rts = wts })
+              versions)))
+    chains;
+  t

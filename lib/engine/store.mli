@@ -50,3 +50,16 @@ val prune : t -> string -> watermark:int -> int
 val value_map : t -> (string * int) list
 (** Latest committed value of each entity, sorted — the "current database
     state" a single-version observer sees. *)
+
+val dump : t -> (string * (int * int) list) list
+(** The full committed version chains, as (entity, versions) with
+    entities sorted and versions as (wts, value) pairs ascending in
+    [wts] — the canonical durable image a snapshot persists. Read
+    timestamps are runtime bookkeeping for live transactions and are
+    deliberately not part of the durable state (after a crash no
+    transaction that bumped them survives). *)
+
+val of_dump : (string * (int * int) list) list -> t
+(** Rebuild a store from {!dump} output (or a recovered subset of it).
+    Each restored version gets [max_rts = wts], exactly as a fresh
+    {!install} would. [of_dump (dump t)] and [t] agree on every read. *)

@@ -1,0 +1,34 @@
+(* Tolerant JSON-lines ingestion with torn-tail detection.
+
+   The distinction between a skip and a torn tail is positional *and*
+   syntactic: only the very last line of the input can be torn, and only
+   when it is missing its newline terminator — the signature of an
+   append cut short. Everything else that fails to parse is a mid-file
+   skip. *)
+
+type stats = { skipped : int; torn_tail : bool }
+
+let clean = { skipped = 0; torn_tail = false }
+
+let read_string parse s =
+  let n = String.length s in
+  let items = ref [] in
+  let skipped = ref 0 in
+  let torn = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let j, terminated =
+      match String.index_from_opt s !i '\n' with
+      | Some j -> (j, true)
+      | None -> (n, false)
+    in
+    let line = String.sub s !i (j - !i) in
+    (if String.trim line <> "" then
+       match parse line with
+       | Some x -> items := x :: !items
+       | None -> if terminated then incr skipped else torn := true);
+    i := j + 1
+  done;
+  (List.rev !items, { skipped = !skipped; torn_tail = !torn })
+
+let read_channel parse ic = read_string parse (In_channel.input_all ic)

@@ -191,20 +191,8 @@ let write_jsonl oc t =
     (to_list t)
 
 (* Tolerant bulk ingestion: a trace file on disk may have been truncated
-   mid-line by a crash or interleaved with foreign output; skip what does
-   not parse and report how much was skipped, rather than failing the
-   whole replay on one bad line. *)
-let read_jsonl ic =
-  let events = ref [] in
-  let skipped = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line = "" then ()
-       else
-         match of_json line with
-         | Some e -> events := e :: !events
-         | None -> incr skipped
-     done
-   with End_of_file -> ());
-  (List.rev !events, !skipped)
+   mid-line by a crash or interleaved with foreign output. The shared
+   Jsonl reader skips what does not parse and distinguishes a torn final
+   line (a write cut short) from mid-file garbage, rather than failing
+   the whole replay on one bad line. *)
+let read_jsonl ic = Jsonl.read_channel of_json ic

@@ -69,8 +69,10 @@ val of_json : string -> (int * event) option
 val write_jsonl : out_channel -> t -> unit
 (** {!to_list} as JSON-lines, one event per line. *)
 
-val read_jsonl : in_channel -> (int * event) list * int
-(** Parse a JSON-lines trace back, in file order. Blank lines are
-    ignored; truncated or garbage lines are skipped, and the second
-    component counts how many were. Inverse of {!write_jsonl} on
-    well-formed files (skip count 0). *)
+val read_jsonl : in_channel -> (int * event) list * Jsonl.stats
+(** Parse a JSON-lines trace back, in file order, through the shared
+    tolerant {!Jsonl} reader. Blank lines are ignored; garbage lines
+    anywhere before the end are counted as skips, and a partial final
+    line (a write torn by a crash) is reported as {!Jsonl.stats.torn_tail}
+    instead. Inverse of {!write_jsonl} on well-formed files
+    ({!Jsonl.clean} stats). *)

@@ -1,0 +1,316 @@
+(* Tests for lib/durable: the WAL codec and its CRC framing, snapshots,
+   recovery, and the crash-injection property over every policy. *)
+
+module E = Mvcc_engine.Engine
+module P = Mvcc_engine.Program
+module Wal = Mvcc_durable.Wal
+module Snapshot = Mvcc_durable.Snapshot
+module Recovery = Mvcc_durable.Recovery
+module Hook = Mvcc_durable.Hook
+module Crash = Mvcc_durable.Crash
+module Trace = Mvcc_obs.Trace
+module Sink = Mvcc_obs.Sink
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let all_policies = [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ]
+
+(* -- WAL codec -- *)
+
+let gen_record =
+  QCheck2.Gen.(
+    let name =
+      oneofl [ "x"; "acct0"; "nasty \"quoted\\name\""; "tab\tand\nnewline" ]
+    in
+    let src = oneofl [ Wal.Init; Wal.Self; Wal.Txn 3; Wal.Txn 17 ] in
+    oneof
+      [
+        (let* entity = name and* value = int_range (-50) 50 in
+         return (Wal.State { entity; value }));
+        (let* txn = int_range 0 40 and* ts = int_range 1 1000 in
+         return (Wal.Begin { txn; ts }));
+        (let* txn = int_range 0 40
+         and* entity = name
+         and* write = bool
+         and* s = src in
+         return
+           (Wal.Op { txn; entity; write; src = (if write then None else Some s) }));
+        (let* txn = int_range 0 40
+         and* entity = name
+         and* value = int_range (-50) 50
+         and* wts = int_range 1 1000 in
+         return (Wal.Install { txn; entity; value; wts }));
+        (let* txn = int_range 0 40 in
+         return (Wal.Commit { txn }));
+        (let* txn = int_range 0 40 in
+         return (Wal.Abort { txn; reason = "deadlock" }));
+        (let* snapshot = name and* commits = int_range 0 100 in
+         return (Wal.Checkpoint { snapshot; commits }));
+      ])
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"wal codec: decode inverts encode" ~count:300
+    QCheck2.Gen.(
+      let* lsn = int_range 0 10_000 and* r = gen_record in
+      return (lsn, r))
+    (fun (lsn, r) -> Wal.decode (Wal.encode ~lsn r) = Some (lsn, r))
+
+let prop_codec_rejects_tamper =
+  QCheck2.Test.make ~name:"wal codec: any flipped byte fails the CRC"
+    ~count:200
+    QCheck2.Gen.(
+      let* lsn = int_range 0 10_000 and* r = gen_record in
+      let line = Wal.encode ~lsn r in
+      let* pos = int_range 0 (String.length line - 1) in
+      return (line, pos))
+    (fun (line, pos) ->
+      let tampered = Bytes.of_string line in
+      Bytes.set tampered pos
+        (Char.chr (Char.code (Bytes.get tampered pos) lxor 1));
+      Wal.decode (Bytes.to_string tampered) = None)
+
+let test_wal_writer () =
+  let w = Wal.writer () in
+  check_int "lsn starts at 0" 0 (Wal.next_lsn w);
+  let l0 = Wal.append w (Wal.Commit { txn = 0 }) in
+  let l1 = Wal.append w (Wal.Commit { txn = 1 }) in
+  check_int "first lsn" 0 l0;
+  check_int "second lsn" 1 l1;
+  let { Wal.records; stats } = Wal.read_string (Wal.contents w) in
+  check_int "no skips" 0 stats.Mvcc_obs.Jsonl.skipped;
+  check "no torn tail" false stats.torn_tail;
+  check "records round-trip" true
+    (records = [ (0, Wal.Commit { txn = 0 }); (1, Wal.Commit { txn = 1 }) ])
+
+(* Truncate a two-record log at every byte offset of the second record:
+   the reader must keep the first record always, keep the second exactly
+   when it is complete, and flag a torn tail exactly when a proper
+   nonempty prefix of it remains. *)
+let test_wal_torn_tail_every_offset () =
+  let r0 = Wal.encode ~lsn:0 (Wal.Begin { txn = 0; ts = 1 }) ^ "\n" in
+  let r1 = Wal.encode ~lsn:1 (Wal.Install { txn = 0; entity = "x"; value = 7; wts = 1 }) in
+  let whole = r0 ^ r1 ^ "\n" in
+  let base = String.length r0 in
+  for cut = base to String.length whole do
+    let { Wal.records; stats } = Wal.read_string (String.sub whole 0 cut) in
+    let kept = List.length records in
+    let full_r1 = cut >= base + String.length r1 in
+    check_int
+      (Printf.sprintf "records kept at cut %d" cut)
+      (if full_r1 then 2 else 1)
+      kept;
+    check
+      (Printf.sprintf "torn at cut %d" cut)
+      ((not full_r1) && cut > base)
+      stats.Mvcc_obs.Jsonl.torn_tail;
+    check_int (Printf.sprintf "skips at cut %d" cut) 0 stats.skipped
+  done
+
+let test_wal_midfile_corruption_is_skip () =
+  let w = Wal.writer () in
+  List.iter
+    (fun txn -> ignore (Wal.append w (Wal.Commit { txn })))
+    [ 0; 1; 2 ];
+  let bytes = Bytes.of_string (Wal.contents w) in
+  (* flip a byte inside the second line *)
+  let pos = (Bytes.index_from bytes 0 '\n') + 3 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  let { Wal.records; stats } = Wal.read_string (Bytes.to_string bytes) in
+  check_int "one skip" 1 stats.Mvcc_obs.Jsonl.skipped;
+  check "not torn" false stats.torn_tail;
+  check "first and third survive" true
+    (List.map snd records = [ Wal.Commit { txn = 0 }; Wal.Commit { txn = 2 } ])
+
+(* -- Snapshots -- *)
+
+let test_snapshot_roundtrip () =
+  let store = Mvcc_engine.Store.create ~initial:[ ("a", 1); ("b", 2) ] in
+  Mvcc_engine.Store.install store "a" ~value:10 ~wts:3;
+  Mvcc_engine.Store.install store "a" ~value:20 ~wts:5;
+  let snap = Snapshot.capture ~lsn:42 ~commits:7 store in
+  (match Snapshot.decode (Snapshot.encode snap) with
+  | None -> Alcotest.fail "snapshot did not decode"
+  | Some s ->
+      check "roundtrip" true (s = snap);
+      check "store agrees" true
+        (Recovery.dump_string (Snapshot.store s)
+        = Recovery.dump_string store));
+  (* a torn snapshot write is rejected whole *)
+  let enc = Snapshot.encode snap in
+  let torn = String.sub enc 0 (String.length enc - 10) in
+  check "torn snapshot rejected" true (Snapshot.decode torn = None)
+
+(* -- logging never changes a decision -- *)
+
+let run_traced ?wal ?snapshot_every ~policy ~seed () =
+  let programs =
+    Crash.workload { Crash.default with policy; seed; snapshot_every }
+  in
+  let initial = List.init 6 (fun i -> (Printf.sprintf "e%d" i, 100)) in
+  let trace = Trace.create ~capacity:4096 () in
+  let obs = Sink.create ~trace () in
+  let r = E.run ~policy ~initial ~programs ~obs ?wal ?snapshot_every ~seed () in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (i, ev) -> Buffer.add_string buf (Trace.to_json i ev))
+    (Trace.to_list trace);
+  (r, Buffer.contents buf)
+
+let prop_wal_off_invariance =
+  QCheck2.Test.make
+    ~name:"a wal listener never changes decisions, state, or trace"
+    ~count:40
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 and* policy = oneofl all_policies in
+      return (seed, policy))
+    (fun (seed, policy) ->
+      let blind, trace_blind = run_traced ~policy ~seed () in
+      let hook = Hook.create (Wal.writer ()) in
+      let logged, trace_logged =
+        run_traced ~wal:(Hook.listener hook) ~snapshot_every:2 ~policy ~seed ()
+      in
+      blind.E.stats = logged.E.stats
+      && blind.E.final_state = logged.E.final_state
+      && trace_blind = trace_logged)
+
+(* -- Recovery -- *)
+
+let test_full_log_recovery_all_policies () =
+  List.iter
+    (fun policy ->
+      let cfg = { Crash.default with policy; seed = 11; points = 0 } in
+      let programs = Crash.workload cfg in
+      let initial = List.init cfg.entities (fun i -> (Printf.sprintf "e%d" i, 100)) in
+      let w = Wal.writer () in
+      let hook = Hook.create w in
+      let r =
+        E.run ~policy ~initial ~programs ~wal:(Hook.listener hook)
+          ?snapshot_every:cfg.snapshot_every ~seed:cfg.seed ()
+      in
+      let rec_ = Recovery.recover ~policy (Wal.read_string (Wal.contents w)) in
+      check
+        (Printf.sprintf "final state recovered under %s" (E.policy_name policy))
+        true
+        (rec_.Recovery.state = r.E.final_state);
+      check "nothing undone" true
+        (rec_.undone = [] && rec_.cascaded = []);
+      check_int "all commits recovered" r.E.stats.E.commits
+        (List.length rec_.commit_order);
+      match rec_.witness with
+      | None -> Alcotest.fail "no witness"
+      | Some wit ->
+          check
+            (Printf.sprintf "checker certifies recovery under %s"
+               (E.policy_name policy))
+            true
+            (Mvcc_provenance.Checker.verify rec_.history wit))
+    all_policies
+
+(* A lost Commit record must cascade to the transactions that read from
+   it, to a fixpoint — the one case where recovery aborts a committed
+   transaction. *)
+let test_midlog_commit_loss_cascades () =
+  let w = Wal.writer () in
+  let app r = ignore (Wal.append w r) in
+  app (Wal.State { entity = "x"; value = 0 });
+  app (Wal.Begin { txn = 0; ts = 1 });
+  app (Wal.Begin { txn = 1; ts = 2 });
+  app (Wal.Op { txn = 0; entity = "x"; write = true; src = None });
+  app (Wal.Install { txn = 0; entity = "x"; value = 5; wts = 1 });
+  app (Wal.Commit { txn = 0 });
+  app (Wal.Op { txn = 1; entity = "x"; write = false; src = Some (Wal.Txn 0) });
+  app (Wal.Op { txn = 1; entity = "x"; write = true; src = None });
+  app (Wal.Install { txn = 1; entity = "x"; value = 6; wts = 2 });
+  app (Wal.Commit { txn = 1 });
+  let lines = String.split_on_char '\n' (Wal.contents w) in
+  let without_commit0 =
+    List.mapi
+      (fun i l -> if i = 5 then "corrupted line, fails its crc" else l)
+      lines
+    |> String.concat "\n"
+  in
+  let r = Recovery.recover ~policy:E.Mvto (Wal.read_string without_commit0) in
+  check_int "one skip" 1 r.Recovery.stats.Mvcc_obs.Jsonl.skipped;
+  check "txn 0 undone (no commit record)" true (r.undone = [ 0 ]);
+  check "txn 1 cascaded (its source is gone)" true (r.cascaded = [ 1 ]);
+  check "nothing committed" true (r.commit_order = []);
+  check "store back to initial" true (r.state = [ ("x", 0) ]);
+  (* with the commit intact, both survive *)
+  let intact =
+    Recovery.recover ~policy:E.Mvto (Wal.read_string (Wal.contents w))
+  in
+  check "intact log commits both" true (intact.commit_order = [ 0; 1 ]);
+  check "intact final value" true (intact.state = [ ("x", 6) ])
+
+(* -- Crash injection: the tentpole property -- *)
+
+let crash_points_per_policy = 120
+
+let test_crash_injection_all_policies () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let report =
+            Crash.run
+              {
+                Crash.default with
+                policy;
+                seed;
+                points = crash_points_per_policy / 2;
+              }
+          in
+          if report.Crash.failures <> [] then
+            Alcotest.failf "%a" Crash.pp_report report;
+          check
+            (Printf.sprintf "some torn points under %s seed %d"
+               (E.policy_name policy) seed)
+            true
+            (report.Crash.torn > 0 && report.checked > 0))
+        [ 3; 4 ])
+    all_policies
+
+let test_crash_only_point_reproduces () =
+  let cfg = { Crash.default with policy = E.Sgt; seed = 9; points = 40 } in
+  let full = Crash.run cfg in
+  check "baseline clean" true (full.Crash.failures = []);
+  let one = Crash.run { cfg with only = Some 17 } in
+  check_int "exactly one point checked" 1 one.Crash.checked;
+  check "replay clean" true (one.Crash.failures = [])
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "writer lsns and roundtrip" `Quick test_wal_writer;
+          Alcotest.test_case "torn tail at every byte offset" `Quick
+            test_wal_torn_tail_every_offset;
+          Alcotest.test_case "mid-file corruption is a skip" `Quick
+            test_wal_midfile_corruption_is_skip;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "roundtrip and torn reject" `Quick
+            test_snapshot_roundtrip ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "full log, all policies" `Quick
+            test_full_log_recovery_all_policies;
+          Alcotest.test_case "mid-log commit loss cascades" `Quick
+            test_midlog_commit_loss_cascades;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "600 crash points across policies" `Quick
+            test_crash_injection_all_policies;
+          Alcotest.test_case "--point replays one crash" `Quick
+            test_crash_only_point_reproduces;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_codec_roundtrip;
+            prop_codec_rejects_tamper;
+            prop_wal_off_invariance;
+          ] );
+    ]

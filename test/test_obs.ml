@@ -251,9 +251,10 @@ let test_trace_read_jsonl_tolerance () =
   Trace.write_jsonl oc t;
   close_out oc;
   let ic = open_in file in
-  let events, skipped = Trace.read_jsonl ic in
+  let events, stats = Trace.read_jsonl ic in
   close_in ic;
-  check_int "clean file skips nothing" 0 skipped;
+  check_int "clean file skips nothing" 0 stats.Mvcc_obs.Jsonl.skipped;
+  check "clean file has no torn tail" false stats.Mvcc_obs.Jsonl.torn_tail;
   check "clean file round trips" true (events = Trace.to_list t);
   (* a damaged file: foreign output, a line truncated mid-JSON, a blank
      line, and an unknown event — the good lines still come through *)
@@ -265,11 +266,57 @@ let test_trace_read_jsonl_tolerance () =
   output_string oc "{\"seq\":1,\"ev\":\"warp\"}\n";
   close_out oc;
   let ic = open_in file in
-  let events, skipped = Trace.read_jsonl ic in
+  let events, stats = Trace.read_jsonl ic in
   close_in ic;
   Sys.remove file;
-  check_int "damaged lines counted, blank lines free" 3 skipped;
+  check_int "damaged lines counted, blank lines free" 3
+    stats.Mvcc_obs.Jsonl.skipped;
+  check "newline-terminated garbage is not a torn tail" false
+    stats.Mvcc_obs.Jsonl.torn_tail;
   check "valid events survive the damage" true (events = Trace.to_list t)
+
+(* The torn-tail contract recovery depends on: truncating a well-formed
+   trace at EVERY byte offset of its final record must either keep that
+   record whole (cut exactly at its closing byte) or report a torn tail
+   — never a silent drop, never a mid-file skip. *)
+let test_trace_torn_tail_every_offset () =
+  let t = Trace.create ~capacity:64 () in
+  List.iter (Trace.emit t) sample_events;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (seq, ev) ->
+      Buffer.add_string buf (Trace.to_json seq ev);
+      Buffer.add_char buf '\n')
+    (Trace.to_list t);
+  let whole = Buffer.contents buf in
+  let all = Trace.to_list t in
+  let n_events = List.length all in
+  let last_line_start =
+    String.rindex_from whole (String.length whole - 2) '\n' + 1
+  in
+  for cut = last_line_start to String.length whole - 1 do
+    let events, stats =
+      Mvcc_obs.Jsonl.read_string Trace.of_json (String.sub whole 0 cut)
+    in
+    check_int
+      (Printf.sprintf "cut at byte %d: no mid-file skips" cut)
+      0 stats.Mvcc_obs.Jsonl.skipped;
+    if cut = String.length whole - 1 then begin
+      (* the full final record minus only its newline: complete *)
+      check_int "complete record without newline kept" n_events
+        (List.length events);
+      check "not reported torn" false stats.Mvcc_obs.Jsonl.torn_tail
+    end
+    else begin
+      check_int
+        (Printf.sprintf "cut at byte %d: prefix records intact" cut)
+        (n_events - 1) (List.length events);
+      check
+        (Printf.sprintf "cut at byte %d: torn iff partial bytes present" cut)
+        (cut > last_line_start)
+        stats.Mvcc_obs.Jsonl.torn_tail
+    end
+  done
 
 let test_json_parser () =
   let rt fields =
@@ -419,6 +466,8 @@ let () =
             test_trace_json_round_trip;
           Alcotest.test_case "tolerant jsonl reader" `Quick
             test_trace_read_jsonl_tolerance;
+          Alcotest.test_case "torn tail at every byte offset" `Quick
+            test_trace_torn_tail_every_offset;
           Alcotest.test_case "json parser" `Quick test_json_parser;
         ] );
       ("sink", [ Alcotest.test_case "noop inert" `Quick test_noop_sink ]);
