@@ -78,6 +78,8 @@ let () =
       (E_repr.run ~samples:(if quick then 120 else 300));
   if selected "e23" then
     record "E23 durability" (E_durable.run ~passes:(if quick then 3 else 5));
+  if selected "e24" then
+    record "E24 group-commit" (E_group.run ~passes:(if quick then 5 else 9));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

@@ -415,8 +415,20 @@ let simulate_cmd =
              $(i,FILE).snap every $(docv) commits and log a checkpoint, \
              so recovery can replay only the log tail.")
   in
+  let group_commit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "With $(b,--wal FILE), group commit: force the log every \
+             $(docv) commits instead of after every record. Commits are \
+             acknowledged as durable only when their batch is forced; \
+             the run reports how many were acknowledged by the end. \
+             $(docv)=1 reproduces the flush-per-record log byte for byte.")
+  in
   let run policy readers writers stats trace_file certify wal_file
-      snapshot_every seed =
+      snapshot_every group_commit seed =
     let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
     let initial = List.map (fun a -> (a, 100)) accounts in
     let programs =
@@ -445,17 +457,25 @@ let simulate_cmd =
       else Mvcc_obs.Sink.noop
     in
     let prov = if certify then Some (Mvcc_provenance.Log.create ()) else None in
+    let window =
+      Option.map (fun n -> Mvcc_durable.Wal.window ~commits:n ()) group_commit
+    in
     let hook =
       Option.map
         (fun file ->
-          let writer = Mvcc_durable.Wal.writer ~path:file () in
+          let writer = Mvcc_durable.Wal.writer ~path:file ?window () in
           (writer, Mvcc_durable.Hook.create ~snapshot_path:(file ^ ".snap") writer))
         wal_file
     in
     let wal = Option.map (fun (_, h) -> Mvcc_durable.Hook.listener h) hook in
+    let wal_durable =
+      Option.map
+        (fun (writer, _) () -> Mvcc_durable.Wal.acked_commits writer)
+        hook
+    in
     let r =
       Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ?wal
-        ?snapshot_every ~seed ()
+        ?wal_durable ?snapshot_every ~seed ()
     in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
@@ -479,6 +499,14 @@ let simulate_cmd =
     | None -> ());
     (match (hook, wal_file) with
     | Some (writer, h), Some file ->
+        (match (group_commit, r.Mvcc_engine.Engine.durable_commits) with
+        | Some _, Some acked ->
+            Format.printf
+              "group commit: %d/%d commits acknowledged at run end (%d \
+               forces); closing forces the open batch@."
+              acked r.Mvcc_engine.Engine.stats.Mvcc_engine.Engine.commits
+              (Mvcc_durable.Wal.forces writer)
+        | _ -> ());
         Mvcc_durable.Wal.close writer;
         Format.printf "wal: %d records to %s (%d snapshot(s)%s)@."
           (Mvcc_durable.Wal.next_lsn writer)
@@ -504,7 +532,8 @@ let simulate_cmd =
        ~doc:"Run a banking workload through the storage engine")
     Term.(
       const run $ policy_arg $ readers_arg $ writers_arg $ stats_arg
-      $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg $ seed_arg)
+      $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg
+      $ group_commit_arg $ seed_arg)
 
 (* replay *)
 
@@ -688,6 +717,117 @@ let recover_cmd =
           snapshot + tail), certified by the independent checker")
     Term.(const run $ policy_arg $ wal_arg $ snapshot_arg $ dump_arg)
 
+(* follow *)
+
+let follow_cmd =
+  let module D = Mvcc_durable in
+  let policy_arg =
+    policy_arg ~doc:"Concurrency control policy the log is written under."
+  in
+  let wal_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead log to ship from — typically one being written \
+             by $(b,simulate --wal) with group commit, so the file only \
+             ever holds forced batches.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Catch up on the file's current contents and stop instead of \
+             polling for growth.")
+  in
+  let poll_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Polling interval while tailing.")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "idle-polls" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) consecutive polls with no new bytes — the \
+             leader has gone quiet.")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:"Also print the replica's version chains, one entity per line.")
+  in
+  let run policy wal_file once poll_ms idle_polls dump =
+    let f = D.Follower.create ~policy () in
+    let poll () =
+      if Sys.file_exists wal_file then D.Follower.catch_up_file f wal_file
+      else 0
+    in
+    let applied = poll () in
+    if not once then begin
+      if applied > 0 then
+        Format.printf "caught up: %d records (%d commits, snapshot ts %d)@."
+          applied
+          (D.Follower.commits_applied f)
+          (D.Follower.snapshot_ts f);
+      let idle = ref 0 in
+      while !idle < idle_polls do
+        Unix.sleepf (float_of_int poll_ms /. 1000.);
+        let n = poll () in
+        if n > 0 then begin
+          idle := 0;
+          Format.printf "shipped: %d records (%d commits, snapshot ts %d)@."
+            n
+            (D.Follower.commits_applied f)
+            (D.Follower.snapshot_ts f)
+        end
+        else incr idle
+      done
+    end;
+    let st = D.Follower.stats f in
+    Format.printf "log     : %d records ingested, %d skipped%s@."
+      (D.Follower.records_applied f)
+      st.Mvcc_obs.Jsonl.skipped
+      (if st.Mvcc_obs.Jsonl.torn_tail then ", torn final record pending"
+       else "");
+    let r = D.Follower.state f in
+    Format.printf "commits : %d recovered [%s]@."
+      (List.length r.D.Recovery.commit_order)
+      (String.concat " " (List.map string_of_int r.D.Recovery.commit_order));
+    Format.printf "state   : %s@."
+      (String.concat ", "
+         (List.map
+            (fun (e, v) -> Printf.sprintf "%s=%d" e v)
+            (D.Follower.read_view f)));
+    if dump then
+      Format.printf "chains  :@.%s@."
+        (D.Recovery.dump_string (D.Follower.store f));
+    Format.printf "reads   : served at lagging snapshot ts %d (%d bytes \
+                   ingested)@."
+      (D.Follower.snapshot_ts f)
+      (D.Follower.ingested_bytes f);
+    let _, w, ok = D.Follower.certify f in
+    Format.printf "witness : %a@." Mvcc_provenance.Witness.pp w;
+    Format.printf "checker : %s@."
+      (if ok then "confirmed — replica reads are read-consistent"
+       else "REFUTED");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "follow"
+       ~doc:
+         "Log-shipping follower: tail a write-ahead log, incrementally \
+          replay it (recovery-in-a-loop), and serve reads at a lagging \
+          snapshot timestamp certified read-consistent by the independent \
+          checker")
+    Term.(
+      const run $ policy_arg $ wal_arg $ once_arg $ poll_arg $ idle_arg
+      $ dump_arg)
+
 (* crash *)
 
 let crash_cmd =
@@ -729,7 +869,30 @@ let crash_cmd =
       & info [ "snapshot-every" ] ~docv:"N"
           ~doc:"Commits between snapshots (0 disables snapshots).")
   in
-  let run policy points point txns entities theta ops snapshot_every seed =
+  let group_commit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "Group-commit window: force the log every $(docv) commits \
+             instead of every record, so crash points land both at batch \
+             boundaries and mid-batch.")
+  in
+  let group_records_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "group-records" ] ~docv:"N"
+          ~doc:"Additional group-commit threshold: force every $(docv) records.")
+  in
+  let run policy points point txns entities theta ops snapshot_every
+      group_commit group_records seed =
+    let window =
+      match (group_records, group_commit) with
+      | (None, None) -> None
+      | (records, commits) -> Some (D.Wal.window ?records ?commits ())
+    in
     let cfg =
       {
         D.Crash.policy;
@@ -740,6 +903,7 @@ let crash_cmd =
         ops_per_txn = ops;
         snapshot_every =
           (match snapshot_every with Some 0 -> None | s -> s);
+        window;
         points;
         only = point;
       }
@@ -747,16 +911,22 @@ let crash_cmd =
     let report = D.Crash.run cfg in
     Format.printf "%a@." D.Crash.pp_report report;
     if report.D.Crash.failures <> [] then begin
+      let flag name = function
+        | None -> ""
+        | Some k -> Printf.sprintf " --%s %d" name k
+      in
       List.iter
         (fun f ->
           if f.D.Crash.point >= 0 then
             Printf.eprintf
               "reproduce: mvcc crash --policy %s --seed %d --txns %d \
-               --entities %d --theta %g --ops %d --snapshot-every %d \
+               --entities %d --theta %g --ops %d --snapshot-every %d%s%s \
                --points %d --point %d\n"
               (Mvcc_engine.Engine.policy_name policy)
               seed txns entities theta ops
               (Option.value ~default:0 snapshot_every)
+              (flag "group-commit" group_commit)
+              (flag "group-records" group_records)
               points f.D.Crash.point)
         report.D.Crash.failures;
       exit 1
@@ -766,11 +936,13 @@ let crash_cmd =
     (Cmd.info "crash"
        ~doc:
          "Crash-injection harness: truncate a run's write-ahead log at \
-          seeded-random record boundaries (torn tails included), recover \
-          from each cut, and property-check the result")
+          seeded-random record boundaries (torn tails included) and at \
+          group-commit force boundaries, recover from each cut, and \
+          property-check the result")
     Term.(
       const run $ policy_arg $ points_arg $ point_arg $ txns_arg
-      $ entities_arg $ theta_arg $ ops_arg $ snapshot_every_arg $ seed_arg)
+      $ entities_arg $ theta_arg $ ops_arg $ snapshot_every_arg
+      $ group_commit_arg $ group_records_arg $ seed_arg)
 
 let () =
   let info =
@@ -785,5 +957,5 @@ let () =
           [
             classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
             simulate_cmd; dot_cmd; switch_cmd; explain_cmd; replay_cmd;
-            census_cmd; recover_cmd; crash_cmd;
+            census_cmd; recover_cmd; follow_cmd; crash_cmd;
           ]))

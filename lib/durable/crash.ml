@@ -10,6 +10,7 @@ type config = {
   theta : float;
   ops_per_txn : int;
   snapshot_every : int option;
+  window : Wal.window option;
   points : int;
   only : int option;
 }
@@ -23,9 +24,19 @@ let default =
     theta = 0.9;
     ops_per_txn = 6;
     snapshot_every = Some 3;
+    window = None;
     points = 100;
     only = None;
   }
+
+let window_name = function
+  | None -> "per-record"
+  | Some { Wal.max_records; max_commits } ->
+      let t name = function
+        | None -> []
+        | Some k -> [ Printf.sprintf "%s<=%d" name k ]
+      in
+      String.concat "," (t "records" max_records @ t "commits" max_commits)
 
 let entity i = Printf.sprintf "e%d" i
 
@@ -67,6 +78,8 @@ type report = {
   log_bytes : int;
   records : int;
   commits : int;
+  acked : int;
+  forces : int;
   snapshots : int;
   checked : int;
   torn : int;
@@ -85,12 +98,22 @@ let is_prefix ~of_:full xs =
 let run cfg =
   let programs = workload cfg in
   let initial = List.init cfg.entities (fun i -> (entity i, 100)) in
-  let writer = Wal.writer () in
+  let writer = Wal.writer ?window:cfg.window () in
   let hook = Hook.create writer in
   let result =
     Engine.run ~policy:cfg.policy ~initial ~programs
-      ~wal:(Hook.listener hook) ?snapshot_every:cfg.snapshot_every
-      ~seed:cfg.seed ()
+      ~wal:(Hook.listener hook)
+      ~wal_durable:(fun () -> Wal.acked_commits writer)
+      ?snapshot_every:cfg.snapshot_every ~seed:cfg.seed ()
+  in
+  (* boundaries as they stood at the crash: no close, the open batch
+     stays unforced *)
+  let boundaries = Wal.force_boundaries writer in
+  let durable_at cut =
+    List.fold_left
+      (fun acc (b : Wal.boundary) -> if b.b_bytes <= cut then b else acc)
+      { Wal.b_bytes = 0; b_lsn = 0; b_acked = 0 }
+      boundaries
   in
   let whole = Wal.contents writer in
   let len = String.length whole in
@@ -145,6 +168,34 @@ let run cfg =
       Mvcc_core.Schedule.steps r1.history <> Mvcc_core.Schedule.steps r2.history
       || r1.commit_order <> r2.commit_order
     then fail "double recovery: histories differ";
+    (* Durability = force, not append. The cut models bytes the OS had
+       accepted; what the disk image actually holds after a crash is the
+       forced prefix at the last batch boundary <= cut. Recovering that
+       image must yield exactly the boundary's records — nothing past
+       the last force ever survives — and exactly the commits the
+       writer had acknowledged there. *)
+    let b = durable_at cut in
+    let dread = Wal.read_string (String.sub whole 0 b.Wal.b_bytes) in
+    let rd = Recovery.recover ~policy:cfg.policy dread in
+    if dread.stats.skipped <> 0 || dread.stats.torn_tail then
+      fail "forced-boundary image is not a clean record sequence";
+    if List.length dread.records <> b.Wal.b_lsn then
+      fail
+        (Printf.sprintf
+           "%d records survived at the forced boundary, expected %d"
+           (List.length dread.records) b.Wal.b_lsn);
+    if rd.cascaded <> [] then fail "boundary truncation cascaded commits";
+    if List.length rd.commit_order <> b.Wal.b_acked then
+      fail
+        (Printf.sprintf
+           "recovered %d commits at the forced boundary, %d were acknowledged"
+           (List.length rd.commit_order) b.Wal.b_acked);
+    if not (is_prefix ~of_:full.commit_order rd.commit_order) then
+      fail "boundary commit order is not a prefix of the full run's";
+    (* ack => durable: every acknowledged commit also survives the raw
+       cut image, which extends the forced prefix *)
+    if b.Wal.b_acked > List.length r1.commit_order then
+      fail "an acknowledged commit did not survive the crash";
     (* snapshot + tail must agree with the full log prefix *)
     match
       List.filter (fun (lsn, _) -> lsn <= kept) snapshots |> List.rev
@@ -185,12 +236,17 @@ let run cfg =
       if full.state <> result.final_state then
         fail (-1) len "full-log recovery disagrees with the live final state";
       if full.undone <> [] || full.cascaded <> [] then
-        fail (-1) len "full-log recovery undid transactions");
+        fail (-1) len "full-log recovery undid transactions";
+      if result.durable_commits <> Some (Wal.acked_commits writer) then
+        fail (-1) len
+          "the engine's durable-commit count disagrees with the writer's");
   {
     config = cfg;
     log_bytes = len;
     records = n_records;
     commits = result.stats.commits;
+    acked = Wal.acked_commits writer;
+    forces = Wal.forces writer;
     snapshots = List.length snapshots;
     checked = !checked;
     torn = !torn_count;
@@ -199,10 +255,14 @@ let run cfg =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>policy=%s seed=%d: %d records (%d bytes), %d commits, %d snapshots@,\
+    "@[<v>policy=%s seed=%d window=%s: %d records (%d bytes), %d commits \
+     (%d acked over %d forces), %d snapshots@,\
      %d crash points checked (%d torn): %s@]"
     (Engine.policy_name r.config.policy)
-    r.config.seed r.records r.log_bytes r.commits r.snapshots r.checked r.torn
+    r.config.seed
+    (window_name r.config.window)
+    r.records r.log_bytes r.commits r.acked r.forces r.snapshots r.checked
+    r.torn
     (if r.failures = [] then "all properties hold"
      else Printf.sprintf "%d FAILURES" (List.length r.failures));
   List.iter

@@ -6,6 +6,14 @@
     record boundaries — half the time leaving a torn tail of partial
     bytes from the next record — and recovering from each truncation.
 
+    With a group-commit [window] the writer forces batches instead of
+    records, and each crash point checks {e two} disk images: the raw
+    cut (a mid-batch crash — bytes the OS had accepted but the log had
+    not forced) and the forced prefix at the last batch boundary at or
+    before the cut (what the simulated fsync discipline guarantees is
+    actually on disk). Without a window every record boundary is a
+    force boundary and the two coincide.
+
     Per crash point it checks, and reports as failures if violated:
     - the reader flags a torn tail iff partial bytes were left;
     - no cascaded undos (tail truncation never strands a reader —
@@ -16,11 +24,20 @@
       {!Mvcc_provenance.Checker} under the active policy;
     - recovering the same bytes twice yields byte-identical stores and
       identical histories (replay determinism);
+    - durability = force, not append: recovering the forced-boundary
+      image yields {e exactly} the boundary's record count — no record
+      past the last force ever survives — and exactly the commits the
+      writer had acknowledged at that force;
+    - ack implies durable: the acknowledged-commit count at the
+      boundary never exceeds the commits recovered from any image
+      extending it (the raw cut included);
     - when a snapshot at [lsn <=] the cut exists, snapshot-plus-tail
       recovery yields a store byte-identical to full-log recovery.
 
     The whole-log "crash" (no truncation) is always checked too, with
-    the recovered state required to equal the live run's final state.
+    the recovered state required to equal the live run's final state
+    and the engine's [durable_commits] required to match the writer's
+    acknowledged count.
 
     Every run is reproducible from [(policy, seed, txns, entities,
     theta, ops_per_txn, snapshot_every, points)]; [only] narrows
@@ -36,13 +53,19 @@ type config = {
   theta : float;  (** Zipfian skew of entity selection *)
   ops_per_txn : int;
   snapshot_every : int option;  (** commits between snapshots *)
+  window : Wal.window option;
+      (** group-commit window; [None] = flush-per-record *)
   points : int;  (** crash points to inject *)
   only : int option;  (** check just this point (same draws) *)
 }
 
 val default : config
 (** [Mvto], seed 0, 8 txns x 6 ops over 6 entities at theta 0.9,
-    snapshots every 3 commits, 100 points. *)
+    snapshots every 3 commits, flush-per-record, 100 points. *)
+
+val window_name : Wal.window option -> string
+(** Human-readable window description, e.g. ["per-record"] or
+    ["commits<=3"]. *)
 
 val workload : config -> Mvcc_engine.Program.t list
 (** The seeded Zipfian mix of transfers, increments, scans and blind
@@ -57,6 +80,8 @@ type report = {
   log_bytes : int;
   records : int;
   commits : int;  (** commits in the uncrashed run *)
+  acked : int;  (** commits acknowledged (forced) when the run ended *)
+  forces : int;  (** batch forces the writer performed *)
   snapshots : int;
   checked : int;  (** crash points actually checked *)
   torn : int;  (** checked points that left a torn tail *)

@@ -1,0 +1,96 @@
+(** A log-shipping follower: recovery-in-a-loop.
+
+    A follower consumes the WAL byte stream continuously — from a file
+    being tailed or an in-memory feed — and maintains, incrementally,
+    exactly what one-shot {!Recovery.recover} of the consumed prefix
+    would produce (qcheck-pinned, including torn tails). It runs the
+    shared {!Recovery.analysis} one record at a time and applies a
+    transaction's installs when its [Commit] record arrives; the full
+    recovered view ({!state}) is {!Recovery.assemble} of the live
+    analysis.
+
+    Reads are served at a {e lagging snapshot timestamp}: the largest
+    write timestamp applied so far. Ship the follower only forced bytes
+    ({!Wal.durable_contents}, or a file the writer flushes at force
+    boundaries) and it can never observe an unacknowledged commit — the
+    replica serves a consistent, certified, slightly stale view, the
+    standard asynchronous-replication contract.
+
+    Chunking is irrelevant: bytes may arrive per record, per batch, or
+    split mid-record. A trailing fragment that does not yet parse stays
+    pending until the rest ships (a strict prefix of a framed line never
+    parses — the crc field closes the object — so a parseable
+    unterminated tail is a complete record missing only its newline and
+    is consumed immediately, exactly as the one-shot reader would at
+    end of file). Newline-terminated garbage is counted as a skip; a
+    mid-stream skip can hide a lost [Commit], so from then on the
+    follower degrades to rebuilding its store from
+    {!Recovery.assemble} after every batch (cascade-correct, no longer
+    incremental). *)
+
+type t
+
+val create : policy:Mvcc_engine.Engine.policy -> unit -> t
+
+val feed : t -> string -> int
+(** Consume the next chunk of the stream; returns records applied. *)
+
+val catch_up : t -> string -> int
+(** [catch_up t log] feeds the not-yet-ingested suffix of [log], where
+    [log] is the whole stream from byte 0 (e.g. {!Wal.durable_contents}).
+    Idempotent: catching up twice on the same bytes applies nothing the
+    second time.
+    @raise Invalid_argument if [log] is shorter than what was already
+    ingested. *)
+
+val catch_up_file : t -> string -> int
+(** {!catch_up} on a file's current contents — one poll of a tailed
+    log. *)
+
+(** {1 The replica's view} *)
+
+val snapshot_ts : t -> int
+(** The lagging snapshot timestamp: largest applied write timestamp. *)
+
+val read : t -> string -> int option
+(** The entity's value at {!snapshot_ts}; [None] if never heard of. *)
+
+val read_view : t -> (string * int) list
+(** Every known entity's value at {!snapshot_ts}, sorted. *)
+
+val certify :
+  t -> Mvcc_core.Schedule.t * Mvcc_provenance.Witness.t * bool
+(** Certified reads: the recovered committed history extended with an
+    observer transaction reading every entity at {!snapshot_ts}, each
+    observer read bound to the version it served, wrapped in a
+    [Read_consistent] witness and confirmed (or refuted — the [bool])
+    by the independent {!Mvcc_provenance.Checker}. *)
+
+val certified_read_view : t -> (string * int) list * bool
+(** {!read_view} plus the {!certify} verdict. *)
+
+val state : t -> Recovery.t
+(** The full recovered view of the consumed prefix —
+    {!Recovery.assemble} over the live analysis. Equal in every
+    observable to one-shot recovery of the same bytes (tested). *)
+
+val store : t -> Mvcc_engine.Store.t
+(** The incrementally-maintained version chains. *)
+
+(** {1 Progress accounting} *)
+
+val ingested_bytes : t -> int
+(** Raw bytes consumed, including any pending fragment. *)
+
+val records_applied : t -> int
+
+val commits_applied : t -> int
+(** Commits applied so far; the leader's [Wal.acked_commits] minus this
+    is the follower's replication lag in commits. *)
+
+val skips : t -> int
+(** Newline-terminated garbage lines seen (0 on a healthy stream). *)
+
+val stats : t -> Mvcc_obs.Jsonl.stats
+(** Skips plus whether an unparseable fragment is currently pending —
+    what a one-shot read of the ingested bytes would report. *)

@@ -28,7 +28,10 @@ let listener t (ev : Engine.wal_event) =
     | Wal_checkpoint { store; commits } ->
         (* capture before appending: the checkpoint record's own LSN is
            where tail replay resumes, and it must not be part of the
-           image *)
+           image. Force first — a snapshot must never outrun the durable
+           log, or recovery could start from state the log cannot
+           re-derive. Under flush-per-record this is a no-op. *)
+        Wal.force t.writer;
         let lsn = Wal.next_lsn t.writer in
         let snap = Snapshot.capture ~lsn ~commits store in
         let name =

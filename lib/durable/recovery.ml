@@ -12,61 +12,109 @@ type t = {
   store : Store.t;
   state : (string * int) list;
   history : Schedule.t;
+  read_srcs : (int * Wal.src) list;
+  writers : (int * int) list;
   witness : W.t option;
   stats : Mvcc_obs.Jsonl.stats;
 }
 
-let recover ~policy ?snapshot (read : Wal.read) =
-  let start_lsn =
-    match snapshot with Some s -> s.Snapshot.lsn | None -> 0
-  in
-  let records =
-    List.filter (fun (lsn, _) -> lsn >= start_lsn) read.Wal.records
-  in
-  (* Analysis: number attempts, collect ops/installs/commits. *)
-  let attempt = Hashtbl.create 16 in
-  let ts_of = Hashtbl.create 16 in
-  let begun = Hashtbl.create 16 in
-  let committed_at = Hashtbl.create 16 in
-  let ops = ref [] in
-  let installs = ref [] in
-  let commit_seq = ref [] in
-  let initial = ref [] in
-  let n_txns = ref 0 in
-  let att_of txn = try Hashtbl.find attempt txn with Not_found -> 0 in
+(* The analysis pass, one record at a time. Keeping it incremental is
+   what lets the log-shipping follower be recovery-in-a-loop: it feeds
+   each streamed record to [observe] as it arrives and calls [assemble]
+   (a pure function of the accumulated analysis) whenever it needs the
+   full recovered view. One-shot [recover] is the same two calls. *)
+type analysis = {
+  attempt : (int, int) Hashtbl.t;
+  ts_of : (int, int) Hashtbl.t;
+  begun : (int, unit) Hashtbl.t;
+  committed_at : (int, int) Hashtbl.t;
+  mutable ops_rev : (int * int * bool * string * Wal.src option) list;
+  mutable installs_rev : (int * int * string * int * int) list;
+  mutable commit_seq_rev : int list;
+  mutable initial_rev : (string * int) list;
+  mutable an_txns : int;
+}
+
+let analysis () =
+  {
+    attempt = Hashtbl.create 16;
+    ts_of = Hashtbl.create 16;
+    begun = Hashtbl.create 16;
+    committed_at = Hashtbl.create 16;
+    ops_rev = [];
+    installs_rev = [];
+    commit_seq_rev = [];
+    initial_rev = [];
+    an_txns = 0;
+  }
+
+let observe a (r : Wal.record) =
+  let att_of txn = try Hashtbl.find a.attempt txn with Not_found -> 0 in
   let saw txn =
-    n_txns := max !n_txns (txn + 1);
-    Hashtbl.replace begun txn ()
+    a.an_txns <- max a.an_txns (txn + 1);
+    Hashtbl.replace a.begun txn ()
   in
+  match r with
+  | State { entity; value } -> a.initial_rev <- (entity, value) :: a.initial_rev
+  | Begin { txn; ts } ->
+      saw txn;
+      Hashtbl.replace a.attempt txn (att_of txn + 1);
+      Hashtbl.replace a.ts_of txn ts
+  | Op { txn; entity; write; src } ->
+      saw txn;
+      a.ops_rev <- (txn, att_of txn, write, entity, src) :: a.ops_rev
+  | Install { txn; entity; value; wts } ->
+      saw txn;
+      a.installs_rev <- (txn, att_of txn, entity, value, wts) :: a.installs_rev
+  | Commit { txn } ->
+      saw txn;
+      Hashtbl.replace a.committed_at txn (att_of txn);
+      a.commit_seq_rev <- txn :: a.commit_seq_rev
+  | Abort _ | Checkpoint _ -> ()
+
+(* The version function a committed history's logged read sources
+   induce: an entry per read position carrying a source. Shared by the
+   recovery witnesses (Mvto/Si) and the follower's certified reads. *)
+let version_fn history read_srcs =
+  let hsteps = Schedule.steps history in
+  let v = ref Mvcc_core.Version_fn.empty in
   List.iter
-    (fun (_, r) ->
-      match (r : Wal.record) with
-      | State { entity; value } -> initial := (entity, value) :: !initial
-      | Begin { txn; ts } ->
-          saw txn;
-          Hashtbl.replace attempt txn (att_of txn + 1);
-          Hashtbl.replace ts_of txn ts
-      | Op { txn; entity; write; src } ->
-          saw txn;
-          ops := (txn, att_of txn, write, entity, src) :: !ops
-      | Install { txn; entity; value; wts } ->
-          saw txn;
-          installs := (txn, att_of txn, entity, value, wts) :: !installs
-      | Commit { txn } ->
-          saw txn;
-          Hashtbl.replace committed_at txn (att_of txn);
-          commit_seq := txn :: !commit_seq
-      | Abort _ | Checkpoint _ -> ())
-    records;
-  let n = !n_txns in
-  let ops = List.rev !ops in
-  let installs = List.rev !installs in
-  let commit_seq = List.rev !commit_seq in
+    (fun (pos, src) ->
+      match (src : Wal.src) with
+      | Wal.Init -> v := Mvcc_core.Version_fn.(add pos Initial !v)
+      | Wal.Self ->
+          let st = hsteps.(pos) in
+          let q = ref (-1) in
+          for k = 0 to pos - 1 do
+            let s2 = hsteps.(k) in
+            if
+              s2.Mvcc_core.Step.txn = st.Mvcc_core.Step.txn
+              && s2.entity = st.entity
+              && Mvcc_core.Step.is_write s2
+            then q := k
+          done;
+          v := Mvcc_core.Version_fn.(add pos (From !q) !v)
+      | Wal.Txn j -> (
+          let st = hsteps.(pos) in
+          match
+            Mvcc_core.Read_from.last_write_of history ~txn:j
+              ~entity:st.Mvcc_core.Step.entity
+          with
+          | Some q -> v := Mvcc_core.Version_fn.(add pos (From q) !v)
+          | None -> ()))
+    read_srcs;
+  !v
+
+let assemble ~policy ?snapshot ~stats a =
+  let n = a.an_txns in
+  let ops = List.rev a.ops_rev in
+  let installs = List.rev a.installs_rev in
+  let commit_seq = List.rev a.commit_seq_rev in
   (* Cascade fixpoint: a committed transaction whose final attempt read
      from a transaction that did not survive is itself undone. A source
      never seen in the replayed range predates the snapshot and is
      therefore committed. *)
-  let valid = Hashtbl.copy committed_at in
+  let valid = Hashtbl.copy a.committed_at in
   let is_final_of_valid txn att =
     match Hashtbl.find_opt valid txn with
     | Some fa -> fa = att
@@ -80,7 +128,7 @@ let recover ~policy ?snapshot (read : Wal.read) =
         if (not write) && is_final_of_valid txn att then
           match src with
           | Some (Wal.Txn w)
-            when Hashtbl.mem begun w && not (Hashtbl.mem valid w) ->
+            when Hashtbl.mem a.begun w && not (Hashtbl.mem valid w) ->
               Hashtbl.remove valid txn;
               changed := true
           | _ -> ())
@@ -92,8 +140,9 @@ let recover ~policy ?snapshot (read : Wal.read) =
   in
   let undone =
     Hashtbl.fold
-      (fun t () acc -> if Hashtbl.mem committed_at t then acc else t :: acc)
-      begun []
+      (fun t () acc ->
+        if Hashtbl.mem a.committed_at t then acc else t :: acc)
+      a.begun []
     |> List.sort compare
   in
   (* Redo: re-install surviving committed versions, in log order, onto
@@ -102,12 +151,17 @@ let recover ~policy ?snapshot (read : Wal.read) =
   let store =
     match snapshot with
     | Some s -> Snapshot.store s
-    | None -> Store.create ~initial:(List.rev !initial)
+    | None -> Store.create ~initial:(List.rev a.initial_rev)
   in
+  let writers = ref [] in
   List.iter
     (fun (txn, att, entity, value, wts) ->
-      if is_final_of_valid txn att then Store.install store entity ~value ~wts)
+      if is_final_of_valid txn att then begin
+        Store.install store entity ~value ~wts;
+        writers := (wts, txn) :: !writers
+      end)
     installs;
+  let writers = List.rev !writers in
   (* The committed history: surviving final attempts, operation order. *)
   let final_ops =
     List.filter (fun (txn, att, _, _, _) -> is_final_of_valid txn att) ops
@@ -118,6 +172,13 @@ let recover ~policy ?snapshot (read : Wal.read) =
          (fun (txn, _, write, entity, _) ->
            if write then Step.write txn entity else Step.read txn entity)
          final_ops)
+  in
+  let read_srcs =
+    List.mapi
+      (fun pos (_, _, write, _, src) ->
+        match src with Some s when not write -> Some (pos, s) | _ -> None)
+      final_ops
+    |> List.filter_map Fun.id
   in
   let witness =
     match snapshot with
@@ -131,41 +192,9 @@ let recover ~policy ?snapshot (read : Wal.read) =
         in
         let ts_order =
           List.filter (Hashtbl.mem valid) commit_seq
-          |> List.sort (fun a b ->
-                 compare (Hashtbl.find ts_of a) (Hashtbl.find ts_of b))
+          |> List.sort (fun x y ->
+                 compare (Hashtbl.find a.ts_of x) (Hashtbl.find a.ts_of y))
           |> append_missing
-        in
-        let version_fn () =
-          let hsteps = Schedule.steps history in
-          let v = ref Mvcc_core.Version_fn.empty in
-          List.iteri
-            (fun pos (txn, _, write, entity, src) ->
-              if not write then
-                match src with
-                | Some Wal.Init ->
-                    v := Mvcc_core.Version_fn.(add pos Initial !v)
-                | Some Wal.Self ->
-                    let q = ref (-1) in
-                    for k = 0 to pos - 1 do
-                      let s2 = hsteps.(k) in
-                      if
-                        s2.Mvcc_core.Step.txn = txn
-                        && s2.entity = entity
-                        && Mvcc_core.Step.is_write s2
-                      then q := k
-                    done;
-                    v := Mvcc_core.Version_fn.(add pos (From !q) !v)
-                | Some (Wal.Txn j) -> (
-                    match
-                      Mvcc_core.Read_from.last_write_of history ~txn:j
-                        ~entity
-                    with
-                    | Some q ->
-                        v := Mvcc_core.Version_fn.(add pos (From q) !v)
-                    | None -> ())
-                | None -> ())
-            final_ops;
-          !v
         in
         Some
           (match (policy : Engine.policy) with
@@ -191,12 +220,14 @@ let recover ~policy ?snapshot (read : Wal.read) =
           | Mvto ->
               {
                 W.claim = Member Mvsr;
-                evidence = Accept_version_fn (ts_order, version_fn ());
+                evidence =
+                  Accept_version_fn (ts_order, version_fn history read_srcs);
               }
           | Si ->
               {
                 W.claim = Read_consistent;
-                evidence = Accept_version_fn ([], version_fn ());
+                evidence =
+                  Accept_version_fn ([], version_fn history read_srcs);
               })
   in
   {
@@ -207,9 +238,21 @@ let recover ~policy ?snapshot (read : Wal.read) =
     store;
     state = Store.value_map store;
     history;
+    read_srcs;
+    writers;
     witness;
-    stats = read.Wal.stats;
+    stats;
   }
+
+let recover ~policy ?snapshot (read : Wal.read) =
+  let start_lsn =
+    match snapshot with Some s -> s.Snapshot.lsn | None -> 0
+  in
+  let a = analysis () in
+  List.iter
+    (fun (lsn, r) -> if lsn >= start_lsn then observe a r)
+    read.Wal.records;
+  assemble ~policy ?snapshot ~stats:read.Wal.stats a
 
 let dump_string store =
   Store.dump store

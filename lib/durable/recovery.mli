@@ -48,6 +48,12 @@ type t = {
   history : Mvcc_core.Schedule.t;
       (** committed final attempts in operation order (tail-only under
           snapshot recovery) *)
+  read_srcs : (int * Wal.src) list;
+      (** logged read source per read position of [history] — the raw
+          material of {!version_fn} *)
+  writers : (int * int) list;
+      (** [(wts, txn)] for every redone install, log order: which
+          transaction wrote each recovered version *)
   witness : Mvcc_provenance.Witness.t option;
       (** the policy's certificate over [history]; [None] under
           snapshot recovery *)
@@ -56,6 +62,41 @@ type t = {
 
 val recover :
   policy:Mvcc_engine.Engine.policy -> ?snapshot:Snapshot.t -> Wal.read -> t
+
+(** {1 The incremental core}
+
+    [recover] is [analysis] + [observe] per record + [assemble]; the
+    pieces are exposed so the log-shipping {!Follower} can run the same
+    analysis one streamed record at a time and materialize the full
+    recovered view on demand — recovery-in-a-loop with no second code
+    path to trust (their equivalence is qcheck-pinned anyway). *)
+
+type analysis
+(** Accumulated analysis state: attempt numbers, timestamps, operations
+    with read sources, installs, commit sequence, initial state. *)
+
+val analysis : unit -> analysis
+
+val observe : analysis -> Wal.record -> unit
+(** Feed one CRC-valid record, in log order. *)
+
+val assemble :
+  policy:Mvcc_engine.Engine.policy ->
+  ?snapshot:Snapshot.t ->
+  stats:Mvcc_obs.Jsonl.stats ->
+  analysis ->
+  t
+(** The cascade fixpoint, redo, history and witness over the analysis
+    so far. Pure in [analysis]: calling it never perturbs later
+    [observe]/[assemble] rounds. *)
+
+val version_fn :
+  Mvcc_core.Schedule.t -> (int * Wal.src) list -> Mvcc_core.Version_fn.t
+(** The version function induced by logged read sources: one entry per
+    [(position, src)] pair ([Init] → initial version, [Self] → the
+    reader's own latest earlier write, [Txn j] → [j]'s last write of
+    the entity). Shared by the Mvto/Si recovery witnesses and the
+    follower's certified reads. *)
 
 val dump_string : Mvcc_engine.Store.t -> string
 (** Canonical printable rendering of {!Mvcc_engine.Store.dump} — one

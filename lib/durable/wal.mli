@@ -51,27 +51,86 @@ val decode : string -> (int * record) option
 (** Inverse of {!encode}. [None] if the line does not parse, is not a
     known record shape, or fails its CRC. *)
 
-(** {1 Appending} *)
+(** {1 Appending}
+
+    Durability is simulated explicitly: appends accumulate in an open
+    batch, and only {!force} — the fsync stand-in — moves the batch
+    into the durable prefix (and, with a backing file, onto disk).
+    Without a {!window} every append forces immediately, which is PR 6's
+    flush-per-record discipline byte-for-byte; a window defers the force
+    until a record-count or commit-count threshold fills, amortizing the
+    flush across transactions (group commit). Commit records are
+    {e acknowledged} only when forced: {!acked_commits} is the count the
+    engine may report as durable, and everything after the last force
+    boundary is lost in a crash. *)
+
+type window = { max_records : int option; max_commits : int option }
+(** Force the open batch when either threshold fills. *)
+
+val window : ?records:int -> ?commits:int -> unit -> window
+(** Smart constructor; thresholds must be [>= 1] and at least one must
+    be given. [window ~records:1 ()] reproduces flush-per-record
+    timing exactly. *)
+
+type boundary = {
+  b_bytes : int;  (** bytes durable after this force *)
+  b_lsn : int;  (** records durable after this force *)
+  b_acked : int;  (** commits acknowledged after this force *)
+}
+(** The writer's state at one force boundary — the crash harness cuts
+    the log here to model a crash that lands between fsyncs. *)
 
 type writer
 
-val writer : ?path:string -> unit -> writer
+val writer : ?path:string -> ?window:window -> unit -> writer
 (** An appender assigning LSNs from 0. Records accumulate in memory
-    (for {!contents}); with [path] each append is also written through
-    to the file and flushed — the WAL discipline of forcing the record
-    before the action it covers. *)
+    (for {!contents}); with [path] forced batches are written through
+    to the file and flushed. Without [window] each append forces
+    itself — the PR 6 WAL discipline of forcing the record before the
+    action it covers. The log {e bytes} are identical either way: a
+    force adds nothing to the stream, it only marks how much of it is
+    durable. *)
 
 val append : writer -> record -> int
-(** Append one record; returns its LSN. *)
+(** Append one record; returns its LSN. Forces the batch if the window
+    fills (or no window was given). *)
+
+val force : writer -> unit
+(** Force the open batch: write-through + flush if file-backed, advance
+    the durable boundary, acknowledge the batch's commits. No-op when
+    nothing is pending. *)
 
 val next_lsn : writer -> int
 (** The LSN the next {!append} will assign (= records appended). *)
 
 val contents : writer -> string
-(** Everything appended so far, as the exact bytes of the log file. *)
+(** Everything appended so far, as the exact bytes of the log file
+    (including any not-yet-forced suffix). *)
+
+val durable_contents : writer -> string
+(** The forced prefix of {!contents} — exactly the bytes a crash right
+    now would leave on disk, and exactly what a backing file holds. *)
+
+val forced_bytes : writer -> int
+(** [String.length (durable_contents w)]. *)
+
+val forced_lsn : writer -> int
+(** Records in the durable prefix; LSNs [>= forced_lsn w] are not yet
+    durable. *)
+
+val acked_commits : writer -> int
+(** Commit records in the durable prefix — the deferred acknowledgement
+    count the engine polls via [?wal_durable]. *)
+
+val forces : writer -> int
+(** Forces performed so far (simulated fsyncs). *)
+
+val force_boundaries : writer -> boundary list
+(** Every force so far, oldest first. *)
 
 val close : writer -> unit
-(** Flush and close the backing file, if any. Idempotent. *)
+(** Force the open batch (exactly once — idempotent) and close the
+    backing file, if any. *)
 
 (** {1 Reading} *)
 

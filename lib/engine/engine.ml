@@ -41,6 +41,10 @@ type result = {
   stats : stats;
   final_state : (string * int) list;
   provenance : (Mvcc_core.Schedule.t * W.t) option;
+  durable_commits : int option;
+      (* with [?wal_durable], how many of [stats.commits] the log had
+         acknowledged as durable when the run ended — commits past the
+         last group-commit force are still pending. [None] otherwise. *)
 }
 
 (* Durability hooks. The engine stays ignorant of log encodings and
@@ -95,7 +99,7 @@ type lock = { mutable readers : int list; mutable writer : int option }
 
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ?prov
-    ?wal ?snapshot_every ~seed () =
+    ?wal ?wal_durable ?snapshot_every ~seed () =
   let rng = Random.State.make [| seed |] in
   let store = Store.create ~initial in
   (* the event is only built when a log hook is attached, so durability
@@ -136,6 +140,14 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   (* (client, attempt, step, read source), newest first *)
   let attempts = Array.make (Array.length clients) 0 in
   let writer_of_wts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* The source the last read was served from, stashed by [read_value]
+     so [record_op]'s provenance and WAL paths can reuse the store walk
+     the read already paid for instead of repeating it. Read sites call
+     [read_value] before [record_op]. kind 0 = own buffer, 1 = committed
+     version with wts [last_src_arg], 2 = dirty write of transaction
+     [last_src_arg]. Plain int stores: blind runs pay nothing. *)
+  let last_src_kind = ref 1 in
+  let last_src_arg = ref 0 in
   let commit_seq = ref [] in
   List.iter
     (fun (entity, value) -> wal_emit (fun () -> Wal_state { entity; value }))
@@ -179,6 +191,25 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   and blocked_ticks = ref 0
   and reads = ref 0
   and writes = ref 0 in
+  (* Deferred commit acknowledgement: with group commit the log forces
+     batches, not records, so a commit is durable only once [wal_durable]
+     (e.g. [Wal.acked_commits]) has counted past it. The engine polls the
+     callback each tick and matches acks to commits in commit order —
+     pure accounting, like [?wal] itself. *)
+  let commit_ticks : (int * int) Queue.t = Queue.create () in
+  let acked = ref 0 in
+  let poll_acks () =
+    match wal_durable with
+    | None -> ()
+    | Some durable ->
+        let d = durable () in
+        while !acked < d && not (Queue.is_empty commit_ticks) do
+          let _txn, at = Queue.pop commit_ticks in
+          incr acked;
+          Sink.incr obs "engine.acks";
+          Sink.observe obs "engine.ack-lag-ticks" (float_of_int (!ticks - at))
+        done
+  in
   let release c =
     List.iter
       (fun e ->
@@ -276,19 +307,16 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     (match prov with
     | None -> ()
     | Some _ ->
-        (* the source of a multiversion read, re-derived without side
-           effects (Store.read_at is pure; the rts bump happens in
-           read_value) *)
+        (* the source of a multiversion read, from the stash the read's
+           own store walk left in [last_src_*] — no second walk *)
         let src =
           if write then None
-          else if List.mem_assoc e c.buffer then Some `Self
           else
             match policy with
             | Mvto | Si ->
-                let ts = if policy = Mvto then c.ts else c.snapshot in
-                let w = (Store.read_at store e ts).Store.wts in
-                if w = 0 then Some `Init
-                else Some (`Writer (Hashtbl.find writer_of_wts w))
+                if !last_src_kind = 0 then Some `Self
+                else if !last_src_arg = 0 then Some `Init
+                else Some (`Writer (Hashtbl.find writer_of_wts !last_src_arg))
             | S2pl | To | Sgt -> None
         in
         let st =
@@ -298,26 +326,18 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         prov_ops := (c.id, attempts.(c.id), st, src) :: !prov_ops);
     (* the read's source under every policy — recovery re-derives the
        read-from edges (and so cascading aborts across a crash) from
-       these. Pure re-derivation: read_at and latest never mutate. *)
+       these. The serving version was stashed by [read_value], so
+       logging adds a hash lookup, not a second version-chain walk. *)
     wal_emit (fun () ->
-        let from_wts w =
-          if w = 0 then From_init
-          else From_txn (Hashtbl.find writer_of_wts w)
-        in
         let src =
           if write then None
-          else if List.mem_assoc e c.buffer then Some From_self
           else
-            match policy with
-            | Mvto -> Some (from_wts (Store.read_at store e c.ts).Store.wts)
-            | Si ->
-                Some (from_wts (Store.read_at store e c.snapshot).Store.wts)
-            | Sgt -> (
-                match !(dirty_of e) with
-                | (w, _) :: _ -> Some (From_txn w)
-                | [] -> Some (from_wts (Store.latest store e).Store.wts))
-            | S2pl | To ->
-                Some (from_wts (Store.latest store e).Store.wts)
+            match !last_src_kind with
+            | 0 -> Some From_self
+            | 2 -> Some (From_txn !last_src_arg)
+            | _ ->
+                if !last_src_arg = 0 then Some From_init
+                else Some (From_txn (Hashtbl.find writer_of_wts !last_src_arg))
         in
         Wal_op { txn = c.id; entity = e; write; src });
     Sink.emit obs (fun () ->
@@ -420,28 +440,49 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   in
   let read_value c e =
     match List.assoc_opt e c.buffer with
-    | Some v -> v
+    | Some v ->
+        last_src_kind := 0;
+        v
     | None -> (
         match policy with
         | Mvto ->
             let v = Store.read_at store e c.ts in
             v.Store.max_rts <- max v.Store.max_rts c.ts;
+            last_src_kind := 1;
+            last_src_arg := v.Store.wts;
             v.Store.value
-        | Si -> (Store.read_at store e c.snapshot).Store.value
+        | Si ->
+            let v = Store.read_at store e c.snapshot in
+            last_src_kind := 1;
+            last_src_arg := v.Store.wts;
+            v.Store.value
         | Sgt -> (
             (* newest write wins: dirty head if an uncommitted write is
                outstanding, else the latest committed version *)
             match !(dirty_of e) with
-            | (_, v) :: _ -> v
-            | [] -> (Store.latest store e).Store.value)
-        | S2pl | To -> (Store.latest store e).Store.value)
+            | (w, v) :: _ ->
+                last_src_kind := 2;
+                last_src_arg := w;
+                v
+            | [] ->
+                let v = Store.latest store e in
+                last_src_kind := 1;
+                last_src_arg := v.Store.wts;
+                v.Store.value)
+        | S2pl | To ->
+            let v = Store.latest store e in
+            last_src_kind := 1;
+            last_src_arg := v.Store.wts;
+            v.Store.value)
   in
   let record_commit c =
     incr commits;
     commit_seq := c.id :: !commit_seq;
     Sink.incr obs "engine.commits";
     Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id });
-    wal_emit (fun () -> Wal_commit { txn = c.id })
+    wal_emit (fun () -> Wal_commit { txn = c.id });
+    if Option.is_some wal_durable then
+      Queue.push (c.id, !ticks) commit_ticks
   in
   let install_for c e ~value ~wts =
     (* write-ahead: the install record precedes the store mutation *)
@@ -562,8 +603,8 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
                 l.readers <- c.id :: l.readers;
                 c.held_read <- e :: c.held_read
               end;
-              record_op c e ~write:false;
               c.regs <- (e, read_value c e) :: c.regs;
+              record_op c e ~write:false;
               c.pc <- c.pc + 1;
               c.status <- Ready
             end
@@ -590,8 +631,8 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               delay c e
             else begin
               Hashtbl.replace rts e (max c.ts (get rts e));
-              record_op c e ~write:false;
               c.regs <- (e, read_value c e) :: c.regs;
+              record_op c e ~write:false;
               c.pc <- c.pc + 1;
               c.status <- Ready
             end
@@ -608,8 +649,8 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               c.pc <- c.pc + 1
             end
         | Mvto, Program.Read e ->
-            record_op c e ~write:false;
             c.regs <- (e, read_value c e) :: c.regs;
+            record_op c e ~write:false;
             c.pc <- c.pc + 1
         | Mvto, Program.Write (e, expr) ->
             if Store.would_invalidate store e ~wts:c.ts then
@@ -621,8 +662,8 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
               c.pc <- c.pc + 1
             end
         | Si, Program.Read e ->
-            record_op c e ~write:false;
             c.regs <- (e, read_value c e) :: c.regs;
+            record_op c e ~write:false;
             c.pc <- c.pc + 1
         | Si, Program.Write (e, expr) ->
             record_op c e ~write:true;
@@ -633,7 +674,6 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             if not (cert_feed c (Mvcc_core.Step.read c.id e)) then
               abort_cascading ~reason:Tr.Certification c
             else begin
-              record_op c e ~write:false;
               (* reading another transaction's dirty write makes us
                  depend on its fate *)
               (if not (List.mem_assoc e c.buffer) then
@@ -643,6 +683,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
                      c.deps <- w :: c.deps
                  | _ -> ());
               c.regs <- (e, read_value c e) :: c.regs;
+              record_op c e ~write:false;
               c.pc <- c.pc + 1;
               c.status <- Ready
             end
@@ -700,10 +741,12 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             wal_emit (fun () -> Wal_checkpoint { store; commits = !commits })
         | _ -> ()
       end;
+      poll_acks ();
       loop ()
     end
   in
   loop ();
+  poll_acks ();
   let max_chain =
     List.fold_left
       (fun acc e -> max acc (Store.version_count store e))
@@ -821,4 +864,5 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       };
     final_state = Store.value_map store;
     provenance;
+    durable_commits = (if Option.is_some wal_durable then Some !acked else None);
   }

@@ -99,6 +99,12 @@ type result = {
   provenance : (Mvcc_core.Schedule.t * Mvcc_provenance.Witness.t) option;
       (** with [prov]: the committed history (final attempts of committed
           transactions, in operation order) and the run's certificate *)
+  durable_commits : int option;
+      (** with [wal_durable]: how many of [stats.commits] the log had
+          acknowledged as durable when the run ended. Under group commit
+          this lags [stats.commits] — commits in the open batch have not
+          been forced and would not survive a crash. [None] when the
+          callback was not supplied. *)
 }
 
 val run :
@@ -112,6 +118,7 @@ val run :
   ?obs:Mvcc_obs.Sink.t ->
   ?prov:Mvcc_provenance.Log.t ->
   ?wal:(wal_event -> unit) ->
+  ?wal_durable:(unit -> int) ->
   ?snapshot_every:int ->
   seed:int ->
   unit ->
@@ -162,4 +169,14 @@ val run :
     carrying the live store is additionally offered every [n] commits.
     Both are pure accounting: with or without them the run is
     bit-for-bit identical (a qcheck-pinned invariant, like [obs]), and
-    when absent no event is ever constructed. *)
+    when absent no event is ever constructed.
+
+    [wal_durable] (default off) is the group-commit acknowledgement
+    poll: a callback returning how many commit records the log has
+    forced so far (e.g. [Wal.acked_commits]). The engine polls it each
+    tick, matches acknowledgements to commits in commit order, counts
+    them in the ["engine.acks"] counter and the ["engine.ack-lag-ticks"]
+    histogram, and reports the final count as [result.durable_commits].
+    Acknowledgement is accounting only — the engine never waits on it,
+    modelling an asynchronous-commit client that learns of durability
+    after the fact. *)

@@ -8,6 +8,7 @@ module Snapshot = Mvcc_durable.Snapshot
 module Recovery = Mvcc_durable.Recovery
 module Hook = Mvcc_durable.Hook
 module Crash = Mvcc_durable.Crash
+module Follower = Mvcc_durable.Follower
 module Trace = Mvcc_obs.Trace
 module Sink = Mvcc_obs.Sink
 
@@ -120,6 +121,101 @@ let test_wal_midfile_corruption_is_skip () =
   check "not torn" false stats.torn_tail;
   check "first and third survive" true
     (List.map snd records = [ Wal.Commit { txn = 0 }; Wal.Commit { txn = 2 } ])
+
+(* -- Group commit -- *)
+
+(* The fast in-place emitter and the reference codec must agree byte for
+   byte, whatever the window — a force adds nothing to the stream, it
+   only marks how much of it is durable. *)
+let prop_writer_bytes_match_reference =
+  QCheck2.Test.make
+    ~name:"writer bytes = reference encode, for every window shape"
+    ~count:200
+    QCheck2.Gen.(
+      let* rs = list_size (int_range 0 25) gen_record
+      and* win = oneofl [ `None; `R 1; `R 3; `C 2; `RC (4, 2) ] in
+      return (rs, win))
+    (fun (rs, win) ->
+      let window =
+        match win with
+        | `None -> None
+        | `R r -> Some (Wal.window ~records:r ())
+        | `C c -> Some (Wal.window ~commits:c ())
+        | `RC (r, c) -> Some (Wal.window ~records:r ~commits:c ())
+      in
+      let w = Wal.writer ?window () in
+      List.iter (fun r -> ignore (Wal.append w r)) rs;
+      let reference =
+        String.concat ""
+          (List.mapi (fun i r -> Wal.encode ~lsn:i r ^ "\n") rs)
+      in
+      let bytes_ok = Wal.contents w = reference in
+      Wal.close w;
+      bytes_ok && Wal.durable_contents w = Wal.contents w)
+
+(* window=1 group commit must be indistinguishable from the PR 6
+   flush-per-record path: byte-identical file, and the identical durable
+   prefix after every single append. *)
+let test_group_window1_byte_identical () =
+  let records =
+    let w = Wal.writer () in
+    let hook = Hook.create w in
+    let cfg = { Crash.default with policy = E.Mvto; seed = 5 } in
+    let initial =
+      List.init cfg.Crash.entities (fun i -> (Printf.sprintf "e%d" i, 100))
+    in
+    ignore
+      (E.run ~policy:E.Mvto ~initial ~programs:(Crash.workload cfg)
+         ~wal:(Hook.listener hook) ?snapshot_every:cfg.Crash.snapshot_every
+         ~seed:cfg.Crash.seed ());
+    List.map snd (Wal.read_string (Wal.contents w)).Wal.records
+  in
+  check "workload produced records" true (List.length records > 50);
+  let p1 = Filename.temp_file "wal_perrec" ".wal" in
+  let p2 = Filename.temp_file "wal_window1" ".wal" in
+  let w1 = Wal.writer ~path:p1 () in
+  let w2 = Wal.writer ~path:p2 ~window:(Wal.window ~records:1 ()) () in
+  List.iter
+    (fun r ->
+      ignore (Wal.append w1 r);
+      ignore (Wal.append w2 r);
+      check "durable prefixes agree after every append" true
+        (Wal.durable_contents w1 = Wal.durable_contents w2);
+      check_int "acks agree after every append" (Wal.acked_commits w1)
+        (Wal.acked_commits w2))
+    records;
+  Wal.close w1;
+  Wal.close w2;
+  let slurp p = In_channel.with_open_bin p In_channel.input_all in
+  check "files byte-identical" true (slurp p1 = slurp p2);
+  check "file = in-memory contents" true (slurp p1 = Wal.contents w1);
+  Sys.remove p1;
+  Sys.remove p2
+
+let test_close_mid_batch_flushes_once () =
+  let p = Filename.temp_file "wal_midbatch" ".wal" in
+  let w = Wal.writer ~path:p ~window:(Wal.window ~records:100 ()) () in
+  let app r = ignore (Wal.append w r) in
+  app (Wal.State { entity = "x"; value = 0 });
+  app (Wal.Begin { txn = 0; ts = 1 });
+  app (Wal.Install { txn = 0; entity = "x"; value = 5; wts = 1 });
+  app (Wal.Commit { txn = 0 });
+  app (Wal.Commit { txn = 1 });
+  let slurp () = In_channel.with_open_bin p In_channel.input_all in
+  check "nothing durable before the window fills" true
+    (Wal.durable_contents w = "" && slurp () = "");
+  check_int "no acks before the force" 0 (Wal.acked_commits w);
+  check_int "no forces yet" 0 (Wal.forces w);
+  Wal.close w;
+  check_int "close forced the open batch" 1 (Wal.forces w);
+  check_int "close acknowledged the batch's commits" 2 (Wal.acked_commits w);
+  check "file holds the whole log" true (slurp () = Wal.contents w);
+  check "durable = contents" true (Wal.durable_contents w = Wal.contents w);
+  Wal.close w;
+  check_int "second close is a no-op" 1 (Wal.forces w);
+  Wal.force w;
+  check_int "force after close is a no-op" 1 (Wal.forces w);
+  Sys.remove p
 
 (* -- Snapshots -- *)
 
@@ -270,6 +366,40 @@ let test_crash_injection_all_policies () =
         [ 3; 4 ])
     all_policies
 
+(* Group-commit crash points: every point checks both the raw cut
+   (mid-batch) and the forced-boundary image, so this exercises
+   truncation at batch boundaries and inside open batches, under both
+   window shapes, for every policy. *)
+let test_crash_group_commit_all_policies () =
+  let windows = [ Wal.window ~commits:3 (); Wal.window ~records:7 () ] in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun window ->
+          let report =
+            Crash.run
+              {
+                Crash.default with
+                policy;
+                seed = 6;
+                window = Some window;
+                points = 60;
+              }
+          in
+          if report.Crash.failures <> [] then
+            Alcotest.failf "%a" Crash.pp_report report;
+          check
+            (Printf.sprintf "batching happened under %s/%s"
+               (E.policy_name policy)
+               (Crash.window_name (Some window)))
+            true
+            (report.Crash.forces > 0
+            && report.Crash.forces < report.Crash.records
+            && report.Crash.acked <= report.Crash.commits
+            && report.Crash.torn > 0))
+        windows)
+    all_policies
+
 let test_crash_only_point_reproduces () =
   let cfg = { Crash.default with policy = E.Sgt; seed = 9; points = 40 } in
   let full = Crash.run cfg in
@@ -277,6 +407,172 @@ let test_crash_only_point_reproduces () =
   let one = Crash.run { cfg with only = Some 17 } in
   check_int "exactly one point checked" 1 one.Crash.checked;
   check "replay clean" true (one.Crash.failures = [])
+
+(* -- Log-shipping follower -- *)
+
+(* The follower is recovery-in-a-loop: after any sequence of feeds, its
+   incremental view must equal one-shot recovery of the bytes consumed
+   so far — store dump, live store, committed history, state, witness
+   rendering, stats — including prefixes that end mid-record. *)
+let prop_follower_equiv_recovery =
+  QCheck2.Test.make
+    ~name:"follower incremental state = one-shot recovery of every prefix"
+    ~count:15
+    QCheck2.Gen.(
+      let* seed = int_range 0 1000
+      and* policy = oneofl all_policies
+      and* chunk_seed = int_range 0 1000 in
+      return (seed, policy, chunk_seed))
+    (fun (seed, policy, chunk_seed) ->
+      let w = Wal.writer () in
+      let hook = Hook.create w in
+      let cfg = { Crash.default with policy; seed } in
+      let initial =
+        List.init cfg.Crash.entities (fun i -> (Printf.sprintf "e%d" i, 100))
+      in
+      ignore
+        (E.run ~policy ~initial ~programs:(Crash.workload cfg)
+           ~wal:(Hook.listener hook) ?snapshot_every:cfg.Crash.snapshot_every
+           ~seed ());
+      let bytes = Wal.contents w in
+      let n = String.length bytes in
+      let rng = Random.State.make [| chunk_seed; 0xf0110 |] in
+      let f = Follower.create ~policy () in
+      let pos = ref 0 in
+      let ok = ref true in
+      let compare_at p =
+        let read = Wal.read_string (String.sub bytes 0 p) in
+        let one = Recovery.recover ~policy read in
+        let live = Follower.state f in
+        let wit r =
+          Option.map
+            (Format.asprintf "%a" Mvcc_provenance.Witness.pp)
+            r.Recovery.witness
+        in
+        ok :=
+          !ok
+          && Recovery.dump_string (Follower.store f)
+             = Recovery.dump_string one.Recovery.store
+          && Recovery.dump_string live.Recovery.store
+             = Recovery.dump_string one.store
+          && Mvcc_core.Schedule.steps live.history
+             = Mvcc_core.Schedule.steps one.history
+          && live.commit_order = one.commit_order
+          && live.state = one.state
+          && wit live = wit one
+          && live.stats = one.stats
+          && Follower.records_applied f = List.length read.Wal.records
+      in
+      while !pos < n do
+        let p = min n (!pos + 1 + Random.State.int rng 300) in
+        ignore (Follower.feed f (String.sub bytes !pos (p - !pos)));
+        pos := p;
+        if p < n && Random.State.int rng 3 = 0 then compare_at p
+      done;
+      compare_at n;
+      !ok)
+
+(* Ship the follower only forced bytes and it can never observe an
+   unacknowledged commit; catching up twice applies nothing the second
+   time; close forces the open batch and the replica converges. *)
+let test_follower_never_observes_unforced () =
+  let w = Wal.writer ~window:(Wal.window ~commits:2 ()) () in
+  let app r = ignore (Wal.append w r) in
+  app (Wal.State { entity = "x"; value = 0 });
+  app (Wal.Begin { txn = 0; ts = 1 });
+  app (Wal.Op { txn = 0; entity = "x"; write = true; src = None });
+  app (Wal.Install { txn = 0; entity = "x"; value = 5; wts = 1 });
+  app (Wal.Commit { txn = 0 });
+  let f = Follower.create ~policy:E.Mvto () in
+  ignore (Follower.catch_up f (Wal.durable_contents w));
+  check_int "nothing durable, nothing observed" 0 (Follower.commits_applied f);
+  check "replica has heard nothing" true (Follower.read f "x" = None);
+  (* the second commit fills the window and forces the batch *)
+  app (Wal.Begin { txn = 1; ts = 2 });
+  app (Wal.Op { txn = 1; entity = "x"; write = false; src = Some (Wal.Txn 0) });
+  app (Wal.Op { txn = 1; entity = "x"; write = true; src = None });
+  app (Wal.Install { txn = 1; entity = "x"; value = 6; wts = 2 });
+  app (Wal.Commit { txn = 1 });
+  check_int "leader acked the batch" 2 (Wal.acked_commits w);
+  ignore (Follower.catch_up f (Wal.durable_contents w));
+  check_int "both commits shipped" 2 (Follower.commits_applied f);
+  check_int "snapshot ts is the last applied write" 2 (Follower.snapshot_ts f);
+  check "replica reads the forced value" true (Follower.read f "x" = Some 6);
+  (* a third, unforced commit stays invisible to the replica *)
+  app (Wal.Begin { txn = 2; ts = 3 });
+  app (Wal.Op { txn = 2; entity = "x"; write = true; src = None });
+  app (Wal.Install { txn = 2; entity = "x"; value = 9; wts = 3 });
+  app (Wal.Commit { txn = 2 });
+  check_int "third commit is not acked" 2 (Wal.acked_commits w);
+  let before = Recovery.dump_string (Follower.store f) in
+  check_int "catch-up ships nothing new" 0
+    (Follower.catch_up f (Wal.durable_contents w));
+  check_int "double catch-up is idempotent" 0
+    (Follower.catch_up f (Wal.durable_contents w));
+  check "store untouched" true
+    (Recovery.dump_string (Follower.store f) = before);
+  check "unforced commit invisible" true (Follower.read f "x" = Some 6);
+  let view, verdict = Follower.certified_read_view f in
+  check "lagging view is checker-certified" true verdict;
+  check "view serves the forced state" true (view = [ ("x", 6) ]);
+  (* close forces the open batch; the replica converges *)
+  Wal.close w;
+  check_int "close acked the tail" 3 (Wal.acked_commits w);
+  check_int "the tail's records ship" 4
+    (Follower.catch_up f (Wal.durable_contents w));
+  check_int "lag closed" 3 (Follower.commits_applied f);
+  check "replica reads the tail commit" true (Follower.read f "x" = Some 9);
+  let _, _, ok = Follower.certify f in
+  check "certified after catch-up" true ok
+
+(* Mid-run, a follower fed only the durable prefix sees exactly the
+   acknowledged commits — never more — and its lagging reads are
+   read-consistent under every policy, confirmed by the independent
+   checker. *)
+let test_follower_lagging_reads_all_policies () =
+  List.iter
+    (fun policy ->
+      let cfg = { Crash.default with policy; seed = 21 } in
+      let w = Wal.writer ~window:(Wal.window ~commits:3 ()) () in
+      let hook = Hook.create w in
+      let initial =
+        List.init cfg.Crash.entities (fun i -> (Printf.sprintf "e%d" i, 100))
+      in
+      let r =
+        E.run ~policy ~initial ~programs:(Crash.workload cfg)
+          ~wal:(Hook.listener hook)
+          ~wal_durable:(fun () -> Wal.acked_commits w)
+          ?snapshot_every:cfg.Crash.snapshot_every ~seed:cfg.Crash.seed ()
+      in
+      let f = Follower.create ~policy () in
+      ignore (Follower.catch_up f (Wal.durable_contents w));
+      check_int
+        (Printf.sprintf "replica sees exactly the acked commits under %s"
+           (E.policy_name policy))
+        (Wal.acked_commits w)
+        (Follower.commits_applied f);
+      check "engine ack count agrees with the writer" true
+        (r.E.durable_commits = Some (Wal.acked_commits w));
+      let one =
+        Recovery.recover ~policy (Wal.read_string (Wal.durable_contents w))
+      in
+      check "replica store = one-shot recovery of the durable prefix" true
+        (Recovery.dump_string (Follower.store f)
+        = Recovery.dump_string one.Recovery.store);
+      let _, _, ok = Follower.certify f in
+      check
+        (Printf.sprintf "lagging reads certified under %s"
+           (E.policy_name policy))
+        true ok;
+      Wal.close w;
+      ignore (Follower.catch_up f (Wal.durable_contents w));
+      check_int "caught up to every commit" r.E.stats.E.commits
+        (Follower.commits_applied f);
+      check "caught-up view is the live final state" true
+        (Follower.read_view f = r.E.final_state);
+      let _, _, ok2 = Follower.certify f in
+      check "certified at the tip" true ok2)
+    all_policies
 
 let () =
   Alcotest.run "durable"
@@ -288,6 +584,10 @@ let () =
             test_wal_torn_tail_every_offset;
           Alcotest.test_case "mid-file corruption is a skip" `Quick
             test_wal_midfile_corruption_is_skip;
+          Alcotest.test_case "window=1 is byte-identical to flush-per-record"
+            `Quick test_group_window1_byte_identical;
+          Alcotest.test_case "close mid-batch forces exactly once" `Quick
+            test_close_mid_batch_flushes_once;
         ] );
       ( "snapshot",
         [ Alcotest.test_case "roundtrip and torn reject" `Quick
@@ -303,14 +603,25 @@ let () =
         [
           Alcotest.test_case "600 crash points across policies" `Quick
             test_crash_injection_all_policies;
+          Alcotest.test_case "600 group-commit crash points across policies"
+            `Quick test_crash_group_commit_all_policies;
           Alcotest.test_case "--point replays one crash" `Quick
             test_crash_only_point_reproduces;
+        ] );
+      ( "follower",
+        [
+          Alcotest.test_case "never observes an unforced commit" `Quick
+            test_follower_never_observes_unforced;
+          Alcotest.test_case "lagging certified reads, all policies" `Quick
+            test_follower_lagging_reads_all_policies;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_codec_roundtrip;
             prop_codec_rejects_tamper;
+            prop_writer_bytes_match_reference;
             prop_wal_off_invariance;
+            prop_follower_equiv_recovery;
           ] );
     ]
