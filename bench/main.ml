@@ -80,6 +80,8 @@ let () =
     record "E23 durability" (E_durable.run ~passes:(if quick then 3 else 5));
   if selected "e24" then
     record "E24 group-commit" (E_group.run ~passes:(if quick then 5 else 9));
+  if selected "e25" then
+    record "E25 spans" (E_spans.run ~passes:(if quick then 3 else 7));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

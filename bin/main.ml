@@ -463,7 +463,9 @@ let simulate_cmd =
     let hook =
       Option.map
         (fun file ->
-          let writer = Mvcc_durable.Wal.writer ~path:file ?window () in
+          (* the writer shares the sink, so --stats snapshots include the
+             durable counters (wal.appends/forces, force boundary, acks) *)
+          let writer = Mvcc_durable.Wal.writer ~path:file ?window ~obs () in
           (writer, Mvcc_durable.Hook.create ~snapshot_path:(file ^ ".snap") writer))
         wal_file
     in
@@ -494,9 +496,6 @@ let simulate_cmd =
     in
     Format.printf "total balance: %d (expected %d)@." total
       (100 * List.length accounts);
-    (match metrics with
-    | Some m -> print_endline (Mvcc_obs.Metrics.to_json m)
-    | None -> ());
     (match (hook, wal_file) with
     | Some (writer, h), Some file ->
         (match (group_commit, r.Mvcc_engine.Engine.durable_commits) with
@@ -516,6 +515,10 @@ let simulate_cmd =
              " to " ^ file ^ ".snap"
            else "")
     | _ -> ());
+    (* after the close: the final force's counters belong in the snapshot *)
+    (match metrics with
+    | Some m -> print_endline (Mvcc_obs.Metrics.to_json m)
+    | None -> ());
     match (trace_file, tr) with
     | Some file, Some t ->
         let oc = open_out file in
@@ -630,6 +633,18 @@ let replay_cmd =
 
 (* recover *)
 
+(* Jsonl damage marker shared by the recover and follow state lines:
+   mid-file skips are "suspicious anywhere" (they can hide a commit
+   record), so the state a consumer scrapes carries the warning inline
+   instead of only in the log summary line. Empty for a clean log, so
+   follow-vs-recover state diffs still agree byte for byte. *)
+let suspicion (st : Mvcc_obs.Jsonl.stats) =
+  if st.Mvcc_obs.Jsonl.skipped = 0 && not st.Mvcc_obs.Jsonl.torn_tail then ""
+  else
+    Printf.sprintf " [suspect: %d mid-file skip(s)%s]"
+      st.Mvcc_obs.Jsonl.skipped
+      (if st.Mvcc_obs.Jsonl.torn_tail then ", torn tail" else "")
+
 let recover_cmd =
   let module D = Mvcc_durable in
   let policy_arg =
@@ -693,11 +708,12 @@ let recover_cmd =
       Format.printf "cascaded: %d committed-but-lost [%s]@."
         (List.length r.D.Recovery.cascaded)
         (String.concat " " (List.map string_of_int r.D.Recovery.cascaded));
-    Format.printf "state   : %s@."
+    Format.printf "state   : %s%s@."
       (String.concat ", "
          (List.map
             (fun (e, v) -> Printf.sprintf "%s=%d" e v)
-            r.D.Recovery.state));
+            r.D.Recovery.state))
+      (suspicion read.D.Wal.stats);
     if dump then
       Format.printf "chains  :@.%s@." (D.Recovery.dump_string r.D.Recovery.store);
     match r.D.Recovery.witness with
@@ -761,11 +777,56 @@ let follow_cmd =
       & info [ "dump" ]
           ~doc:"Also print the replica's version chains, one entity per line.")
   in
-  let run policy wal_file once poll_ms idle_polls dump =
-    let f = D.Follower.create ~policy () in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Keep an OpenMetrics exposition of the follower's counters \
+             and gauges (records/commits applied, snapshot ts, ingest \
+             latency) in $(docv), rewritten atomically — point a \
+             Prometheus-family scraper at it. Written at exit, and \
+             during tailing per $(b,--stats-every).")
+  in
+  let stats_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "stats-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--metrics FILE), also rewrite the exposition every \
+             $(docv) applied records while tailing (0 = only at exit).")
+  in
+  let run policy wal_file once poll_ms idle_polls dump metrics_file
+      stats_every =
+    let metrics = Option.map (fun _ -> Mvcc_obs.Metrics.create ()) metrics_file in
+    let obs =
+      match metrics with
+      | Some m -> Mvcc_obs.Sink.create ~metrics:m ()
+      | None -> Mvcc_obs.Sink.noop
+    in
+    let f = D.Follower.create ~policy ~obs () in
+    let written_at = ref 0 in
+    let write_metrics () =
+      match (metrics_file, metrics) with
+      | Some file, Some m ->
+          Mvcc_obs.Openmetrics.write_file file m;
+          written_at := D.Follower.records_applied f
+      | _ -> ()
+    in
+    let maybe_write_metrics () =
+      if
+        stats_every > 0
+        && D.Follower.records_applied f - !written_at >= stats_every
+      then write_metrics ()
+    in
     let poll () =
-      if Sys.file_exists wal_file then D.Follower.catch_up_file f wal_file
-      else 0
+      let n =
+        if Sys.file_exists wal_file then D.Follower.catch_up_file f wal_file
+        else 0
+      in
+      maybe_write_metrics ();
+      n
     in
     let applied = poll () in
     if not once then begin
@@ -798,11 +859,12 @@ let follow_cmd =
     Format.printf "commits : %d recovered [%s]@."
       (List.length r.D.Recovery.commit_order)
       (String.concat " " (List.map string_of_int r.D.Recovery.commit_order));
-    Format.printf "state   : %s@."
+    Format.printf "state   : %s%s@."
       (String.concat ", "
          (List.map
             (fun (e, v) -> Printf.sprintf "%s=%d" e v)
-            (D.Follower.read_view f)));
+            (D.Follower.read_view f)))
+      (suspicion st);
     if dump then
       Format.printf "chains  :@.%s@."
         (D.Recovery.dump_string (D.Follower.store f));
@@ -815,6 +877,10 @@ let follow_cmd =
     Format.printf "checker : %s@."
       (if ok then "confirmed — replica reads are read-consistent"
        else "REFUTED");
+    write_metrics ();
+    (match metrics_file with
+    | Some file -> Format.printf "metrics : OpenMetrics exposition in %s@." file
+    | None -> ());
     if not ok then exit 1
   in
   Cmd.v
@@ -826,7 +892,241 @@ let follow_cmd =
           checker")
     Term.(
       const run $ policy_arg $ wal_arg $ once_arg $ poll_arg $ idle_arg
-      $ dump_arg)
+      $ dump_arg $ metrics_arg $ stats_every_arg)
+
+(* timeline *)
+
+let timeline_cmd =
+  let module D = Mvcc_durable in
+  let module O = Mvcc_obs in
+  let policy_arg = policy_arg ~doc:"Concurrency control policy." in
+  let readers_arg =
+    Arg.(value & opt int 4 & info [ "readers" ] ~doc:"Analytics transactions.")
+  in
+  let writers_arg =
+    Arg.(value & opt int 4 & info [ "writers" ] ~doc:"Transfer transactions.")
+  in
+  let group_commit_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "Group-commit window: force the log every $(docv) commits, so \
+             the durability lag between commit and acknowledgement is \
+             visible in the waterfall.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "width" ] ~docv:"COLS"
+          ~doc:"Columns the waterfall bars are scaled into.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Export the spans as Chrome trace-event JSON to $(docv) — \
+             load it in chrome://tracing or Perfetto for the interactive \
+             version of the waterfall.")
+  in
+  let spans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans" ] ~docv:"FILE"
+          ~doc:"Write the raw spans to $(docv) as JSON-lines.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write an OpenMetrics exposition of the run's counters, \
+             gauges, and the three derived latency histograms to $(docv).")
+  in
+  let run policy readers writers group_commit width chrome_file spans_file
+      metrics_file seed =
+    let width = max 16 width in
+    (* the simulate banking workload, instrumented end to end: engine
+       spans and WAL-writer spans share one ring during the run; the
+       follower is then fed the log force-boundary by force-boundary, so
+       every replicated point lands after every durable ack and the
+       waterfall shows the full submit -> commit -> durable -> replicated
+       pipeline per transaction *)
+    let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
+    let initial = List.map (fun a -> (a, 100)) accounts in
+    let programs =
+      List.init readers (fun i ->
+          Mvcc_engine.Program.read_all
+            ~label:(Printf.sprintf "audit%d" i)
+            accounts)
+      @ List.init writers (fun i ->
+            Mvcc_engine.Program.transfer
+              ~label:(Printf.sprintf "xfer%d" i)
+              ~from_:(List.nth accounts (i mod 8))
+              ~to_:(List.nth accounts ((i + 1) mod 8))
+              10)
+    in
+    let metrics = O.Metrics.create () in
+    let spans = O.Span.create ~capacity:65536 () in
+    let obs = O.Sink.create ~metrics ~spans () in
+    let writer =
+      D.Wal.writer ~window:(D.Wal.window ~commits:group_commit ()) ~obs ()
+    in
+    let hook = D.Hook.create writer in
+    let r =
+      Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs
+        ~wal:(D.Hook.listener hook)
+        ~wal_durable:(fun () -> D.Wal.acked_commits writer)
+        ~seed ()
+    in
+    D.Wal.close writer;
+    let f = D.Follower.create ~policy ~obs () in
+    let log = D.Wal.contents writer in
+    List.iter
+      (fun (b : D.Wal.boundary) ->
+        ignore (D.Follower.catch_up f (String.sub log 0 b.D.Wal.b_bytes)))
+      (D.Wal.force_boundaries writer);
+    ignore (D.Follower.catch_up f log);
+    let sl = O.Span.to_list spans in
+    let txns = O.Latency.per_txn sl in
+    O.Latency.observe metrics txns;
+    Format.printf "policy=%s %a@."
+      (Mvcc_engine.Engine.policy_name policy)
+      Mvcc_engine.Engine.pp_stats r.Mvcc_engine.Engine.stats;
+    (match r.Mvcc_engine.Engine.durable_commits with
+    | Some acked ->
+        Format.printf
+          "group commit: %d/%d acknowledged at run end, %d forces; follower \
+           replayed %d commits@."
+          acked r.Mvcc_engine.Engine.stats.Mvcc_engine.Engine.commits
+          (D.Wal.forces writer)
+          (D.Follower.commits_applied f)
+    | None -> ());
+    let pretty_ns ns =
+      if ns >= 1_000_000 then Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+      else if ns >= 1_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+      else Printf.sprintf "%dns" ns
+    in
+    let t_min =
+      List.fold_left (fun a (t : O.Latency.txn) -> min a t.t_submit) max_int
+        txns
+    in
+    let t_max =
+      List.fold_left
+        (fun a (t : O.Latency.txn) ->
+          List.fold_left
+            (fun a p -> match p with Some x -> max a x | None -> a)
+            (max a t.t_submit)
+            [ t.t_commit; t.t_durable; t.t_replicated ])
+        0 txns
+    in
+    let col t =
+      if t_max <= t_min then 0 else (t - t_min) * (width - 1) / (t_max - t_min)
+    in
+    if txns <> [] then begin
+      Format.printf
+        "@.waterfall (%s total; '=' submit->commit, '.' ->durable D, '~' \
+         ->replicated R):@."
+        (pretty_ns (t_max - t_min));
+      List.iter
+        (fun (t : O.Latency.txn) ->
+          let label =
+            match List.nth_opt programs t.txn with
+            | Some p -> p.Mvcc_engine.Program.label
+            | None -> Printf.sprintf "txn%d" t.txn
+          in
+          let bar = Bytes.make width ' ' in
+          let fill a b c =
+            for i = col a to col b do
+              Bytes.set bar i c
+            done
+          in
+          let detail =
+            match t.t_commit with
+            | None ->
+                fill t.t_submit t_max '-';
+                "did not commit"
+            | Some tc ->
+                fill t.t_submit tc '=';
+                let lag =
+                  match t.t_durable with
+                  | None -> "  durable: after close"
+                  | Some td ->
+                      fill tc td '.';
+                      Bytes.set bar (col td) 'D';
+                      Printf.sprintf "  +durable %s" (pretty_ns (td - tc))
+                in
+                let rep =
+                  match t.t_replicated with
+                  | None -> ""
+                  | Some tr ->
+                      (match t.t_durable with
+                      | Some td -> fill td tr '~'
+                      | None -> fill tc tr '~');
+                      Bytes.set bar (col tr) 'R';
+                      Printf.sprintf "  +replica %s" (pretty_ns (tr - tc))
+                in
+                Printf.sprintf "commit %s%s%s  (%d attempt%s)"
+                  (pretty_ns (tc - t.t_submit))
+                  lag rep t.attempts
+                  (if t.attempts = 1 then "" else "s")
+          in
+          Format.printf "  %-8s |%s| %s@." label (Bytes.to_string bar) detail)
+        txns
+    end;
+    Format.printf "@.";
+    let pretty_s x = pretty_ns (int_of_float ((x *. 1e9) +. 0.5)) in
+    List.iter
+      (fun name ->
+        match O.Metrics.summary metrics name with
+        | Some s ->
+            Format.printf
+              "%-21s: count %d  p50 %s  p95 %s  p99 %s  max %s@." name
+              s.O.Metrics.count (pretty_s s.O.Metrics.p50)
+              (pretty_s s.O.Metrics.p95) (pretty_s s.O.Metrics.p99)
+              (pretty_s s.O.Metrics.max)
+        | None -> Format.printf "%-21s: no samples@." name)
+      [ "txn.commit-latency_s"; "txn.durability-lag_s"; "txn.replication-lag_s" ];
+    Format.printf "spans                : %d recorded, %d dropped@."
+      (List.length sl) (O.Span.dropped spans);
+    (match O.Span.check sl with
+    | None -> ()
+    | Some reason -> Format.printf "spans                : MALFORMED — %s@." reason);
+    (match chrome_file with
+    | Some file ->
+        O.Chrome_trace.write_file file sl;
+        Format.printf "chrome trace         : %s@." file
+    | None -> ());
+    (match spans_file with
+    | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> O.Span.write_jsonl oc spans);
+        Format.printf "span jsonl           : %s@." file
+    | None -> ());
+    match metrics_file with
+    | Some file ->
+        O.Openmetrics.write_file file metrics;
+        Format.printf "openmetrics          : %s@." file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run the banking workload through the whole commit pipeline \
+          (engine, group-commit WAL, log-shipping follower) with \
+          per-transaction spans, and render the submit/commit/durable/\
+          replicated waterfall plus the three derived latency histograms; \
+          optionally export Chrome trace-event JSON, raw spans, and an \
+          OpenMetrics exposition")
+    Term.(
+      const run $ policy_arg $ readers_arg $ writers_arg $ group_commit_arg
+      $ width_arg $ chrome_arg $ spans_arg $ metrics_arg $ seed_arg)
 
 (* crash *)
 
@@ -957,5 +1257,5 @@ let () =
           [
             classify_cmd; fig1_cmd; ols_cmd; reduction_cmd; schedulers_cmd;
             simulate_cmd; dot_cmd; switch_cmd; explain_cmd; replay_cmd;
-            census_cmd; recover_cmd; follow_cmd; crash_cmd;
+            census_cmd; recover_cmd; follow_cmd; timeline_cmd; crash_cmd;
           ]))

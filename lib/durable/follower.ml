@@ -3,6 +3,8 @@ module Engine = Mvcc_engine.Engine
 module Schedule = Mvcc_core.Schedule
 module Step = Mvcc_core.Step
 module W = Mvcc_provenance.Witness
+module Sink = Mvcc_obs.Sink
+module J = Mvcc_obs.Json
 
 (* A log-shipping follower is recovery-in-a-loop: the same analysis pass
    as [Recovery], fed one streamed record at a time, plus an incremental
@@ -42,9 +44,13 @@ type t = {
   mutable ts : int; (* snapshot timestamp: max applied wts *)
   mutable skipped : int;
   mutable degraded : bool;
+  obs : Sink.t;
+  mutable cur_span : int;
+      (* the open [follower.ingest] span while inside [feed], parent of
+         the [replicated] point spans; -1 outside *)
 }
 
-let create ~policy () =
+let create ~policy ?(obs = Sink.noop) () =
   {
     policy;
     an = Recovery.analysis ();
@@ -59,6 +65,8 @@ let create ~policy () =
     ts = 0;
     skipped = 0;
     degraded = false;
+    obs;
+    cur_span = -1;
   }
 
 let snapshot_ts t = t.ts
@@ -115,7 +123,11 @@ let apply t (r : Wal.record) =
           if wts > t.ts then t.ts <- wts)
         (List.rev installs);
       Hashtbl.replace t.pending txn [];
-      t.commits <- t.commits + 1
+      t.commits <- t.commits + 1;
+      Sink.incr t.obs "follower.commits";
+      Sink.span_event t.obs ~parent:t.cur_span "replicated"
+        ~attrs:(fun () ->
+          [ ("txn", J.Int txn); ("snapshot_ts", J.Int t.ts) ])
 
 let line t line ~terminated =
   if String.trim line <> "" then
@@ -131,6 +143,7 @@ let line t line ~terminated =
 
 let feed t chunk =
   let before = t.records in
+  t.cur_span <- Sink.span_start t.obs "follower.ingest";
   t.ingested <- t.ingested + String.length chunk;
   Buffer.add_string t.tail chunk;
   let s = Buffer.contents t.tail in
@@ -152,7 +165,20 @@ let feed t chunk =
     else Buffer.add_string t.tail rest
   end;
   if t.degraded && t.records > before then refresh t;
-  t.records - before
+  let applied = t.records - before in
+  Sink.incr t.obs "follower.chunks";
+  Sink.incr ~by:applied t.obs "follower.records";
+  Sink.set_gauge t.obs "follower.ingested-bytes" t.ingested;
+  Sink.set_gauge t.obs "follower.snapshot-ts" t.ts;
+  Sink.set_gauge t.obs "follower.skips" t.skipped;
+  Sink.span_finish t.obs t.cur_span ~attrs:(fun () ->
+      [
+        ("bytes", J.Int (String.length chunk));
+        ("records", J.Int applied);
+        ("snapshot_ts", J.Int t.ts);
+      ]);
+  t.cur_span <- -1;
+  applied
 
 let catch_up t log =
   let len = String.length log in

@@ -30,7 +30,17 @@
 
 type t
 
-val create : policy:Mvcc_engine.Engine.policy -> unit -> t
+val create :
+  policy:Mvcc_engine.Engine.policy -> ?obs:Mvcc_obs.Sink.t -> unit -> t
+(** [obs] (default {!Mvcc_obs.Sink.noop}) is pure accounting — replica
+    state is identical with or without it: per chunk a
+    [follower.ingest] span timing the feed (attrs [bytes], [records],
+    [snapshot_ts]) with a [replicated] point span per commit applied
+    under it (attrs [txn], [snapshot_ts] — the commit-to-replicated
+    half of the {!Mvcc_obs.Latency} breakdown), counters
+    [follower.chunks]/[follower.records]/[follower.commits], and
+    gauges [follower.ingested-bytes]/[follower.snapshot-ts]/
+    [follower.skips]. *)
 
 val feed : t -> string -> int
 (** Consume the next chunk of the stream; returns records applied. *)

@@ -8,6 +8,7 @@
    framing layer needed, and the log stays plain JSONL. *)
 
 module Json = Mvcc_obs.Json
+module Sink = Mvcc_obs.Sink
 
 type src = Init | Self | Txn of int
 
@@ -336,6 +337,7 @@ type writer = {
   scratch : Bytes.t ref;
   chan : out_channel option;
   win : window option;
+  obs : Sink.t;
   mutable lsn : int;
   mutable closed : bool;
   mutable forced_bytes : int;
@@ -347,12 +349,13 @@ type writer = {
   mutable boundaries_rev : boundary list;
 }
 
-let writer ?path ?window () =
+let writer ?path ?window ?(obs = Sink.noop) () =
   {
     buf = Buffer.create 4096;
     scratch = ref (Bytes.create 256);
     chan = Option.map open_out path;
     win = window;
+    obs;
     lsn = 0;
     closed = false;
     forced_bytes = 0;
@@ -366,6 +369,11 @@ let writer ?path ?window () =
 
 let force w =
   if w.pend_records > 0 then begin
+    (* pure accounting, like the engine's [?obs]: the bytes written are
+       identical with or without a sink (a qcheck-pinned invariant) *)
+    let sp = Sink.span_start w.obs "wal.force" in
+    let batch_records = w.pend_records and batch_commits = w.pend_commits in
+    let before = w.forced_bytes in
     let len = Buffer.length w.buf in
     Option.iter
       (fun oc ->
@@ -381,7 +389,19 @@ let force w =
     w.pend_commits <- 0;
     w.n_forces <- w.n_forces + 1;
     w.boundaries_rev <-
-      { b_bytes = len; b_lsn = w.lsn; b_acked = w.acked } :: w.boundaries_rev
+      { b_bytes = len; b_lsn = w.lsn; b_acked = w.acked } :: w.boundaries_rev;
+    Sink.incr w.obs "wal.forces";
+    Sink.set_gauge w.obs "wal.force-boundary-lsn" w.lsn;
+    Sink.set_gauge w.obs "wal.forced-bytes" w.forced_bytes;
+    Sink.set_gauge w.obs "wal.acked-commits" w.acked;
+    Sink.span_finish w.obs sp ~attrs:(fun () ->
+        [
+          ("force_boundary", Json.Int w.lsn);
+          ("records", Json.Int batch_records);
+          ("commits", Json.Int batch_commits);
+          ("bytes", Json.Int (len - before));
+          ("acked", Json.Int w.acked);
+        ])
   end
 
 let append w r =
@@ -391,6 +411,9 @@ let append w r =
   w.lsn <- lsn + 1;
   w.pend_records <- w.pend_records + 1;
   (match r with Commit _ -> w.pend_commits <- w.pend_commits + 1 | _ -> ());
+  Sink.incr w.obs "wal.appends";
+  Sink.span_event w.obs "wal.append" ~attrs:(fun () ->
+      [ ("lsn", Json.Int lsn) ]);
   (match w.win with
   | None -> force w
   | Some { max_records; max_commits } ->

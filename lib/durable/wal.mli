@@ -82,14 +82,24 @@ type boundary = {
 
 type writer
 
-val writer : ?path:string -> ?window:window -> unit -> writer
+val writer :
+  ?path:string -> ?window:window -> ?obs:Mvcc_obs.Sink.t -> unit -> writer
 (** An appender assigning LSNs from 0. Records accumulate in memory
     (for {!contents}); with [path] forced batches are written through
     to the file and flushed. Without [window] each append forces
     itself — the PR 6 WAL discipline of forcing the record before the
     action it covers. The log {e bytes} are identical either way: a
     force adds nothing to the stream, it only marks how much of it is
-    durable. *)
+    durable.
+
+    [obs] (default {!Mvcc_obs.Sink.noop}) is pure accounting — the log
+    bytes are identical with or without it (qcheck-pinned): counter
+    [wal.appends] and a [wal.append] point span per record; per force a
+    [wal.force] span timing the write-through, carrying the batch's
+    [force_boundary] LSN, [records]/[commits] batch sizes, [bytes]
+    flushed and the cumulative [acked] count, plus counter [wal.forces]
+    and gauges [wal.force-boundary-lsn], [wal.forced-bytes],
+    [wal.acked-commits]. *)
 
 val append : writer -> record -> int
 (** Append one record; returns its LSN. Forces the batch if the window

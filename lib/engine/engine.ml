@@ -1,5 +1,6 @@
 module Sink = Mvcc_obs.Sink
 module Tr = Mvcc_obs.Trace
+module J = Mvcc_obs.Json
 module Ig = Mvcc_online.Incr_digraph
 module W = Mvcc_provenance.Witness
 
@@ -92,6 +93,10 @@ type client = {
       (* SGT: uncommitted transactions whose dirty data we consumed (or
          whose write we overwrote) — their commit must precede ours, and
          their abort cascades to us *)
+  mutable sp_txn : int;
+      (* open pipeline spans ([-1] when the sink has no span ring):
+         sp_txn covers submit -> commit, sp_attempt one attempt *)
+  mutable sp_attempt : int;
 }
 
 (* Lock table for S2PL. *)
@@ -125,6 +130,8 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           held_read = [];
           held_write = [];
           deps = [];
+          sp_txn = -1;
+          sp_attempt = -1;
         })
       programs
     |> Array.of_list
@@ -155,7 +162,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   Array.iter
     (fun c ->
       Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id });
-      wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts }))
+      wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts });
+      c.sp_txn <-
+        Sink.span_start obs "txn" ~attrs:(fun () ->
+            [ ("txn", J.Int c.id); ("policy", J.Str (policy_name policy)) ]);
+      c.sp_attempt <-
+        Sink.span_start obs ~parent:c.sp_txn "attempt" ~attrs:(fun () ->
+            [ ("txn", J.Int c.id); ("ts", J.Int c.ts) ]))
     clients;
   let locks : (string, lock) Hashtbl.t = Hashtbl.create 16 in
   let lock_of e =
@@ -204,10 +217,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     | Some durable ->
         let d = durable () in
         while !acked < d && not (Queue.is_empty commit_ticks) do
-          let _txn, at = Queue.pop commit_ticks in
+          let txn, at = Queue.pop commit_ticks in
           incr acked;
           Sink.incr obs "engine.acks";
-          Sink.observe obs "engine.ack-lag-ticks" (float_of_int (!ticks - at))
+          Sink.observe obs "engine.ack-lag-ticks" (float_of_int (!ticks - at));
+          Sink.span_event obs ~parent:clients.(txn).sp_txn "durable"
+            ~attrs:(fun () ->
+              [ ("txn", J.Int txn); ("lag_ticks", J.Int (!ticks - at)) ])
         done
   in
   let release c =
@@ -341,7 +357,9 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         in
         Wal_op { txn = c.id; entity = e; write; src });
     Sink.emit obs (fun () ->
-        Tr.Step_scheduled { txn = c.id; entity = e; write })
+        Tr.Step_scheduled { txn = c.id; entity = e; write });
+    Sink.span_event obs ~parent:c.sp_attempt "op" ~attrs:(fun () ->
+        [ ("txn", J.Int c.id); ("entity", J.Str e); ("write", J.Bool write) ])
   in
   let abort ~reason c =
     incr aborts;
@@ -350,6 +368,11 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     Sink.incr obs ("engine.abort." ^ Tr.reason_name reason);
     Sink.emit obs (fun () -> Tr.Txn_abort { txn = c.id; reason });
     wal_emit (fun () -> Wal_abort { txn = c.id; reason });
+    Sink.span_finish obs c.sp_attempt ~attrs:(fun () ->
+        [
+          ("outcome", J.Str "abort");
+          ("reason", J.Str (Tr.reason_name reason));
+        ]);
     release c;
     clear_pending c;
     c.pc <- 0;
@@ -358,6 +381,9 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     c.ts <- fresh_ts ();
     c.snapshot <- c.ts;
     wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts });
+    c.sp_attempt <-
+      Sink.span_start obs ~parent:c.sp_txn "attempt" ~attrs:(fun () ->
+          [ ("txn", J.Int c.id); ("ts", J.Int c.ts) ]);
     (* randomized restart backoff: immediate retry livelocks symmetric
        conflicts (every victim re-collides with the transaction that beat
        it); a short random sit-out breaks the symmetry *)
@@ -481,6 +507,15 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     Sink.incr obs "engine.commits";
     Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id });
     wal_emit (fun () -> Wal_commit { txn = c.id });
+    Sink.span_event obs ~parent:c.sp_attempt "commit" ~attrs:(fun () ->
+        [ ("txn", J.Int c.id) ]);
+    Sink.span_finish obs c.sp_attempt ~attrs:(fun () ->
+        [ ("outcome", J.Str "commit") ]);
+    Sink.span_finish obs c.sp_txn ~attrs:(fun () ->
+        [
+          ("outcome", J.Str "committed");
+          ("attempts", J.Int (attempts.(c.id) + 1));
+        ]);
     if Option.is_some wal_durable then
       Queue.push (c.id, !ticks) commit_ticks
   in
@@ -488,7 +523,9 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     (* write-ahead: the install record precedes the store mutation *)
     wal_emit (fun () -> Wal_install { txn = c.id; entity = e; value; wts });
     Store.install store e ~value ~wts;
-    Hashtbl.replace writer_of_wts wts c.id
+    Hashtbl.replace writer_of_wts wts c.id;
+    Sink.span_event obs ~parent:c.sp_attempt "install" ~attrs:(fun () ->
+        [ ("txn", J.Int c.id); ("entity", J.Str e); ("wts", J.Int wts) ])
   in
   let commit c =
     (* install buffered writes oldest-binding-last so the final value of a
@@ -747,6 +784,20 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   in
   loop ();
   poll_acks ();
+  (* a run cut off by [max_ticks] leaves transactions mid-flight; close
+     their spans so every exported span tree is complete *)
+  Array.iter
+    (fun c ->
+      if c.status <> Committed then begin
+        Sink.span_finish obs c.sp_attempt ~attrs:(fun () ->
+            [ ("outcome", J.Str "running") ]);
+        Sink.span_finish obs c.sp_txn ~attrs:(fun () ->
+            [
+              ("outcome", J.Str "running");
+              ("attempts", J.Int (attempts.(c.id) + 1));
+            ])
+      end)
+    clients;
   let max_chain =
     List.fold_left
       (fun acc e -> max acc (Store.version_count store e))

@@ -148,6 +148,18 @@ val run :
     begin/commit/abort-with-reason, step scheduled/delayed, commit
     waits, and certifier arc-insert/rollback.
 
+    With a span ring attached the run additionally emits the pipeline
+    span grammar (DESIGN.md): a [txn] root span per client (submit to
+    final outcome, attrs [txn]/[policy], closed with [outcome] and
+    [attempts]), an [attempt] child span per attempt (closed with
+    [outcome] and the abort [reason]; cascades carry
+    [reason = "cascade"]), [op]/[install]/[commit] point spans under
+    the attempt, and — with [wal_durable] — a [durable] point span per
+    acknowledged commit carrying [lag_ticks], from which
+    {!Mvcc_obs.Latency} derives the commit-latency and durability-lag
+    histograms. Spans cut off by [max_ticks] are closed with
+    [outcome = "running"], so exported span trees are always complete.
+
     [prov] (default off) makes the run issue a decision certificate: the
     committed history together with a witness of the policy's guarantee —
     [Member Csr] with the commit order (S2PL), the timestamp order (TO),

@@ -1,0 +1,66 @@
+(* Chrome trace-event rendering.
+
+   The only place lib/obs emits nested JSON; the trace-event format
+   needs an array of objects with an "args" sub-object, which the flat
+   Json module cannot express, so events are assembled with Json.quote
+   and Json.obj for the leaf pieces and explicit punctuation for the
+   structure. *)
+
+let prefixed p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* engine=1, wal=2, follower=3 — fixed pids so the viewer's process
+   grouping matches the pipeline stages. *)
+let pid_of (s : Span.span) =
+  if prefixed "wal." s.Span.name then 2
+  else if
+    prefixed "follower." s.Span.name || s.Span.name = "replicated"
+  then 3
+  else 1
+
+let tid_of (s : Span.span) =
+  match List.assoc_opt "txn" s.Span.attrs with
+  | Some (Json.Int i) -> i
+  | _ -> 0
+
+let cat_of (s : Span.span) =
+  match String.index_opt s.Span.name '.' with
+  | Some i -> String.sub s.Span.name 0 i
+  | None -> "engine"
+
+let event (s : Span.span) =
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+     \"pid\":%d,\"tid\":%d,\"args\":%s}"
+    (Json.quote s.Span.name) (Json.quote (cat_of s))
+    (float_of_int s.Span.t0 /. 1e3)
+    (float_of_int (s.Span.t1 - s.Span.t0) /. 1e3)
+    (pid_of s) (tid_of s)
+    (Json.obj s.Span.attrs)
+
+let process_name pid name =
+  Printf.sprintf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+     \"args\":{\"name\":%s}}"
+    pid (Json.quote name)
+
+let render spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let sep = ref "" in
+  let add ev =
+    Buffer.add_string b !sep;
+    Buffer.add_string b ev;
+    sep := ","
+  in
+  add (process_name 1 "engine");
+  add (process_name 2 "wal");
+  add (process_name 3 "follower");
+  List.iter (fun s -> add (event s)) spans;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_file path spans =
+  let oc = open_out path in
+  output_string oc (render spans);
+  close_out oc

@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export of a span list — loadable in
+    [chrome://tracing] or Perfetto for an interactive view of the same
+    waterfall [timeline] prints as ASCII.
+
+    Each span becomes a complete ("ph":"X") event. Rows are arranged so
+    the viewer groups the pipeline: engine spans under process 1 with
+    one track (tid) per transaction, WAL-writer spans ([wal.*]) under
+    process 2, follower spans ([follower.*] and [replicated]) under
+    process 3; process-name metadata events label the three. Span
+    ticks (ns) become the format's microsecond [ts]/[dur]; attributes
+    ride along as [args]. *)
+
+val render : Span.span list -> string
+(** A [{"displayTimeUnit":..,"traceEvents":[...]}] document. *)
+
+val write_file : string -> Span.span list -> unit

@@ -1,0 +1,99 @@
+(* Collapse the span stream into a per-transaction latency table.
+
+   Only three span shapes matter here: the [txn] root span (submit =
+   start; commit = end when it closed with outcome "committed"; its
+   "attempts" attribute counts restarts), and the [durable] /
+   [replicated] point spans carrying a "txn" attribute. Everything
+   else (attempts, ops, installs, wal forces, follower ingests) is
+   waterfall detail this projection ignores. *)
+
+type txn = {
+  txn : int;
+  t_submit : int;
+  t_commit : int option;
+  t_durable : int option;
+  t_replicated : int option;
+  attempts : int;
+}
+
+let attr_int k (s : Span.span) =
+  match List.assoc_opt k s.Span.attrs with
+  | Some (Json.Int i) -> Some i
+  | _ -> None
+
+let attr_str k (s : Span.span) =
+  match List.assoc_opt k s.Span.attrs with
+  | Some (Json.Str v) -> Some v
+  | _ -> None
+
+let per_txn spans =
+  let tbl = Hashtbl.create 32 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            txn = id;
+            t_submit = 0;
+            t_commit = None;
+            t_durable = None;
+            t_replicated = None;
+            attempts = 1;
+          }
+        in
+        Hashtbl.replace tbl id r;
+        r
+  in
+  List.iter
+    (fun (s : Span.span) ->
+      match (s.Span.name, attr_int "txn" s) with
+      | "txn", Some id ->
+          let r = get id in
+          let committed = attr_str "outcome" s = Some "committed" in
+          Hashtbl.replace tbl id
+            {
+              r with
+              t_submit = s.Span.t0;
+              t_commit = (if committed then Some s.Span.t1 else None);
+              attempts =
+                (match attr_int "attempts" s with Some a -> a | None -> 1);
+            }
+      | "durable", Some id ->
+          let r = get id in
+          Hashtbl.replace tbl id { r with t_durable = Some s.Span.t1 }
+      | "replicated", Some id ->
+          let r = get id in
+          (* first application wins; a re-fed follower must not move it *)
+          if r.t_replicated = None then
+            Hashtbl.replace tbl id { r with t_replicated = Some s.Span.t1 }
+      | _ -> ())
+    spans;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.txn b.txn)
+
+let ordered txns =
+  let le a b = match (a, b) with Some x, Some y -> x <= y | _ -> true in
+  List.for_all
+    (fun r ->
+      le (Some r.t_submit) r.t_commit
+      && le r.t_commit r.t_durable
+      && le r.t_commit r.t_replicated
+      && le r.t_durable r.t_replicated)
+    txns
+
+let observe m txns =
+  let secs a b = float_of_int (b - a) /. 1e9 in
+  List.iter
+    (fun r ->
+      match r.t_commit with
+      | None -> ()
+      | Some c ->
+          Metrics.observe m "txn.commit-latency_s" (secs r.t_submit c);
+          (match r.t_durable with
+          | Some d -> Metrics.observe m "txn.durability-lag_s" (secs c d)
+          | None -> ());
+          (match r.t_replicated with
+          | Some rp -> Metrics.observe m "txn.replication-lag_s" (secs c rp)
+          | None -> ()))
+    txns

@@ -1,0 +1,34 @@
+(** Per-transaction latency breakdown derived from pipeline spans.
+
+    The span grammar (see DESIGN.md) marks four points in a committed
+    transaction's life: submit ([txn] span start), commit ([txn] span
+    end with [outcome = "committed"]), durable (the [durable] point
+    span the ack poll emits when the WAL force covering the commit is
+    acknowledged), and replicated (the [replicated] point span the
+    follower emits when it applies the commit). This module collapses
+    a span list into one record per transaction and projects the three
+    first-class latency histograms — commit latency, durability lag,
+    replication lag — into a {!Metrics.t} registry. *)
+
+type txn = {
+  txn : int;
+  t_submit : int;  (** [txn] span start tick (ns) *)
+  t_commit : int option;  (** commit tick; [None] if never committed *)
+  t_durable : int option;  (** ack tick; [None] if never acked *)
+  t_replicated : int option;  (** follower-apply tick *)
+  attempts : int;  (** 1 + aborts (restarts included) *)
+}
+
+val per_txn : Span.span list -> txn list
+(** One record per transaction id seen, sorted by id. *)
+
+val ordered : txn list -> bool
+(** The pipeline-order invariant: for every transaction,
+    [submit <= commit <= durable <= replicated] over whichever points
+    are present. What the qcheck property pins. *)
+
+val observe : Metrics.t -> txn list -> unit
+(** Project into histograms [txn.commit-latency_s] (submit to commit),
+    [txn.durability-lag_s] (commit to durable) and
+    [txn.replication-lag_s] (commit to replicated), in seconds;
+    transactions missing a point contribute nothing to that histogram. *)

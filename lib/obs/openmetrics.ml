@@ -1,0 +1,53 @@
+(* OpenMetrics text exposition of a Metrics snapshot.
+
+   The registry's histograms are log-scale with quantile estimates, so
+   they project onto the OpenMetrics "summary" family (quantile samples
+   + _sum + _count) rather than "histogram" (which would want the raw
+   cumulative buckets). Counters gain the spec's _total suffix. Output
+   is deterministic: Metrics.snapshot sorts by name. *)
+
+let metric_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+(* %.17g round-trips any float exactly; trim the common integral case
+   so gauges mirrored from counters stay readable. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let render m =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      match v with
+      | Metrics.VCounter c ->
+          add "# TYPE %s counter\n" n;
+          add "%s_total %d\n" n c
+      | Metrics.VGauge g ->
+          add "# TYPE %s gauge\n" n;
+          add "%s %d\n" n g
+      | Metrics.VHistogram s ->
+          add "# TYPE %s summary\n" n;
+          add "%s{quantile=\"0.5\"} %s\n" n (number s.Metrics.p50);
+          add "%s{quantile=\"0.95\"} %s\n" n (number s.Metrics.p95);
+          add "%s{quantile=\"0.99\"} %s\n" n (number s.Metrics.p99);
+          add "%s_sum %s\n" n (number s.Metrics.sum);
+          add "%s_count %d\n" n s.Metrics.count)
+    (Metrics.snapshot m);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write_file path m =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (render m);
+  close_out oc;
+  Sys.rename tmp path

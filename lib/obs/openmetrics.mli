@@ -1,0 +1,21 @@
+(** OpenMetrics text rendering of a {!Metrics} snapshot — the format
+    Prometheus-family scrapers ingest, so a long-running [follow] can
+    keep a scrape-able file fresh next to its tailing loop.
+
+    Counters render as [name_total], gauges as bare samples, and
+    histograms as OpenMetrics [summary] families (the registry keeps
+    log-scale bucket summaries, so quantile samples at 0.5/0.95/0.99
+    plus [_sum]/[_count] are the faithful projection). Metric names are
+    sanitized ([.] and [-] become [_]); the exposition ends with the
+    required [# EOF] terminator. *)
+
+val metric_name : string -> string
+(** A registry name as a legal OpenMetrics metric name: every
+    character outside [[A-Za-z0-9_:]] becomes ['_']. *)
+
+val render : Metrics.t -> string
+(** The full exposition, deterministic (snapshot order is sorted). *)
+
+val write_file : string -> Metrics.t -> unit
+(** Atomically-ish replace [path] with {!render}'s output (write then
+    rename, so a concurrent scraper never reads a half-written file). *)

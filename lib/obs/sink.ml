@@ -1,17 +1,26 @@
-(* The instrumentation funnel: a sink is either live (metrics and/or a
-   trace ring) or the shared noop. Every operation pattern-matches the
-   relevant component first, so on the noop each call is one branch —
-   and the thunked variants ([emit], [time]) never build the event or
-   read the clock when nobody is listening. *)
+(* The instrumentation funnel: a sink is either live (metrics, a trace
+   ring, and/or a span ring) or the shared noop. Every operation
+   pattern-matches the relevant component first, so on the noop each
+   call is one branch — and the thunked variants ([emit], [time], the
+   span operations) never build the event, the attribute list, or read
+   the clock when nobody is listening. *)
 
-type t = { metrics : Metrics.t option; trace : Trace.t option }
+type t = {
+  metrics : Metrics.t option;
+  trace : Trace.t option;
+  spans : Span.t option;
+}
 
-let noop = { metrics = None; trace = None }
-let create ?metrics ?trace () = { metrics; trace }
+let noop = { metrics = None; trace = None; spans = None }
+let create ?metrics ?trace ?spans () = { metrics; trace; spans }
 
-let enabled t = Option.is_some t.metrics || Option.is_some t.trace
+let enabled t =
+  Option.is_some t.metrics || Option.is_some t.trace
+  || Option.is_some t.spans
+
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans
 
 let incr ?(by = 1) t name =
   match t.metrics with None -> () | Some m -> Metrics.incr ~by m name
@@ -33,3 +42,20 @@ let time t name f =
       let result = f () in
       Metrics.observe m name (Unix.gettimeofday () -. t0);
       result
+
+let force_attrs = function None -> [] | Some f -> f ()
+
+let span_start ?parent ?attrs t name =
+  match t.spans with
+  | None -> -1
+  | Some s -> Span.start s ?parent ~attrs:(force_attrs attrs) name
+
+let span_finish ?attrs t id =
+  match t.spans with
+  | None -> ()
+  | Some s -> Span.finish s ~attrs:(force_attrs attrs) id
+
+let span_event ?parent ?attrs t name =
+  match t.spans with
+  | None -> ()
+  | Some s -> Span.event s ?parent ~attrs:(force_attrs attrs) name

@@ -1,29 +1,32 @@
 (** The instrumentation funnel handed to the engine, the schedulers,
-    and the certifier.
+    the certifier, the WAL writer, and the follower.
 
-    A sink bundles an optional {!Metrics.t} registry and an optional
-    {!Trace.t} ring. Instrumented code calls the operations below
-    unconditionally; on {!noop} each call is a single pattern match on
-    [None], the thunk passed to {!emit} is never forced, and {!time}
-    never reads the clock — observability is free when off, and the
+    A sink bundles an optional {!Metrics.t} registry, an optional
+    {!Trace.t} ring, and an optional {!Span.t} ring. Instrumented code
+    calls the operations below unconditionally; on {!noop} each call is
+    a single pattern match on [None], the thunks passed to {!emit} and
+    the span operations are never forced, and {!time}/{!span_start}
+    never read the clock — observability is free when off, and the
     decision-invariance property tests (test/test_obs.ml) check it is
     also {e silent}: enabling a sink never changes any scheduling or
-    certification decision. *)
+    certification decision, nor a byte of the WAL. *)
 
 type t
 
 val noop : t
 (** The disabled sink: every operation is a no-op. *)
 
-val create : ?metrics:Metrics.t -> ?trace:Trace.t -> unit -> t
+val create :
+  ?metrics:Metrics.t -> ?trace:Trace.t -> ?spans:Span.t -> unit -> t
 
 val enabled : t -> bool
-(** [false] exactly for sinks with neither component (e.g. {!noop}) —
-    the guard for instrumentation that must read auxiliary state (graph
+(** [false] exactly for sinks with no component (e.g. {!noop}) — the
+    guard for instrumentation that must read auxiliary state (graph
     sizes, clocks) before it can record anything. *)
 
 val metrics : t -> Metrics.t option
 val trace : t -> Trace.t option
+val spans : t -> Span.t option
 
 val incr : ?by:int -> t -> string -> unit
 val set_gauge : t -> string -> int -> unit
@@ -37,3 +40,25 @@ val time : t -> string -> (unit -> 'a) -> 'a
 (** [time t name f] runs [f] and records its wall-clock duration (in
     seconds) in histogram [name]; without metrics it is exactly [f ()]
     — the clock is never read. *)
+
+val span_start :
+  ?parent:int ->
+  ?attrs:(unit -> (string * Json.value) list) ->
+  t ->
+  string ->
+  int
+(** Open a span in the attached ring and return its id, or [-1] when
+    no ring is attached (the id {!span_finish} ignores). [attrs] is a
+    thunk, only forced when a ring is live; a negative [parent] means
+    no parent, so callers can thread returned ids directly. *)
+
+val span_finish :
+  ?attrs:(unit -> (string * Json.value) list) -> t -> int -> unit
+
+val span_event :
+  ?parent:int ->
+  ?attrs:(unit -> (string * Json.value) list) ->
+  t ->
+  string ->
+  unit
+(** A zero-duration point span (see {!Span.event}). *)

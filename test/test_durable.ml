@@ -153,6 +153,52 @@ let prop_writer_bytes_match_reference =
       Wal.close w;
       bytes_ok && Wal.durable_contents w = Wal.contents w)
 
+(* a writer's obs sink is pure accounting: same bytes, same durable
+   prefix, same acks and forces as a blind writer, for every window
+   shape — and the counters agree with the writer's own accessors. *)
+let prop_obs_writer_byte_invariance =
+  QCheck2.Test.make
+    ~name:"writer with a live sink is byte-identical to a blind writer"
+    ~count:200
+    QCheck2.Gen.(
+      let* rs = list_size (int_range 0 25) gen_record
+      and* win = oneofl [ `None; `R 1; `R 3; `C 2; `RC (4, 2) ] in
+      return (rs, win))
+    (fun (rs, win) ->
+      let window () =
+        match win with
+        | `None -> None
+        | `R r -> Some (Wal.window ~records:r ())
+        | `C c -> Some (Wal.window ~commits:c ())
+        | `RC (r, c) -> Some (Wal.window ~records:r ~commits:c ())
+      in
+      let m = Mvcc_obs.Metrics.create () in
+      let spans = Mvcc_obs.Span.create () in
+      let obs = Sink.create ~metrics:m ~spans () in
+      let blind = Wal.writer ?window:(window ()) () in
+      let seen = Wal.writer ?window:(window ()) ~obs () in
+      List.iter
+        (fun r ->
+          ignore (Wal.append blind r);
+          ignore (Wal.append seen r))
+        rs;
+      let agree_live =
+        Wal.contents blind = Wal.contents seen
+        && Wal.durable_contents blind = Wal.durable_contents seen
+        && Wal.acked_commits blind = Wal.acked_commits seen
+        && Wal.forces blind = Wal.forces seen
+      in
+      Wal.close blind;
+      Wal.close seen;
+      agree_live
+      && Wal.contents blind = Wal.contents seen
+      && Wal.force_boundaries blind = Wal.force_boundaries seen
+      && Mvcc_obs.Metrics.counter m "wal.appends" = List.length rs
+      && Mvcc_obs.Metrics.counter m "wal.forces" = Wal.forces seen
+      && Mvcc_obs.Metrics.gauge m "wal.acked-commits"
+         = Wal.acked_commits seen
+      && Mvcc_obs.Span.open_spans spans = 0)
+
 (* window=1 group commit must be indistinguishable from the PR 6
    flush-per-record path: byte-identical file, and the identical durable
    prefix after every single append. *)
@@ -621,6 +667,7 @@ let () =
             prop_codec_roundtrip;
             prop_codec_rejects_tamper;
             prop_writer_bytes_match_reference;
+            prop_obs_writer_byte_invariance;
             prop_wal_off_invariance;
             prop_follower_equiv_recovery;
           ] );

@@ -11,10 +11,17 @@ module H = Mvcc_obs.Metrics.Histogram
 module Trace = Mvcc_obs.Trace
 module Sink = Mvcc_obs.Sink
 module Json = Mvcc_obs.Json
+module Span = Mvcc_obs.Span
+module Latency = Mvcc_obs.Latency
+module Om = Mvcc_obs.Openmetrics
+module Ct = Mvcc_obs.Chrome_trace
 module Driver = Mvcc_sched.Driver
 module Certifier = Mvcc_online.Certifier
 module E = Mvcc_engine.Engine
 module P = Mvcc_engine.Program
+module D_wal = Mvcc_durable.Wal
+module D_hook = Mvcc_durable.Hook
+module Follower = Mvcc_durable.Follower
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -123,6 +130,36 @@ let test_histogram_overflow () =
       check_int "summary count" 2 s.Metrics.count);
   check "overflow appears in the JSON snapshot" true
     (contains (Metrics.to_json m) "\"overflow\":1")
+
+(* -- quantile edge cases: the degenerate distributions exporters hit -- *)
+
+let test_histogram_quantile_edges () =
+  (* a single sample: every quantile is that sample, capped at max *)
+  let h = H.create () in
+  H.observe h (3. *. H.lo);
+  check_int "single sample counted" 1 (H.count h);
+  check_float "p50 of one sample" (3. *. H.lo) (H.quantile h 0.50);
+  check_float "p99 of one sample" (3. *. H.lo) (H.quantile h 0.99);
+  check_float "p100 of one sample" (3. *. H.lo) (H.quantile h 1.0);
+  (* every sample in the overflow bucket: the bucket upper bound is
+     infinite, so the max-seen cap is what keeps quantiles finite *)
+  let h = H.create () in
+  H.observe h 1e30;
+  H.observe h 2e30;
+  H.observe h 3e30;
+  check_int "all samples are overflow" 3 (H.overflow h);
+  check_float "overflow quantile capped at max" 3e30 (H.quantile h 0.5);
+  check "overflow quantile finite" true (H.quantile h 0.99 < infinity);
+  (* a never-touched histogram reads as all-neutral, and a registry
+     never asked to observe reports no summary at all *)
+  let h = H.create () in
+  check_int "untouched count" 0 (H.count h);
+  check_float "untouched quantile" 0. (H.quantile h 0.5);
+  check_float "untouched max" 0. (H.max_seen h);
+  check_float "untouched sum" 0. (H.sum h);
+  check_int "untouched overflow" 0 (H.overflow h);
+  check "unregistered summary is None" true
+    (Metrics.summary (Metrics.create ()) "nope" = None)
 
 (* -- metrics registry -- *)
 
@@ -334,6 +371,242 @@ let test_json_parser () =
   check "nested object rejected" true
     (Json.parse_obj "{\"a\":{\"b\":1}}" = None)
 
+(* -- spans: ring accounting, round trip, well-formedness checker -- *)
+
+(* a deterministic clock advancing 1us per read, so tick arithmetic in
+   the tests is exact *)
+let counter_clock () =
+  let t = ref 0. in
+  fun () ->
+    t := !t +. 1e-6;
+    !t
+
+let test_span_ring () =
+  let s = Span.create ~capacity:4 ~clock:(counter_clock ()) () in
+  check_int "empty ring" 0 (List.length (Span.to_list s));
+  check_int "no opens" 0 (Span.open_spans s);
+  let root = Span.start s "txn" ~attrs:[ ("txn", Json.Int 0) ] in
+  let child = Span.start s ~parent:root "attempt" in
+  check_int "two open spans" 2 (Span.open_spans s);
+  check_int "nothing finished yet" 0 (List.length (Span.to_list s));
+  Span.finish s child ~attrs:[ ("outcome", Json.Str "commit") ];
+  Span.finish s root;
+  check_int "both landed in the ring" 2 (List.length (Span.to_list s));
+  check_int "opens drained" 0 (Span.open_spans s);
+  (* finish order, not id order: the child closed first *)
+  check "child finishes first" true
+    (match Span.to_list s with
+    | [ a; b ] -> a.Span.name = "attempt" && b.Span.name = "txn"
+    | _ -> false);
+  (* attrs at start and finish concatenate *)
+  check "finish attrs appended" true
+    (List.exists
+       (fun sp ->
+         sp.Span.name = "attempt"
+         && sp.Span.attrs = [ ("outcome", Json.Str "commit") ])
+       (Span.to_list s));
+  (* negative parent means root; unknown finish is ignored *)
+  let orphan = Span.start s ~parent:(-1) "root" in
+  Span.finish s 9999;
+  Span.finish s (-1);
+  Span.finish s orphan;
+  check "negative parent is a root" true
+    (List.exists
+       (fun sp -> sp.Span.name = "root" && sp.Span.parent = None)
+       (Span.to_list s));
+  (* wraparound: overfill the capacity-4 ring with point events *)
+  for i = 0 to 9 do
+    Span.event s "p" ~attrs:[ ("i", Json.Int i) ]
+  done;
+  check_int "ring holds capacity" 4 (List.length (Span.to_list s));
+  check_int "emitted counts everything" 13 (Span.emitted s);
+  check_int "dropped = emitted - capacity" 9 (Span.dropped s);
+  (* the monotonic ticks from the counter clock are strictly ordered in
+     start order: each event's t0 exceeds the previous one's *)
+  check "ticks increase" true
+    (let ts = List.map (fun sp -> sp.Span.t0) (Span.to_list s) in
+     List.sort compare ts = ts);
+  check "bad capacity rejected" true
+    (try
+       ignore (Span.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_span_json_round_trip () =
+  let s = Span.create ~clock:(counter_clock ()) () in
+  let root = Span.start s "txn" ~attrs:[ ("txn", Json.Int 3) ] in
+  let kid = Span.start s ~parent:root "attempt" in
+  Span.event s ~parent:root "durable"
+    ~attrs:[ ("lag_ticks", Json.Int 2); ("who", Json.Str "a\"b\\c") ];
+  Span.finish s kid ~attrs:[ ("outcome", Json.Str "commit") ];
+  Span.finish s root;
+  List.iter
+    (fun sp ->
+      match Span.of_json (Span.to_json sp) with
+      | None -> Alcotest.fail ("unparseable: " ^ Span.to_json sp)
+      | Some sp' -> check ("round trip " ^ Span.to_json sp) true (sp = sp'))
+    (Span.to_list s);
+  check "garbage rejected" true (Span.of_json "{\"id\":1" = None);
+  check "missing fields rejected" true
+    (Span.of_json "{\"id\":1,\"name\":\"x\"}" = None);
+  (* file round trip through the tolerant reader *)
+  let file = Filename.temp_file "mvcc_span" ".jsonl" in
+  let oc = open_out file in
+  Span.write_jsonl oc s;
+  close_out oc;
+  let ic = open_in file in
+  let spans, stats = Span.read_jsonl ic in
+  close_in ic;
+  Sys.remove file;
+  check_int "clean file skips nothing" 0 stats.Mvcc_obs.Jsonl.skipped;
+  check "file round trips the ring" true (spans = Span.to_list s)
+
+let test_span_check () =
+  let sp ?parent ~id ~t0 ~t1 name =
+    { Span.id; parent; name; t0; t1; attrs = [] }
+  in
+  check "empty list sound" true (Span.check [] = None);
+  let sound =
+    [ sp ~id:0 ~t0:0 ~t1:5 "txn"; sp ~parent:0 ~id:1 ~t0:1 ~t1:2 "attempt" ]
+  in
+  check "sound tree accepted" true (Span.check sound = None);
+  check "duplicate ids rejected" true
+    (Span.check [ sp ~id:1 ~t0:0 ~t1:1 "a"; sp ~id:1 ~t0:0 ~t1:1 "b" ]
+    <> None);
+  check "t1 before t0 rejected" true
+    (Span.check [ sp ~id:0 ~t0:5 ~t1:4 "a" ] <> None);
+  check "child starting before parent rejected" true
+    (Span.check
+       [ sp ~id:0 ~t0:3 ~t1:5 "p"; sp ~parent:0 ~id:1 ~t0:1 ~t1:4 "c" ]
+    <> None);
+  check "parent with larger id rejected" true
+    (Span.check
+       [ sp ~id:0 ~t0:0 ~t1:1 ~parent:7 "c"; sp ~id:7 ~t0:0 ~t1:2 "p" ]
+    <> None);
+  (* a parent the ring evicted is skipped, not flagged *)
+  check "evicted parent tolerated" true
+    (Span.check [ sp ~parent:99 ~id:100 ~t0:0 ~t1:1 "orphan" ] = None)
+
+(* -- exporters -- *)
+
+let test_openmetrics_render () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:5 m "engine.commits";
+  Metrics.set_gauge m "wal.force-boundary-lsn" 17;
+  Metrics.observe m "txn.commit-latency_s" 0.001;
+  Metrics.observe m "txn.commit-latency_s" 0.004;
+  let text = Om.render m in
+  check "counter typed and totaled" true
+    (contains text "# TYPE engine_commits counter"
+    && contains text "engine_commits_total 5");
+  check "gauge bare sample" true
+    (contains text "wal_force_boundary_lsn 17");
+  check "histogram renders as summary family" true
+    (contains text "# TYPE txn_commit_latency_s summary"
+    && contains text "txn_commit_latency_s{quantile=\"0.5\"}"
+    && contains text "txn_commit_latency_s_count 2");
+  check "exposition terminated" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  check "name sanitization" true
+    (Om.metric_name "a.b-c d" = "a_b_c_d");
+  (* atomic write leaves exactly the rendered bytes *)
+  let file = Filename.temp_file "mvcc_om" ".prom" in
+  Om.write_file file m;
+  let ic = open_in_bin file in
+  let bytes = In_channel.input_all ic in
+  close_in ic;
+  Sys.remove file;
+  check "write_file = render" true (bytes = text)
+
+let test_chrome_trace_render () =
+  let s = Span.create ~clock:(counter_clock ()) () in
+  let root = Span.start s "txn" ~attrs:[ ("txn", Json.Int 2) ] in
+  Span.event s "wal.append" ~attrs:[ ("lsn", Json.Int 0) ];
+  Span.event s ~parent:root "replicated" ~attrs:[ ("txn", Json.Int 2) ];
+  Span.finish s root;
+  let doc = Ct.render (Span.to_list s) in
+  check "document shape" true
+    (contains doc "\"displayTimeUnit\"" && contains doc "\"traceEvents\"");
+  check "complete events" true (contains doc "\"ph\":\"X\"");
+  check "process metadata present" true
+    (contains doc "\"process_name\"" && contains doc "\"follower\"");
+  check "engine rows keyed by txn" true (contains doc "\"tid\":2");
+  (* the three pipeline processes get distinct pids *)
+  check "wal under its own process" true (contains doc "\"pid\":2");
+  check "follower under its own process" true (contains doc "\"pid\":3")
+
+(* -- the span pipeline end to end: engine + WAL + follower share one
+   ring; the result must be structurally sound and latency-ordered -- *)
+
+let accounts = List.init 6 (fun i -> Printf.sprintf "a%d" i)
+let initial = List.map (fun a -> (a, 100)) accounts
+
+let pipeline_spans ~policy ~seed ~commits_window =
+  let spans = Span.create ~capacity:65536 ~clock:(counter_clock ()) () in
+  let metrics = Metrics.create () in
+  let obs = Sink.create ~metrics ~spans () in
+  let w = D_wal.writer ~window:(D_wal.window ~commits:commits_window ()) ~obs () in
+  let hook = D_hook.create w in
+  let programs =
+    List.init 4 (fun i ->
+        P.transfer ~label:(string_of_int i)
+          ~from_:(List.nth accounts (i mod 6))
+          ~to_:(List.nth accounts ((i + 1) mod 6))
+          5)
+    @ [ P.read_all ~label:"r" accounts ]
+  in
+  let r =
+    E.run ~policy ~initial ~programs ~obs
+      ~wal:(D_hook.listener hook)
+      ~wal_durable:(fun () -> D_wal.acked_commits w)
+      ~seed ()
+  in
+  D_wal.close w;
+  let f = Follower.create ~policy ~obs () in
+  let log = D_wal.contents w in
+  List.iter
+    (fun (b : D_wal.boundary) ->
+      ignore (Follower.catch_up f (String.sub log 0 b.D_wal.b_bytes)))
+    (D_wal.force_boundaries w);
+  ignore (Follower.catch_up f log);
+  (r, spans, metrics)
+
+let prop_span_tree_wellformed =
+  QCheck2.Test.make
+    ~name:
+      "pipeline span trees are well-formed and latency points are ordered"
+    ~count:60
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ] in
+      let* commits_window = int_range 1 4 in
+      return (seed, policy, commits_window))
+    (fun (seed, policy, commits_window) ->
+      let r, spans, metrics = pipeline_spans ~policy ~seed ~commits_window in
+      let sl = Span.to_list spans in
+      let txns = Latency.per_txn sl in
+      let committed =
+        List.length (List.filter (fun t -> t.Latency.t_commit <> None) txns)
+      in
+      Latency.observe metrics txns;
+      let hist_count name =
+        match Metrics.summary metrics name with
+        | Some s -> s.Metrics.count
+        | None -> 0
+      in
+      Span.check sl = None
+      && Span.open_spans spans = 0
+      && Span.dropped spans = 0
+      && Latency.ordered txns
+      && committed = r.E.stats.E.commits
+      && hist_count "txn.commit-latency_s" = committed
+      (* every commit the engine acked has a durability-lag sample *)
+      && hist_count "txn.durability-lag_s"
+         = Option.value ~default:0 r.E.durable_commits
+      (* the follower replays the whole log: every commit replicated *)
+      && hist_count "txn.replication-lag_s" = committed)
+
 (* -- noop sink is inert -- *)
 
 let test_noop_sink () =
@@ -371,9 +644,10 @@ let same_outcome (a : Driver.outcome) (b : Driver.outcome) =
   && Version_fn.equal a.Driver.version_fn b.Driver.version_fn
 
 let live_sink () =
-  (* a deliberately tiny ring so the property also exercises wraparound *)
+  (* deliberately tiny rings so the property also exercises wraparound *)
   Sink.create ~metrics:(Metrics.create ())
     ~trace:(Trace.create ~capacity:32 ())
+    ~spans:(Span.create ~capacity:32 ())
     ()
 
 let gen_schedule =
@@ -419,9 +693,6 @@ let prop_certifier_invariance =
             (Schedule.steps s))
         [ Certifier.Conflict; Certifier.Mv_conflict ])
 
-let accounts = List.init 6 (fun i -> Printf.sprintf "a%d" i)
-let initial = List.map (fun a -> (a, 100)) accounts
-
 let prop_engine_invariance =
   QCheck2.Test.make
     ~name:"engine runs are bit-identical with and without a sink" ~count:80
@@ -456,6 +727,8 @@ let () =
             test_histogram_quantiles;
           Alcotest.test_case "histogram overflow" `Quick
             test_histogram_overflow;
+          Alcotest.test_case "histogram quantile edges" `Quick
+            test_histogram_quantile_edges;
           Alcotest.test_case "registry" `Quick test_metrics_registry;
         ] );
       ( "trace",
@@ -470,6 +743,19 @@ let () =
             test_trace_torn_tail_every_offset;
           Alcotest.test_case "json parser" `Quick test_json_parser;
         ] );
+      ( "spans",
+        [
+          Alcotest.test_case "ring accounting" `Quick test_span_ring;
+          Alcotest.test_case "json round trip" `Quick
+            test_span_json_round_trip;
+          Alcotest.test_case "well-formedness checker" `Quick
+            test_span_check;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "openmetrics" `Quick test_openmetrics_render;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_render;
+        ] );
       ("sink", [ Alcotest.test_case "noop inert" `Quick test_noop_sink ]);
       ( "invariance",
         List.map QCheck_alcotest.to_alcotest
@@ -477,4 +763,6 @@ let () =
             prop_scheduler_invariance; prop_certifier_invariance;
             prop_engine_invariance;
           ] );
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest [ prop_span_tree_wellformed ] );
     ]
