@@ -82,6 +82,9 @@ let () =
     record "E24 group-commit" (E_group.run ~passes:(if quick then 5 else 9));
   if selected "e25" then
     record "E25 spans" (E_spans.run ~passes:(if quick then 3 else 7));
+  if selected "e26" then
+    record "E26 sharded-engine"
+      (E_sharded.run ~passes:(if quick then 3 else 5));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

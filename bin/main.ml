@@ -24,6 +24,37 @@ let policy_conv =
 let policy_arg ~doc =
   Arg.(value & opt policy_conv Mvcc_engine.Engine.Mvto & info [ "policy" ] ~doc)
 
+let cores_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cores" ] ~docv:"N"
+        ~doc:
+          "Execution worker domains for the engine's sharded pipeline. 1 \
+           (the default) is the sequential reference; higher counts defer \
+           value computation to $(docv) worker domains replaying committed \
+           transactions in dependency waves at batch boundaries. The \
+           committed history, decisions, certificates, and WAL bytes are \
+           identical at every setting.")
+
+(* the banking workload simulate and timeline share: 8 accounts of 100,
+   [readers] read-all auditors plus [writers] ring transfers *)
+let banking_workload ~readers ~writers =
+  let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
+  let initial = List.map (fun a -> (a, 100)) accounts in
+  let programs =
+    List.init readers (fun i ->
+        Mvcc_engine.Program.read_all
+          ~label:(Printf.sprintf "audit%d" i)
+          accounts)
+    @ List.init writers (fun i ->
+          Mvcc_engine.Program.transfer
+            ~label:(Printf.sprintf "xfer%d" i)
+            ~from_:(List.nth accounts (i mod 8))
+            ~to_:(List.nth accounts ((i + 1) mod 8))
+            10)
+  in
+  (accounts, initial, programs)
+
 (* classify *)
 
 let classify_cmd =
@@ -427,22 +458,9 @@ let simulate_cmd =
              the run reports how many were acknowledged by the end. \
              $(docv)=1 reproduces the flush-per-record log byte for byte.")
   in
-  let run policy readers writers stats trace_file certify wal_file
+  let run policy cores readers writers stats trace_file certify wal_file
       snapshot_every group_commit seed =
-    let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
-    let initial = List.map (fun a -> (a, 100)) accounts in
-    let programs =
-      List.init readers (fun i ->
-          Mvcc_engine.Program.read_all
-            ~label:(Printf.sprintf "audit%d" i)
-            accounts)
-      @ List.init writers (fun i ->
-            Mvcc_engine.Program.transfer
-              ~label:(Printf.sprintf "xfer%d" i)
-              ~from_:(List.nth accounts (i mod 8))
-              ~to_:(List.nth accounts ((i + 1) mod 8))
-              10)
-    in
+    let accounts, initial, programs = banking_workload ~readers ~writers in
     let metrics =
       if stats then Some (Mvcc_obs.Metrics.create ()) else None
     in
@@ -477,7 +495,7 @@ let simulate_cmd =
     in
     let r =
       Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ?wal
-        ?wal_durable ?snapshot_every ~seed ()
+        ?wal_durable ?snapshot_every ~cores ~seed ()
     in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
@@ -534,8 +552,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run a banking workload through the storage engine")
     Term.(
-      const run $ policy_arg $ readers_arg $ writers_arg $ stats_arg
-      $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg
+      const run $ policy_arg $ cores_arg $ readers_arg $ writers_arg
+      $ stats_arg $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg
       $ group_commit_arg $ seed_arg)
 
 (* replay *)
@@ -947,8 +965,8 @@ let timeline_cmd =
             "Write an OpenMetrics exposition of the run's counters, \
              gauges, and the three derived latency histograms to $(docv).")
   in
-  let run policy readers writers group_commit width chrome_file spans_file
-      metrics_file seed =
+  let run policy cores readers writers group_commit width chrome_file
+      spans_file metrics_file seed =
     let width = max 16 width in
     (* the simulate banking workload, instrumented end to end: engine
        spans and WAL-writer spans share one ring during the run; the
@@ -956,20 +974,7 @@ let timeline_cmd =
        every replicated point lands after every durable ack and the
        waterfall shows the full submit -> commit -> durable -> replicated
        pipeline per transaction *)
-    let accounts = List.init 8 (fun i -> Printf.sprintf "acct%d" i) in
-    let initial = List.map (fun a -> (a, 100)) accounts in
-    let programs =
-      List.init readers (fun i ->
-          Mvcc_engine.Program.read_all
-            ~label:(Printf.sprintf "audit%d" i)
-            accounts)
-      @ List.init writers (fun i ->
-            Mvcc_engine.Program.transfer
-              ~label:(Printf.sprintf "xfer%d" i)
-              ~from_:(List.nth accounts (i mod 8))
-              ~to_:(List.nth accounts ((i + 1) mod 8))
-              10)
-    in
+    let _accounts, initial, programs = banking_workload ~readers ~writers in
     let metrics = O.Metrics.create () in
     let spans = O.Span.create ~capacity:65536 () in
     let obs = O.Sink.create ~metrics ~spans () in
@@ -981,7 +986,7 @@ let timeline_cmd =
       Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs
         ~wal:(D.Hook.listener hook)
         ~wal_durable:(fun () -> D.Wal.acked_commits writer)
-        ~seed ()
+        ~cores ~seed ()
     in
     D.Wal.close writer;
     let f = D.Follower.create ~policy ~obs () in
@@ -1125,8 +1130,9 @@ let timeline_cmd =
           optionally export Chrome trace-event JSON, raw spans, and an \
           OpenMetrics exposition")
     Term.(
-      const run $ policy_arg $ readers_arg $ writers_arg $ group_commit_arg
-      $ width_arg $ chrome_arg $ spans_arg $ metrics_arg $ seed_arg)
+      const run $ policy_arg $ cores_arg $ readers_arg $ writers_arg
+      $ group_commit_arg $ width_arg $ chrome_arg $ spans_arg $ metrics_arg
+      $ seed_arg)
 
 (* crash *)
 

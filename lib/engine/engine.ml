@@ -3,6 +3,7 @@ module Tr = Mvcc_obs.Trace
 module J = Mvcc_obs.Json
 module Ig = Mvcc_online.Incr_digraph
 module W = Mvcc_provenance.Witness
+open Intake
 
 type policy = S2pl | To | Mvto | Si | Sgt
 
@@ -54,11 +55,12 @@ type result = {
    [?snapshot_every] it additionally offers the live store for
    checkpointing every N commits. Like [?obs], the hooks are pure
    accounting — they never change a decision, and cost nothing when
-   absent. *)
+   absent. The event type itself lives in {!Event} so the pipeline
+   stages can buffer it; re-exported here for source compatibility. *)
 
-type read_src = From_init | From_self | From_txn of int
+type read_src = Event.read_src = From_init | From_self | From_txn of int
 
-type wal_event =
+type wal_event = Event.t =
   | Wal_state of { entity : string; value : int }
   | Wal_begin of { txn : int; ts : int }
   | Wal_op of {
@@ -72,81 +74,76 @@ type wal_event =
   | Wal_abort of { txn : int; reason : Tr.reason }
   | Wal_checkpoint of { store : Store.t; commits : int }
 
-type status =
-  | Ready
-  | Waiting of string
-  | Backoff of int (* ticks to sit out after an abort, avoiding livelock *)
-  | Committed
-
-type client = {
-  id : int;
-  program : Program.t;
-  mutable pc : int;
-  mutable regs : (string * int) list;
-  mutable buffer : (string * int) list; (* newest binding first *)
-  mutable ts : int;
-  mutable snapshot : int; (* commit clock at attempt start, for SI *)
-  mutable status : status;
-  mutable held_read : string list;
-  mutable held_write : string list;
-  mutable deps : int list;
-      (* SGT: uncommitted transactions whose dirty data we consumed (or
-         whose write we overwrote) — their commit must precede ours, and
-         their abort cascades to us *)
-  mutable sp_txn : int;
-      (* open pipeline spans ([-1] when the sink has no span ring):
-         sp_txn covers submit -> commit, sp_attempt one attempt *)
-  mutable sp_attempt : int;
-}
-
 (* Lock table for S2PL. *)
 type lock = { mutable readers : int list; mutable writer : int option }
 
+(* The engine is a three-stage pipeline in the BOHM mold (Faleiro &
+   Abadi): intake admits the batch and assigns begin timestamps
+   ({!Intake}); the concurrency-control stage below runs the tick loop,
+   making every policy decision and placing version records; and with
+   [cores > 1] the execution stage ({!Exec_stage}) replays committed
+   plans on worker domains, filling the placed values in dependency
+   waves. The split is sound because decisions read only metadata —
+   locks, rts/wts tables, chain shape, certification arcs, dirty-list
+   membership — never a tuple value, so deferring the arithmetic cannot
+   change a verdict. The tick loop itself stays serial (one RNG, one
+   clock): committed histories, decisions, witnesses, and WAL bytes are
+   identical at every [cores] setting, with [cores = 1] running the
+   original inline-evaluation path as the reference. *)
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ?prov
-    ?wal ?wal_durable ?snapshot_every ~seed () =
+    ?wal ?wal_durable ?snapshot_every ?(cores = 1) ~seed () =
+  let cores = max 1 cores in
   let rng = Random.State.make [| seed |] in
-  let store = Store.create ~initial in
+  let store = Store.create_sharded ~shards:cores ~initial in
+  (* the committing client behind each installed write timestamp; also
+     how the execution stage finds same-batch dependencies *)
+  let writer_of_wts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let ex =
+    if cores = 1 then None
+    else
+      Some
+        (Exec_stage.create ~cores ~store ~n_clients:(List.length programs)
+           ~writer_of:(fun w -> Hashtbl.find_opt writer_of_wts w)
+           ?wal ~obs ())
+  in
   (* the event is only built when a log hook is attached, so durability
-     is free when off — the same thunking discipline as Sink.emit *)
-  let wal_emit ev = match wal with None -> () | Some f -> f (ev ()) in
+     is free when off — the same thunking discipline as Sink.emit. In
+     pipeline mode metadata events are evaluated eagerly (their fields
+     are plain ints and strings) but buffered in the execution stage
+     until the next flush, keeping the byte stream identical. *)
+  let wal_emit ev =
+    match (wal, ex) with
+    | None, _ -> ()
+    | Some f, None -> f (ev ())
+    | Some _, Some x -> Exec_stage.buffer x (ev ())
+  in
+  (* checkpoints bypass the buffer: the listener dumps the live store at
+     emission time, so the stage is flushed first and the event emitted
+     directly — a buffered checkpoint would see future versions *)
+  let wal_emit_direct ev =
+    match wal with None -> () | Some f -> f (ev ())
+  in
   let next_ts = ref 0 in
   let fresh_ts () =
     incr next_ts;
     !next_ts
   in
+  List.iter
+    (fun (entity, value) -> wal_emit (fun () -> Wal_state { entity; value }))
+    initial;
   let clients =
-    List.mapi
-      (fun id program ->
-        {
-          id;
-          program;
-          pc = 0;
-          regs = [];
-          buffer = [];
-          ts = fresh_ts ();
-          snapshot = 0;
-          status = Ready;
-          held_read = [];
-          held_write = [];
-          deps = [];
-          sp_txn = -1;
-          sp_attempt = -1;
-        })
-      programs
-    |> Array.of_list
+    Intake.admit ~policy_name:(policy_name policy) ~programs ~obs ~fresh_ts
+      ~wal_begin:(fun ~txn ~ts -> wal_emit (fun () -> Wal_begin { txn; ts }))
   in
-  Sink.set_gauge obs "engine.clients" (Array.length clients);
   (* Provenance bookkeeping (all pure accounting — decisions are
      untouched): the operation log of every attempt, each client's
-     attempt counter, the committing client behind each installed write
-     timestamp, and the commit order. The committed final attempts,
-     replayed in operation order, are the history the end-of-run witness
-     is issued for. *)
+     attempt counter, and the commit order. The committed final
+     attempts, replayed in operation order, are the history the
+     end-of-run witness is issued for. *)
   let prov_ops = ref [] in
   (* (client, attempt, step, read source), newest first *)
   let attempts = Array.make (Array.length clients) 0 in
-  let writer_of_wts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   (* The source the last read was served from, stashed by [read_value]
      so [record_op]'s provenance and WAL paths can reuse the store walk
      the read already paid for instead of repeating it. Read sites call
@@ -156,20 +153,6 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
   let last_src_kind = ref 1 in
   let last_src_arg = ref 0 in
   let commit_seq = ref [] in
-  List.iter
-    (fun (entity, value) -> wal_emit (fun () -> Wal_state { entity; value }))
-    initial;
-  Array.iter
-    (fun c ->
-      Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id });
-      wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts });
-      c.sp_txn <-
-        Sink.span_start obs "txn" ~attrs:(fun () ->
-            [ ("txn", J.Int c.id); ("policy", J.Str (policy_name policy)) ]);
-      c.sp_attempt <-
-        Sink.span_start obs ~parent:c.sp_txn "attempt" ~attrs:(fun () ->
-            [ ("txn", J.Int c.id); ("ts", J.Int c.ts) ]))
-    clients;
   let locks : (string, lock) Hashtbl.t = Hashtbl.create 16 in
   let lock_of e =
     match Hashtbl.find_opt locks e with
@@ -241,6 +224,13 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     c.held_write <- []
   in
   let gc_pruned = ref 0 in
+  (* GC sweeps the store's partitions: serially at [cores = 1], as
+     per-shard tasks on the execution stage's workers otherwise. Pruning
+     is per-entity independent and reads only chain metadata, so both
+     give the shard-order-summed result the sequential engine got
+     walking entities. It stays at per-commit timing in both modes —
+     dropped versions shrink [max_rts] visibility, which later
+     [would_invalidate] decisions depend on. *)
   let collect_garbage clients =
     if gc then begin
       let watermark =
@@ -251,9 +241,16 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           max_int clients
       in
       let watermark = if watermark = max_int then !next_ts else watermark in
-      List.iter
-        (fun e -> gc_pruned := !gc_pruned + Store.prune store e ~watermark)
-        (Store.entities store)
+      gc_pruned :=
+        !gc_pruned
+        + (match ex with
+          | Some x -> Exec_stage.prune x ~watermark
+          | None ->
+              let total = ref 0 in
+              for s = 0 to Store.shard_count store - 1 do
+                total := !total + Store.prune_shard store s ~watermark
+              done;
+              !total)
     end
   in
   (* SGT certification state: the incremental conflict graph over client
@@ -378,6 +375,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     c.pc <- 0;
     c.regs <- [];
     c.buffer <- [];
+    c.plan <- Plan.create ();
     c.ts <- fresh_ts ();
     c.snapshot <- c.ts;
     wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts });
@@ -427,8 +425,10 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
        (match c'.status with
        | Waiting e ->
            let write =
-             match List.nth_opt c'.program.Program.ops c'.pc with
-             | Some (Program.Write _) -> true
+             c'.pc < Array.length c'.ops
+             &&
+             match c'.ops.(c'.pc) with
+             | Program.Write _ -> true
              | _ -> false
            in
            List.exists
@@ -464,10 +464,20 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           blockers_now;
         if not !wounded then delay c e
   in
+  (* Serve a read: find the version (or dirty write) that answers it —
+     pure metadata work — and either return its value (inline mode) or
+     record the placement in the attempt's plan and return a hole
+     (pipeline mode; registers then only relay write tokens, which
+     [From_self] placements resolve). The [max_rts] bump and the
+     [last_src_*] stash happen identically in both modes: they feed
+     decisions and logs, not values. *)
   let read_value c e =
     match List.assoc_opt e c.buffer with
     | Some v ->
         last_src_kind := 0;
+        (match ex with
+        | Some _ -> Plan.read c.plan e (Plan.From_self v)
+        | None -> ());
         v
     | None -> (
         match policy with
@@ -476,12 +486,20 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             v.Store.max_rts <- max v.Store.max_rts c.ts;
             last_src_kind := 1;
             last_src_arg := v.Store.wts;
-            v.Store.value
+            (match ex with
+            | Some _ ->
+                Plan.read c.plan e (Plan.From_version v);
+                0
+            | None -> v.Store.value)
         | Si ->
             let v = Store.read_at store e c.snapshot in
             last_src_kind := 1;
             last_src_arg := v.Store.wts;
-            v.Store.value
+            (match ex with
+            | Some _ ->
+                Plan.read c.plan e (Plan.From_version v);
+                0
+            | None -> v.Store.value)
         | Sgt -> (
             (* newest write wins: dirty head if an uncommitted write is
                outstanding, else the latest committed version *)
@@ -489,17 +507,40 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
             | (w, v) :: _ ->
                 last_src_kind := 2;
                 last_src_arg := w;
-                v
+                (match ex with
+                | Some _ ->
+                    (* commit-waits order the writer's execution before
+                       ours, so its token is resolvable by then *)
+                    Plan.read c.plan e (Plan.From_writer (w, v));
+                    0
+                | None -> v)
             | [] ->
                 let v = Store.latest store e in
                 last_src_kind := 1;
                 last_src_arg := v.Store.wts;
-                v.Store.value)
+                (match ex with
+                | Some _ ->
+                    Plan.read c.plan e (Plan.From_version v);
+                    0
+                | None -> v.Store.value))
         | S2pl | To ->
             let v = Store.latest store e in
             last_src_kind := 1;
             last_src_arg := v.Store.wts;
-            v.Store.value)
+            (match ex with
+            | Some _ ->
+                Plan.read c.plan e (Plan.From_version v);
+                0
+            | None -> v.Store.value))
+  in
+  (* Evaluate a write inline, or defer it: the plan hands back a token
+     that flows through the write buffer (and SGT dirty lists) exactly
+     as the computed value would — decisions only ever test membership
+     and bindings, never the integer itself. *)
+  let eval_write c e expr =
+    match ex with
+    | None -> Program.eval (fun r -> List.assoc r c.regs) expr
+    | Some _ -> Plan.write c.plan e expr
   in
   let record_commit c =
     incr commits;
@@ -517,12 +558,25 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           ("attempts", J.Int (attempts.(c.id) + 1));
         ]);
     if Option.is_some wal_durable then
-      Queue.push (c.id, !ticks) commit_ticks
+      Queue.push (c.id, !ticks) commit_ticks;
+    match ex with
+    | Some x -> Exec_stage.submit x c.id c.plan
+    | None -> ()
   in
   let install_for c e ~value ~wts =
-    (* write-ahead: the install record precedes the store mutation *)
-    wal_emit (fun () -> Wal_install { txn = c.id; entity = e; value; wts });
-    Store.install store e ~value ~wts;
+    (match ex with
+    | None ->
+        (* write-ahead: the install record precedes the store mutation *)
+        wal_emit (fun () -> Wal_install { txn = c.id; entity = e; value; wts });
+        Store.install store e ~value ~wts
+    | Some x ->
+        (* claim the version slot now — its metadata (wts, max_rts) is
+           decision-live immediately — and bind it to the write token;
+           the execution stage fills the value and emits the install
+           record, value included, at the next flush *)
+        let record = Store.place store e ~wts in
+        Exec_stage.buffer_install x ~txn:c.id ~entity:e ~record ~wts;
+        Plan.install c.plan record value);
     Hashtbl.replace writer_of_wts wts c.id;
     Sink.span_event obs ~parent:c.sp_attempt "install" ~attrs:(fun () ->
         [ ("txn", J.Int c.id); ("entity", J.Str e); ("wts", J.Int wts) ])
@@ -628,121 +682,120 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     (* SI takes its snapshot at the first operation of each attempt *)
     if policy = Si && c.pc = 0 && c.regs = [] && c.buffer = [] then
       c.snapshot <- !next_ts;
-    match List.nth_opt c.program.Program.ops c.pc with
-    | None -> commit c
-    | Some op -> (
-        match (policy, op) with
-        | S2pl, Program.Read e ->
-            let bs = blockers c e ~write:false in
-            if bs = [] then begin
-              let l = lock_of e in
-              if not (List.mem c.id l.readers) then begin
-                l.readers <- c.id :: l.readers;
-                c.held_read <- e :: c.held_read
-              end;
-              c.regs <- (e, read_value c e) :: c.regs;
-              record_op c e ~write:false;
-              c.pc <- c.pc + 1;
-              c.status <- Ready
-            end
-            else resolve_conflict c e bs
-        | S2pl, Program.Write (e, expr) ->
-            let bs = blockers c e ~write:true in
-            if bs = [] then begin
-              let l = lock_of e in
-              l.writer <- Some c.id;
-              if not (List.mem e c.held_write) then
-                c.held_write <- e :: c.held_write;
-              record_op c e ~write:true;
-              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
-              c.buffer <- (e, v) :: c.buffer;
-              c.pc <- c.pc + 1;
-              c.status <- Ready
-            end
-            else resolve_conflict c e bs
-        | To, Program.Read e ->
-            if c.ts < get wts e then abort ~reason:Tr.Ts_order c
-            else if List.exists (fun t -> t < c.ts) !(pending_of e) then
-              (* an older writer has reserved this entity but not yet
-                 committed; reading now would return a stale value *)
-              delay c e
-            else begin
-              Hashtbl.replace rts e (max c.ts (get rts e));
-              c.regs <- (e, read_value c e) :: c.regs;
-              record_op c e ~write:false;
-              c.pc <- c.pc + 1;
-              c.status <- Ready
-            end
-        | To, Program.Write (e, expr) ->
-            if c.ts < get rts e || c.ts < get wts e then
-              abort ~reason:Tr.Ts_order c
-            else begin
-              Hashtbl.replace wts e c.ts;
-              let p = pending_of e in
-              if not (List.mem c.ts !p) then p := c.ts :: !p;
-              record_op c e ~write:true;
-              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
-              c.buffer <- (e, v) :: c.buffer;
-              c.pc <- c.pc + 1
-            end
-        | Mvto, Program.Read e ->
+    if c.pc >= Array.length c.ops then commit c
+    else
+      match (policy, c.ops.(c.pc)) with
+      | S2pl, Program.Read e ->
+          let bs = blockers c e ~write:false in
+          if bs = [] then begin
+            let l = lock_of e in
+            if not (List.mem c.id l.readers) then begin
+              l.readers <- c.id :: l.readers;
+              c.held_read <- e :: c.held_read
+            end;
             c.regs <- (e, read_value c e) :: c.regs;
             record_op c e ~write:false;
-            c.pc <- c.pc + 1
-        | Mvto, Program.Write (e, expr) ->
-            if Store.would_invalidate store e ~wts:c.ts then
-              abort ~reason:Tr.Write_invalidated c
-            else begin
-              record_op c e ~write:true;
-              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
-              c.buffer <- (e, v) :: c.buffer;
-              c.pc <- c.pc + 1
-            end
-        | Si, Program.Read e ->
-            c.regs <- (e, read_value c e) :: c.regs;
-            record_op c e ~write:false;
-            c.pc <- c.pc + 1
-        | Si, Program.Write (e, expr) ->
+            c.pc <- c.pc + 1;
+            c.status <- Ready
+          end
+          else resolve_conflict c e bs
+      | S2pl, Program.Write (e, expr) ->
+          let bs = blockers c e ~write:true in
+          if bs = [] then begin
+            let l = lock_of e in
+            l.writer <- Some c.id;
+            if not (List.mem e c.held_write) then
+              c.held_write <- e :: c.held_write;
             record_op c e ~write:true;
-            let v = Program.eval (fun r -> List.assoc r c.regs) expr in
+            let v = eval_write c e expr in
+            c.buffer <- (e, v) :: c.buffer;
+            c.pc <- c.pc + 1;
+            c.status <- Ready
+          end
+          else resolve_conflict c e bs
+      | To, Program.Read e ->
+          if c.ts < get wts e then abort ~reason:Tr.Ts_order c
+          else if List.exists (fun t -> t < c.ts) !(pending_of e) then
+            (* an older writer has reserved this entity but not yet
+               committed; reading now would return a stale value *)
+            delay c e
+          else begin
+            Hashtbl.replace rts e (max c.ts (get rts e));
+            c.regs <- (e, read_value c e) :: c.regs;
+            record_op c e ~write:false;
+            c.pc <- c.pc + 1;
+            c.status <- Ready
+          end
+      | To, Program.Write (e, expr) ->
+          if c.ts < get rts e || c.ts < get wts e then
+            abort ~reason:Tr.Ts_order c
+          else begin
+            Hashtbl.replace wts e c.ts;
+            let p = pending_of e in
+            if not (List.mem c.ts !p) then p := c.ts :: !p;
+            record_op c e ~write:true;
+            let v = eval_write c e expr in
             c.buffer <- (e, v) :: c.buffer;
             c.pc <- c.pc + 1
-        | Sgt, Program.Read e ->
-            if not (cert_feed c (Mvcc_core.Step.read c.id e)) then
-              abort_cascading ~reason:Tr.Certification c
-            else begin
-              (* reading another transaction's dirty write makes us
-                 depend on its fate *)
-              (if not (List.mem_assoc e c.buffer) then
-                 match !(dirty_of e) with
-                 | (w, _) :: _ when w <> c.id && not (List.mem w c.deps)
-                   ->
-                     c.deps <- w :: c.deps
-                 | _ -> ());
-              c.regs <- (e, read_value c e) :: c.regs;
-              record_op c e ~write:false;
-              c.pc <- c.pc + 1;
-              c.status <- Ready
-            end
-        | Sgt, Program.Write (e, expr) ->
-            if not (cert_feed c (Mvcc_core.Step.write c.id e)) then
-              abort_cascading ~reason:Tr.Certification c
-            else begin
-              record_op c e ~write:true;
-              (* overwriting an uncommitted write orders our commit after
-                 the earlier writer's (ww arc), via the same dep set *)
-              List.iter
-                (fun (w, _) ->
-                  if w <> c.id && not (List.mem w c.deps) then
-                    c.deps <- w :: c.deps)
-                !(dirty_of e);
-              let v = Program.eval (fun r -> List.assoc r c.regs) expr in
-              c.buffer <- (e, v) :: c.buffer;
-              let l = dirty_of e in
-              l := (c.id, v) :: List.filter (fun (w, _) -> w <> c.id) !l;
-              c.pc <- c.pc + 1;
-              c.status <- Ready
-            end)
+          end
+      | Mvto, Program.Read e ->
+          c.regs <- (e, read_value c e) :: c.regs;
+          record_op c e ~write:false;
+          c.pc <- c.pc + 1
+      | Mvto, Program.Write (e, expr) ->
+          if Store.would_invalidate store e ~wts:c.ts then
+            abort ~reason:Tr.Write_invalidated c
+          else begin
+            record_op c e ~write:true;
+            let v = eval_write c e expr in
+            c.buffer <- (e, v) :: c.buffer;
+            c.pc <- c.pc + 1
+          end
+      | Si, Program.Read e ->
+          c.regs <- (e, read_value c e) :: c.regs;
+          record_op c e ~write:false;
+          c.pc <- c.pc + 1
+      | Si, Program.Write (e, expr) ->
+          record_op c e ~write:true;
+          let v = eval_write c e expr in
+          c.buffer <- (e, v) :: c.buffer;
+          c.pc <- c.pc + 1
+      | Sgt, Program.Read e ->
+          if not (cert_feed c (Mvcc_core.Step.read c.id e)) then
+            abort_cascading ~reason:Tr.Certification c
+          else begin
+            (* reading another transaction's dirty write makes us
+               depend on its fate *)
+            (if not (List.mem_assoc e c.buffer) then
+               match !(dirty_of e) with
+               | (w, _) :: _ when w <> c.id && not (List.mem w c.deps)
+                 ->
+                   c.deps <- w :: c.deps
+               | _ -> ());
+            c.regs <- (e, read_value c e) :: c.regs;
+            record_op c e ~write:false;
+            c.pc <- c.pc + 1;
+            c.status <- Ready
+          end
+      | Sgt, Program.Write (e, expr) ->
+          if not (cert_feed c (Mvcc_core.Step.write c.id e)) then
+            abort_cascading ~reason:Tr.Certification c
+          else begin
+            record_op c e ~write:true;
+            (* overwriting an uncommitted write orders our commit after
+               the earlier writer's (ww arc), via the same dep set *)
+            List.iter
+              (fun (w, _) ->
+                if w <> c.id && not (List.mem w c.deps) then
+                  c.deps <- w :: c.deps)
+              !(dirty_of e);
+            let v = eval_write c e expr in
+            c.buffer <- (e, v) :: c.buffer;
+            let l = dirty_of e in
+            l := (c.id, v) :: List.filter (fun (w, _) -> w <> c.id) !l;
+            c.pc <- c.pc + 1;
+            c.status <- Ready
+          end
   in
   let runnable () =
     Array.to_list clients
@@ -769,20 +822,36 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       | Backoff k -> c.status <- (if k <= 1 then Ready else Backoff (k - 1))
       | Ready -> step c
       | Committed -> ());
-      if c.status = Committed then begin
-        collect_garbage clients;
-        (* checkpoints sit on commit boundaries: every install of the
-           just-committed transaction is already logged and applied *)
-        match snapshot_every with
-        | Some n when n > 0 && !commits mod n = 0 ->
-            wal_emit (fun () -> Wal_checkpoint { store; commits = !commits })
-        | _ -> ()
-      end;
+      (if c.status = Committed then begin
+         collect_garbage clients;
+         (* checkpoints sit on commit boundaries: every install of the
+            just-committed transaction is already logged and applied. In
+            pipeline mode the stage flushes first, so the offered store
+            is value-complete and the buffered events drain up to this
+            commit; otherwise a batch flushes when it reaches target
+            size. *)
+         match snapshot_every with
+         | Some n when n > 0 && !commits mod n = 0 ->
+             (match ex with Some x -> Exec_stage.flush x | None -> ());
+             wal_emit_direct (fun () ->
+                 Wal_checkpoint { store; commits = !commits })
+         | _ -> (
+             match ex with
+             | Some x when Exec_stage.due x -> Exec_stage.flush x
+             | _ -> ())
+       end);
       poll_acks ();
       loop ()
     end
   in
   loop ();
+  (* drain the pipeline: execute the final partial batch, emit its
+     buffered events, and join the worker domains *)
+  (match ex with
+  | Some x ->
+      Exec_stage.flush x;
+      Exec_stage.shutdown x
+  | None -> ());
   poll_acks ();
   (* a run cut off by [max_ticks] leaves transactions mid-flight; close
      their spans so every exported span tree is complete *)

@@ -46,12 +46,12 @@ type deadlock_policy =
 
 val deadlock_policy_name : deadlock_policy -> string
 
-type read_src =
+type read_src = Event.read_src =
   | From_init  (** the entity's initial version (write timestamp 0) *)
   | From_self  (** the transaction's own buffered write *)
   | From_txn of int  (** the (possibly still dirty, under SGT) writer *)
 
-type wal_event =
+type wal_event = Event.t =
   | Wal_state of { entity : string; value : int }
       (** one initial binding; emitted for every entity before any
           transaction runs, so recovery can rebuild the base store *)
@@ -120,6 +120,7 @@ val run :
   ?wal:(wal_event -> unit) ->
   ?wal_durable:(unit -> int) ->
   ?snapshot_every:int ->
+  ?cores:int ->
   seed:int ->
   unit ->
   result
@@ -191,4 +192,19 @@ val run :
     histogram, and reports the final count as [result.durable_commits].
     Acknowledgement is accounting only — the engine never waits on it,
     modelling an asynchronous-commit client that learns of durability
-    after the fact. *)
+    after the fact.
+
+    [cores] (default 1) sizes the BOHM-style execution stage: with
+    [cores > 1] the run keeps its decisions, version placement, and
+    commit order on the (serial, deterministic) concurrency-control
+    stage, but defers every value computation into per-attempt plans
+    that [cores] worker domains replay in dependency waves at batch
+    boundaries, filling the placed version records ({!Exec_stage}).
+    Decisions under every policy are functions of metadata only, so the
+    committed history, stats, final state, witnesses, and WAL byte
+    stream are identical at every [cores] setting — [cores = 1] runs
+    the original inline-evaluation path and is the reference the
+    identity is tested against (qcheck-pinned, like the [obs]/[wal]
+    blindness invariants). The store is partitioned into [cores] shards
+    by interned entity id, and GC sweeps run as per-shard tasks on the
+    same workers. *)

@@ -1,0 +1,22 @@
+(** The durability events the engine streams to a WAL listener.
+
+    Hoisted out of {!Engine} (which re-exports the constructors under
+    their historical names) so the pipeline stage modules can buffer and
+    emit events without depending on the engine itself. See
+    {!Engine.wal_event} for the per-constructor contracts. *)
+
+type read_src = From_init | From_self | From_txn of int
+
+type t =
+  | Wal_state of { entity : string; value : int }
+  | Wal_begin of { txn : int; ts : int }
+  | Wal_op of {
+      txn : int;
+      entity : string;
+      write : bool;
+      src : read_src option;
+    }
+  | Wal_install of { txn : int; entity : string; value : int; wts : int }
+  | Wal_commit of { txn : int }
+  | Wal_abort of { txn : int; reason : Mvcc_obs.Trace.reason }
+  | Wal_checkpoint of { store : Store.t; commits : int }

@@ -1,0 +1,68 @@
+module Sink = Mvcc_obs.Sink
+module Tr = Mvcc_obs.Trace
+module J = Mvcc_obs.Json
+
+type status = Ready | Waiting of string | Backoff of int | Committed
+
+type client = {
+  id : int;
+  program : Program.t;
+  ops : Program.op array; (* the program, dense — O(1) pc dispatch *)
+  mutable pc : int;
+  mutable regs : (string * int) list;
+  mutable buffer : (string * int) list; (* newest binding first *)
+  mutable ts : int;
+  mutable snapshot : int; (* commit clock at attempt start, for SI *)
+  mutable status : status;
+  mutable held_read : string list;
+  mutable held_write : string list;
+  mutable deps : int list;
+      (* SGT: uncommitted transactions whose dirty data we consumed (or
+         whose write we overwrote) — their commit must precede ours, and
+         their abort cascades to us *)
+  mutable sp_txn : int;
+      (* open pipeline spans ([-1] when the sink has no span ring):
+         sp_txn covers submit -> commit, sp_attempt one attempt *)
+  mutable sp_attempt : int;
+  mutable plan : Plan.t;
+      (* deferred-execution plan of the current attempt (cores > 1);
+         reset on abort, handed to the execution stage on commit *)
+}
+
+let admit ~policy_name ~programs ~obs ~fresh_ts ~wal_begin =
+  let clients =
+    List.mapi
+      (fun id program ->
+        {
+          id;
+          program;
+          ops = Array.of_list program.Program.ops;
+          pc = 0;
+          regs = [];
+          buffer = [];
+          ts = fresh_ts ();
+          snapshot = 0;
+          status = Ready;
+          held_read = [];
+          held_write = [];
+          deps = [];
+          sp_txn = -1;
+          sp_attempt = -1;
+          plan = Plan.create ();
+        })
+      programs
+    |> Array.of_list
+  in
+  Sink.set_gauge obs "engine.clients" (Array.length clients);
+  Array.iter
+    (fun c ->
+      Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id });
+      wal_begin ~txn:c.id ~ts:c.ts;
+      c.sp_txn <-
+        Sink.span_start obs "txn" ~attrs:(fun () ->
+            [ ("txn", J.Int c.id); ("policy", J.Str policy_name) ]);
+      c.sp_attempt <-
+        Sink.span_start obs ~parent:c.sp_txn "attempt" ~attrs:(fun () ->
+            [ ("txn", J.Int c.id); ("ts", J.Int c.ts) ]))
+    clients;
+  clients

@@ -1,0 +1,29 @@
+type read_place =
+  | From_version of Store.version
+  | From_self of int
+  | From_writer of int * int
+
+type step =
+  | Read of string * read_place
+  | Write of string * Program.expr * int
+
+type t = {
+  mutable steps : step list; (* newest first *)
+  mutable n_writes : int;
+  mutable installs : (Store.version * int) list;
+}
+
+let create () = { steps = []; n_writes = 0; installs = [] }
+
+let read p entity place = p.steps <- Read (entity, place) :: p.steps
+
+let write p entity expr =
+  let token = p.n_writes in
+  p.n_writes <- token + 1;
+  p.steps <- Write (entity, expr, token) :: p.steps;
+  token
+
+let install p record token = p.installs <- (record, token) :: p.installs
+let steps p = List.rev p.steps
+let n_writes p = p.n_writes
+let installs p = p.installs

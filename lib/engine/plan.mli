@@ -1,0 +1,51 @@
+(** Per-attempt execution plans — the interface between the engine's
+    concurrency-control stage and the parallel execution stage.
+
+    When the engine runs with [cores > 1], the decision machine never
+    evaluates a value: each attempt accumulates a plan recording, per
+    operation, {e where} its value comes from. Every policy decision is
+    a function of metadata only (locks, timestamps, chain shape,
+    certification arcs), so the machine can commit a transaction —
+    claiming its version slots with {!Store.place} — while the actual
+    arithmetic is deferred to the execution stage, which replays
+    committed plans in dependency order on worker domains and fills the
+    placed versions (see {!Exec_stage}).
+
+    A plan is private to one attempt of one client: aborts discard it,
+    and only plans of committed attempts ever reach the execution
+    stage. *)
+
+type read_place =
+  | From_version of Store.version
+      (** a committed (possibly still hole-valued) version record; the
+          record itself is retained by the plan even if GC unlinks it
+          from the chain before the batch executes *)
+  | From_self of int  (** the attempt's own write, by write token *)
+  | From_writer of int * int
+      (** an SGT dirty read: (writer client id, writer's write token).
+          Commit-waits guarantee the writer commits — and therefore
+          executes — before the reader. *)
+
+type step =
+  | Read of string * read_place
+  | Write of string * Program.expr * int  (** expression and its token *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> string -> read_place -> unit
+(** Record a read and the placement that serves it. *)
+
+val write : t -> string -> Program.expr -> int
+(** Record a write; returns its token — the value the engine threads
+    through buffers and dirty lists in place of the computed integer. *)
+
+val install : t -> Store.version -> int -> unit
+(** Bind a placed version to the write token whose value fills it. *)
+
+val steps : t -> step list
+(** Steps in execution (program) order. *)
+
+val n_writes : t -> int
+val installs : t -> (Store.version * int) list

@@ -3,6 +3,7 @@ type expr =
   | Reg of string
   | Add of expr * expr
   | Sub of expr * expr
+  | Mix of int * expr
 
 type op = Read of string | Write of string * expr
 type t = { label : string; ops : op list }
@@ -12,6 +13,16 @@ let rec eval regs = function
   | Reg e -> regs e
   | Add (a, b) -> eval regs a + eval regs b
   | Sub (a, b) -> eval regs a - eval regs b
+  | Mix (rounds, e) ->
+      (* an xorshift-multiply permutation iterated [rounds] times: pure,
+         deterministic, and deliberately expensive — the stand-in for
+         transaction logic between a transaction's reads and its writes *)
+      let x = ref (eval regs e) in
+      for i = 1 to rounds do
+        let z = !x lxor (!x lsr 29) in
+        x := (z * 0x2545F4914F6CDD1D) + i
+      done;
+      !x
 
 let transfer ~label ~from_ ~to_ amount =
   {

@@ -1,29 +1,73 @@
-type version = { value : int; wts : int; mutable max_rts : int }
+type version = { mutable value : int; wts : int; mutable max_rts : int }
 
-type t = { chains : (string, version list ref) Hashtbl.t }
+(* Entities are interned to dense ids on first touch; chains live in
+   [shards.(id mod n_shards)], so the placement of an entity's versions
+   is a pure function of its interned id and the shard count. The
+   partitioning is physical only: every string-keyed operation below
+   behaves identically at any shard count. *)
+type t = {
+  shards : (int, version list ref) Hashtbl.t array;
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array; (* dense id -> entity name *)
+  mutable n : int;
+}
 
-let create ~initial =
-  let chains = Hashtbl.create 16 in
-  List.iter
-    (fun (e, v) ->
-      Hashtbl.replace chains e (ref [ { value = v; wts = 0; max_rts = 0 } ]))
-    initial;
-  { chains }
+let make ~shards =
+  let shards = max 1 shards in
+  {
+    shards = Array.init shards (fun _ -> Hashtbl.create 16);
+    ids = Hashtbl.create 16;
+    names = Array.make 16 "";
+    n = 0;
+  }
 
-let chain t e =
-  match Hashtbl.find_opt t.chains e with
+let intern t e =
+  match Hashtbl.find_opt t.ids e with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- e;
+      t.n <- id + 1;
+      Hashtbl.replace t.ids e id;
+      id
+
+let name t id = t.names.(id)
+let shard_count t = Array.length t.shards
+let shard_of t e = intern t e mod Array.length t.shards
+
+let chain_of_id t id =
+  let tbl = t.shards.(id mod Array.length t.shards) in
+  match Hashtbl.find_opt tbl id with
   | Some c -> c
   | None ->
       let c = ref [ { value = 0; wts = 0; max_rts = 0 } ] in
-      Hashtbl.replace t.chains e c;
+      Hashtbl.replace tbl id c;
       c
 
-let entities t =
-  Hashtbl.fold (fun e _ acc -> e :: acc) t.chains [] |> List.sort compare
+let chain t e = chain_of_id t (intern t e)
+
+let create_sharded ~shards ~initial =
+  let t = make ~shards in
+  List.iter
+    (fun (e, v) ->
+      let c = chain t e in
+      c := [ { value = v; wts = 0; max_rts = 0 } ])
+    initial;
+  t
+
+let create ~initial = create_sharded ~shards:1 ~initial
+
+let entities t = Array.to_list (Array.sub t.names 0 t.n) |> List.sort compare
 
 let latest t e =
   let c = !(chain t e) in
-  List.fold_left (fun best v -> if v.wts > best.wts then v else best)
+  List.fold_left
+    (fun best v -> if v.wts > best.wts then v else best)
     (List.hd c) c
 
 let read_at t e ts =
@@ -39,12 +83,17 @@ let read_at t e ts =
   (* the initial version (wts 0) always qualifies for ts >= 0 *)
   Option.get !best
 
-let install t e ~value ~wts =
+let place t e ~wts =
   if wts <= 0 then invalid_arg "Store.install: timestamp must be positive";
   let c = chain t e in
   if List.exists (fun v -> v.wts = wts) !c then
     invalid_arg "Store.install: duplicate version timestamp";
-  c := { value; wts; max_rts = wts } :: !c
+  let v = { value = 0; wts; max_rts = wts } in
+  c := v :: !c;
+  v
+
+let fill v value = v.value <- value
+let install t e ~value ~wts = fill (place t e ~wts) value
 
 let would_invalidate t e ~wts =
   let c = !(chain t e) in
@@ -52,8 +101,7 @@ let would_invalidate t e ~wts =
 
 let version_count t e = List.length !(chain t e)
 
-let prune t e ~watermark =
-  let c = chain t e in
+let prune_chain c ~watermark =
   (* newest version visible at the watermark: the snapshot base *)
   let base =
     List.fold_left
@@ -68,11 +116,18 @@ let prune t e ~watermark =
   match base with
   | None -> 0
   | Some base ->
-      let keep, drop =
-        List.partition (fun v -> v.wts >= base.wts) !c
-      in
+      let keep, drop = List.partition (fun v -> v.wts >= base.wts) !c in
       c := keep;
       List.length drop
+
+let prune t e ~watermark = prune_chain (chain t e) ~watermark
+
+let prune_shard t s ~watermark =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ c -> dropped := !dropped + prune_chain c ~watermark)
+    t.shards.(s);
+  !dropped
 
 let value_map t =
   entities t |> List.map (fun e -> (e, (latest t e).value))
@@ -84,14 +139,14 @@ let dump t =
            List.map (fun v -> (v.wts, v.value)) !(chain t e)
            |> List.sort (fun (a, _) (b, _) -> compare a b) ))
 
-let of_dump chains =
-  let t = { chains = Hashtbl.create 16 } in
+let of_dump ?(shards = 1) chains =
+  let t = make ~shards in
   List.iter
     (fun (e, versions) ->
-      Hashtbl.replace t.chains e
-        (ref
-           (List.rev_map
-              (fun (wts, value) -> { value; wts; max_rts = wts })
-              versions)))
+      let c = chain t e in
+      c :=
+        List.rev_map
+          (fun (wts, value) -> { value; wts; max_rts = wts })
+          versions)
     chains;
   t

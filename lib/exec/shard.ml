@@ -1,0 +1,111 @@
+(* A persistent sharded-stage runner: worker domains with per-shard
+   FIFO queues and a barrier. Unlike [Pool] (which spawns domains per
+   call — fine for coarse sweeps, too heavy for a per-batch pipeline
+   stage), a [Shard.t] keeps its domains alive across calls, so each
+   [run] costs two mutex handshakes instead of [workers] spawns. *)
+
+type task = { seq : int; run : unit -> unit }
+
+type t = {
+  workers : int;
+  queues : task Queue.t array; (* one per worker; guarded by [m] *)
+  m : Mutex.t;
+  work : Condition.t; (* signalled when tasks are enqueued or on stop *)
+  idle : Condition.t; (* signalled when the last outstanding task ends *)
+  mutable outstanding : int;
+  mutable failures : (int * exn) list;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t w () =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.m;
+    while Queue.is_empty t.queues.(w) && not t.stop do
+      Condition.wait t.work t.m
+    done;
+    if Queue.is_empty t.queues.(w) then begin
+      (* stop requested and nothing left for this worker *)
+      continue_ := false;
+      Mutex.unlock t.m
+    end
+    else begin
+      let task = Queue.pop t.queues.(w) in
+      Mutex.unlock t.m;
+      let failure = try task.run (); None with e -> Some e in
+      Mutex.lock t.m;
+      (match failure with
+      | None -> ()
+      | Some e -> t.failures <- (task.seq, e) :: t.failures);
+      t.outstanding <- t.outstanding - 1;
+      if t.outstanding = 0 then Condition.signal t.idle;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      workers;
+      queues = Array.init workers (fun _ -> Queue.create ());
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      outstanding = 0;
+      failures = [];
+      stop = false;
+      domains = [];
+    }
+  in
+  if workers > 1 then
+    t.domains <- List.init workers (fun w -> Domain.spawn (worker_loop t w));
+  t
+
+let workers t = t.workers
+
+let reraise_first failures =
+  match List.sort (fun (a, _) (b, _) -> compare a b) failures with
+  | (_, e) :: _ -> raise e
+  | [] -> ()
+
+let run t tasks =
+  if tasks = [] then ()
+  else if t.workers = 1 then
+    (* the sequential reference path: no domains, no locks, tasks in
+       submission order — identical to what one worker would do *)
+    List.iter (fun (_, f) -> f ()) tasks
+  else begin
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Shard.run: runner is shut down"
+    end;
+    t.failures <- [];
+    List.iteri
+      (fun seq (key, f) ->
+        let w = ((key mod t.workers) + t.workers) mod t.workers in
+        Queue.push { seq; run = f } t.queues.(w))
+      tasks;
+    t.outstanding <- List.length tasks;
+    Condition.broadcast t.work;
+    while t.outstanding > 0 do
+      Condition.wait t.idle t.m
+    done;
+    let failures = t.failures in
+    t.failures <- [];
+    Mutex.unlock t.m;
+    reraise_first failures
+  end
+
+let shutdown t =
+  if t.workers > 1 && not t.stop then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+  else t.stop <- true

@@ -1,0 +1,36 @@
+(** A persistent sharded-stage runner for pipeline stages.
+
+    {!Pool} spawns domains per call, which is right for coarse analysis
+    sweeps but too heavy for a stage invoked at every batch boundary of
+    the engine pipeline. A [Shard.t] keeps [workers] domains alive for
+    its whole lifetime; each {!run} dispatches a batch of keyed tasks to
+    per-worker FIFO queues (task with key [k] runs on worker
+    [k mod workers]) and blocks until all of them finish — a barrier, so
+    the caller may read anything the tasks wrote (the mutex handshake
+    publishes their effects across domains).
+
+    Determinism contract: tasks sharing a key run on the same worker in
+    submission order; tasks with different keys run concurrently, so a
+    batch must only contain tasks whose effects are independent across
+    keys (the engine's execution waves and per-shard store sweeps both
+    satisfy this by construction). With [workers = 1] no domain is ever
+    spawned and {!run} is exactly [List.iter] in submission order — the
+    sequential reference path, not an emulation of it. *)
+
+type t
+
+val create : workers:int -> t
+(** A runner with [max 1 workers] persistent worker domains (none for
+    [workers = 1]). Call {!shutdown} when done, or the domains leak. *)
+
+val workers : t -> int
+
+val run : t -> (int * (unit -> unit)) list -> unit
+(** [run t tasks] executes every [(key, task)] and returns when all are
+    done. If tasks raise, the exception of the earliest-submitted
+    failing task is re-raised after the barrier (the rest still ran).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop the workers (after draining their queues) and join them.
+    Idempotent. *)

@@ -52,12 +52,40 @@ let test_store_value_map () =
   check "map reflects latest" true
     (S.value_map st = [ ("a", 9); ("b", 2) ])
 
+let test_store_sharded () =
+  let build mk =
+    let st = mk ~initial:[ ("x", 1); ("y", 2); ("z", 3) ] in
+    S.install st "x" ~value:5 ~wts:2;
+    S.install st "q" ~value:7 ~wts:4;
+    st
+  in
+  let a = build S.create and b = build (S.create_sharded ~shards:3) in
+  check "dumps agree across shard counts" true (S.dump a = S.dump b);
+  check "value maps agree" true (S.value_map a = S.value_map b);
+  check_int "shard count" 3 (S.shard_count b);
+  check "placement is id mod shards" true
+    (List.for_all
+       (fun e -> S.shard_of b e = S.intern b e mod 3)
+       (S.entities b));
+  check_int "prune over shards = prune over entities"
+    (List.fold_left (fun acc e -> acc + S.prune a e ~watermark:10) 0
+       (S.entities a))
+    (List.init 3 Fun.id
+    |> List.fold_left (fun acc s -> acc + S.prune_shard b s ~watermark:10) 0)
+
 (* -- Program -- *)
 
 let test_program_eval () =
   let regs = function "x" -> 10 | "y" -> 3 | _ -> raise Not_found in
   check_int "arith" 13 (P.eval regs (P.Add (P.Reg "x", P.Reg "y")));
   check_int "sub const" 7 (P.eval regs (P.Sub (P.Reg "x", P.Const 3)))
+
+let test_program_mix () =
+  let regs = function "x" -> 3 | _ -> raise Not_found in
+  let a = P.eval regs (P.Mix (10, P.Reg "x")) in
+  check_int "mix is deterministic" a (P.eval regs (P.Mix (10, P.Reg "x")));
+  check "mix scrambles its input" true (a <> 3);
+  check_int "zero rounds is the identity" 3 (P.eval regs (P.Mix (0, P.Reg "x")))
 
 let test_program_builders () =
   let t = P.transfer ~label:"t" ~from_:"a" ~to_:"b" 5 in
@@ -491,6 +519,113 @@ let prop_conservation =
       let r = E.run ~policy ~initial ~programs ~seed () in
       r.E.stats.E.commits = n_transfers && total r.E.final_state = 600)
 
+(* The tentpole invariant of the sharded pipeline: at every [cores]
+   setting a run is indistinguishable from the sequential reference —
+   same stats, same final state, same witness over the same committed
+   history, and the same WAL event stream (checkpoints compared as the
+   store dump they would persist). *)
+
+let wal_line e =
+  match e with
+  | E.Wal_state { entity; value } -> Printf.sprintf "state %s=%d" entity value
+  | E.Wal_begin { txn; ts } -> Printf.sprintf "begin %d@%d" txn ts
+  | E.Wal_op { txn; entity; write; src } ->
+      Printf.sprintf "op %d %s %b %s" txn entity write
+        (match src with
+        | None -> "-"
+        | Some E.From_init -> "init"
+        | Some E.From_self -> "self"
+        | Some (E.From_txn w) -> string_of_int w)
+  | E.Wal_install { txn; entity; value; wts } ->
+      Printf.sprintf "install %d %s=%d@%d" txn entity value wts
+  | E.Wal_commit { txn } -> Printf.sprintf "commit %d" txn
+  | E.Wal_abort { txn; reason } ->
+      Printf.sprintf "abort %d %s" txn (Trace.reason_name reason)
+  | E.Wal_checkpoint { store; commits } ->
+      (* materialize the dump now: the engine hands over the live store *)
+      S.dump store
+      |> List.map (fun (en, vs) ->
+             en ^ ":"
+             ^ String.concat ","
+                 (List.map (fun (w, v) -> Printf.sprintf "%d=%d" w v) vs))
+      |> String.concat ";"
+      |> Printf.sprintf "checkpoint %d %s" commits
+
+let run_logged ~cores ~policy ~programs ~gc ~snapshot_every ~crash ~seed =
+  let wal = ref [] in
+  let prov = Mvcc_provenance.Log.create () in
+  let r =
+    E.run ~policy ~initial ~programs ~gc ~crash_probability:crash ~prov
+      ~wal:(fun e -> wal := wal_line e :: !wal)
+      ?snapshot_every ~cores ~seed ()
+  in
+  (r, List.rev !wal)
+
+let same_run (ra, wa) (rb, wb) =
+  ra.E.stats = rb.E.stats
+  && ra.E.final_state = rb.E.final_state
+  && wa = wb
+  &&
+  match (ra.E.provenance, rb.E.provenance) with
+  | Some (ha, pa), Some (hb, pb) -> Mvcc_core.Schedule.equal ha hb && pa = pb
+  | None, None -> true
+  | _ -> false
+
+let prop_cores_identity =
+  QCheck2.Test.make
+    ~name:"sharded pipeline is indistinguishable from the sequential engine"
+    ~count:60
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ] in
+      let* cores = int_range 2 4 in
+      let* n_transfers = int_range 1 5 in
+      let* n_readers = int_range 0 3 in
+      let* gc = bool in
+      let* snapshot_every = oneofl [ None; Some 2; Some 3 ] in
+      let* crash = oneofl [ 0.; 0.05 ] in
+      return
+        (seed, policy, cores, n_transfers, n_readers, gc, snapshot_every, crash))
+    (fun (seed, policy, cores, n_transfers, n_readers, gc, snapshot_every, crash)
+       ->
+      let programs =
+        List.init n_transfers (fun i ->
+            P.transfer
+              ~label:(Printf.sprintf "t%d" i)
+              ~from_:(List.nth accounts (i mod 6))
+              ~to_:(List.nth accounts ((i + 1) mod 6))
+              (1 + i))
+        @ List.init n_readers (fun i ->
+              P.read_all ~label:(Printf.sprintf "r%d" i) accounts)
+      in
+      let reference =
+        run_logged ~cores:1 ~policy ~programs ~gc ~snapshot_every ~crash ~seed
+      in
+      let sharded =
+        run_logged ~cores ~policy ~programs ~gc ~snapshot_every ~crash ~seed
+      in
+      same_run reference sharded)
+
+let test_sharded_identity_fixed () =
+  (* the banking workload, every policy, cores 1-4, gc + checkpoints on:
+     the deterministic-run test extended across the pipeline width *)
+  List.iter
+    (fun policy ->
+      let at cores =
+        run_logged ~cores ~policy ~programs:bank_workload ~gc:true
+          ~snapshot_every:(Some 2) ~crash:0. ~seed:5
+      in
+      let reference = at 1 in
+      List.iter
+        (fun cores ->
+          check
+            (Printf.sprintf "%s cores=%d matches sequential"
+               (E.policy_name policy) cores)
+            true
+            (same_run reference (at cores)))
+        [ 2; 3; 4 ])
+    [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -501,11 +636,13 @@ let () =
           Alcotest.test_case "validation" `Quick test_store_validation;
           Alcotest.test_case "invalidation rule" `Quick test_store_invalidation;
           Alcotest.test_case "value map" `Quick test_store_value_map;
+          Alcotest.test_case "sharded partitioning" `Quick test_store_sharded;
         ] );
       ( "program",
         [
           Alcotest.test_case "eval" `Quick test_program_eval;
           Alcotest.test_case "builders" `Quick test_program_builders;
+          Alcotest.test_case "mix" `Quick test_program_mix;
         ] );
       ( "runs",
         [
@@ -542,6 +679,12 @@ let () =
           Alcotest.test_case "abort reason counters" `Quick
             test_abort_reason_counters;
         ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "cores identity, fixed workload" `Quick
+            test_sharded_identity_fixed;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_conservation ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_conservation; prop_cores_identity ] );
     ]

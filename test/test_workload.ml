@@ -42,6 +42,55 @@ let test_zipf_validation () =
     (try ignore (Z.make ~n:3 ~theta:(-1.)); false
      with Invalid_argument _ -> true)
 
+(* Zipf properties: sampled frequencies are monotone non-increasing in
+   rank (up to sampling noise), and the skew parameter actually skews —
+   theta = 0 is indistinguishable from uniform. *)
+
+let zipf_counts ~n ~theta ~samples seed =
+  let z = Z.make ~n ~theta in
+  let r = rng seed in
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    let k = Z.sample z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let prop_zipf_monotone =
+  QCheck2.Test.make
+    ~name:"zipf sampled frequencies are monotone non-increasing in rank"
+    ~count:40
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* n = int_range 2 8 in
+      let* theta = float_range 0.5 2.0 in
+      return (seed, n, theta))
+    (fun (seed, n, theta) ->
+      let samples = 20_000 in
+      let counts = zipf_counts ~n ~theta ~samples seed in
+      (* 3 sigma of a binomial count leaves ~1e-3 flake odds per pair *)
+      let slack = 3. *. sqrt (float_of_int samples) in
+      List.for_all
+        (fun k ->
+          float_of_int counts.(k + 1)
+          <= float_of_int counts.(k) +. slack)
+        (List.init (n - 1) Fun.id))
+
+let prop_zipf_theta_zero_uniform =
+  QCheck2.Test.make ~name:"zipf at theta=0 is uniform" ~count:40
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* n = int_range 2 8 in
+      return (seed, n))
+    (fun (seed, n) ->
+      let samples = 20_000 in
+      let counts = zipf_counts ~n ~theta:0. ~samples seed in
+      let expect = float_of_int samples /. float_of_int n in
+      let slack = 4. *. sqrt expect in
+      Array.for_all
+        (fun c -> Float.abs (float_of_int c -. expect) <= slack)
+        counts)
+
 (* -- schedule generation -- *)
 
 let test_schedule_params () =
@@ -167,7 +216,9 @@ let () =
           Alcotest.test_case "bounds" `Quick test_zipf_bounds;
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "validation" `Quick test_zipf_validation;
-        ] );
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_zipf_monotone; prop_zipf_theta_zero_uniform ] );
       ( "schedules",
         [
           Alcotest.test_case "parameters" `Quick test_schedule_params;
