@@ -85,6 +85,9 @@ let () =
   if selected "e26" then
     record "E26 sharded-engine"
       (E_sharded.run ~passes:(if quick then 3 else 5));
+  if selected "e27" then
+    record "E27 offloop-engine"
+      (E_offloop.run ~passes:(if quick then 3 else 5));
   if selected "timing" && not quick then Timing.run ();
   Util.section "Summary";
   List.iter

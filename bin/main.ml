@@ -36,6 +36,54 @@ let cores_arg =
            committed history, decisions, certificates, and WAL bytes are \
            identical at every setting.")
 
+let client_queues_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "client-queues" ] ~docv:"N"
+        ~doc:
+          "Partitioned intake: deal the workload round-robin into $(docv) \
+           client queues, build each queue's client records independently, \
+           and merge deterministically back into submission order before \
+           admission. The admitted batch — and so the whole run — is \
+           identical at every queue count.")
+
+let batch_conv =
+  let parse s =
+    if s = "auto" then Ok Mvcc_engine.Engine.Auto
+    else
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok (Mvcc_engine.Engine.Fixed n)
+      | _ -> Error (`Msg "expected a positive integer or 'auto'")
+  in
+  let print ppf = function
+    | Mvcc_engine.Engine.Auto -> Format.pp_print_string ppf "auto"
+    | Mvcc_engine.Engine.Fixed n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print) ~docv:"N|auto"
+
+let batch_arg =
+  Arg.(
+    value
+    & opt (some batch_conv) None
+    & info [ "batch" ] ~docv:"N|auto"
+        ~doc:
+          "Execution-stage flush target with $(b,--cores) > 1: a fixed \
+           batch size, or $(b,auto) to steer the target adaptively from \
+           the observed batch shape (bounded, deterministic, exported as \
+           the engine.stage.batch-target gauge). Default: 8 x cores. \
+           Flush timing never changes decisions or WAL bytes.")
+
+let ro_snapshot_arg =
+  Arg.(
+    value & flag
+    & info [ "ro-snapshot" ]
+        ~doc:
+          "Route read-only transactions off the tick loop: each executes \
+           atomically against a snapshot timestamp at a commit boundary \
+           and commits on the spot, never blocking, aborting, or entering \
+           certification. Changes scheduling, so compare runs with the \
+           flag to a $(b,--cores) 1 run with the same flag.")
+
 (* the banking workload simulate and timeline share: 8 accounts of 100,
    [readers] read-all auditors plus [writers] ring transfers *)
 let banking_workload ~readers ~writers =
@@ -458,8 +506,8 @@ let simulate_cmd =
              the run reports how many were acknowledged by the end. \
              $(docv)=1 reproduces the flush-per-record log byte for byte.")
   in
-  let run policy cores readers writers stats trace_file certify wal_file
-      snapshot_every group_commit seed =
+  let run policy cores client_queues batch ro_snapshot readers writers stats
+      trace_file certify wal_file snapshot_every group_commit seed =
     let accounts, initial, programs = banking_workload ~readers ~writers in
     let metrics =
       if stats then Some (Mvcc_obs.Metrics.create ()) else None
@@ -495,7 +543,8 @@ let simulate_cmd =
     in
     let r =
       Mvcc_engine.Engine.run ~policy ~initial ~programs ~obs ?prov ?wal
-        ?wal_durable ?snapshot_every ~cores ~seed ()
+        ?wal_durable ?snapshot_every ~cores ~client_queues ?batch ~ro_snapshot
+        ~seed ()
     in
     Format.printf "policy=%s %a@."
       (Mvcc_engine.Engine.policy_name policy)
@@ -552,9 +601,10 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run a banking workload through the storage engine")
     Term.(
-      const run $ policy_arg $ cores_arg $ readers_arg $ writers_arg
-      $ stats_arg $ trace_arg $ certify_arg $ wal_arg $ snapshot_every_arg
-      $ group_commit_arg $ seed_arg)
+      const run $ policy_arg $ cores_arg $ client_queues_arg $ batch_arg
+      $ ro_snapshot_arg $ readers_arg $ writers_arg $ stats_arg $ trace_arg
+      $ certify_arg $ wal_arg $ snapshot_every_arg $ group_commit_arg
+      $ seed_arg)
 
 (* replay *)
 

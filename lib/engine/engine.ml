@@ -39,6 +39,8 @@ let pp_stats ppf s =
     s.commits s.aborts s.ticks s.blocked_ticks s.reads s.writes
     s.max_version_chain s.gc_pruned
 
+type batch = Exec_stage.batch = Fixed of int | Auto
+
 type result = {
   stats : stats;
   final_state : (string * int) list;
@@ -47,6 +49,10 @@ type result = {
       (* with [?wal_durable], how many of [stats.commits] the log had
          acknowledged as durable when the run ended — commits past the
          last group-commit force are still pending. [None] otherwise. *)
+  ro_reads : (int * int * (string * int) list) list;
+      (* with [?ro_snapshot]: per off-loop read-only transaction, in
+         launch order — (client id, snapshot timestamp, served (entity,
+         version wts) per read in program order). Empty otherwise. *)
 }
 
 (* Durability hooks. The engine stays ignorant of log encodings and
@@ -92,7 +98,8 @@ type lock = { mutable readers : int list; mutable writer : int option }
    original inline-evaluation path as the reference. *)
 let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     ?(crash_probability = 0.) ?(deadlock = Detect) ?(obs = Sink.noop) ?prov
-    ?wal ?wal_durable ?snapshot_every ?(cores = 1) ~seed () =
+    ?wal ?wal_durable ?snapshot_every ?(cores = 1) ?(client_queues = 1)
+    ?batch ?(ro_snapshot = false) ~seed () =
   let cores = max 1 cores in
   let rng = Random.State.make [| seed |] in
   let store = Store.create_sharded ~shards:cores ~initial in
@@ -105,7 +112,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       Some
         (Exec_stage.create ~cores ~store ~n_clients:(List.length programs)
            ~writer_of:(fun w -> Hashtbl.find_opt writer_of_wts w)
-           ?wal ~obs ())
+           ?wal ~obs ?batch ())
   in
   (* the event is only built when a log hook is attached, so durability
      is free when off — the same thunking discipline as Sink.emit. In
@@ -133,8 +140,37 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     (fun (entity, value) -> wal_emit (fun () -> Wal_state { entity; value }))
     initial;
   let clients =
-    Intake.admit ~policy_name:(policy_name policy) ~programs ~obs ~fresh_ts
+    Intake.admit ~policy_name:(policy_name policy) ~programs
+      ~queues:client_queues ~obs ~fresh_ts
       ~wal_begin:(fun ~txn ~ts -> wal_emit (fun () -> Wal_begin { txn; ts }))
+      ()
+  in
+  (* Off-loop read-only transactions ([ro_snapshot]): all-read programs
+     never enter the tick loop or the certification graph. Each launches
+     atomically at a commit boundary, reads the newest committed version
+     at a snapshot timestamp, and commits on the spot. [is_ro] marks
+     them; [rw_before.(i)] counts read/write clients submitted before
+     client [i] — the causal-arrival rule below launches a read-only
+     transaction once that many read/write commits have landed, so its
+     snapshot reflects the state its position in the submission stream
+     would plausibly observe (and the qcheck oracle gets non-trivial
+     committed prefixes to compare against). *)
+  let is_ro =
+    Array.map (fun c -> ro_snapshot && Program.read_only c.program) clients
+  in
+  let ro_entities =
+    Array.mapi
+      (fun i c -> if is_ro.(i) then Program.entities c.program else [])
+      clients
+  in
+  let rw_before = Array.make (Array.length clients) 0 in
+  let () =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i _ ->
+        rw_before.(i) <- !acc;
+        if not is_ro.(i) then incr acc)
+      clients
   in
   (* Provenance bookkeeping (all pure accounting — decisions are
      untouched): the operation log of every attempt, each client's
@@ -236,7 +272,12 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       let watermark =
         Array.fold_left
           (fun acc c ->
-            if c.status = Committed then acc
+            (* unlaunched read-only clients don't pin the watermark:
+               they will read at a snapshot drawn at launch, >= the
+               clock now, and pruning keeps the newest version at or
+               below the watermark as the snapshot base — so any
+               version a future launch can serve survives the sweep *)
+            if c.status = Committed || is_ro.(c.id) then acc
             else min acc (match policy with Si -> c.snapshot | _ -> c.ts))
           max_int clients
       in
@@ -315,22 +356,25 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     end;
     c.status <- Waiting e
   in
-  let record_op c e ~write =
+  let record_op ?(ro = false) c e ~write =
     incr (if write then writes else reads);
     (match prov with
     | None -> ()
     | Some _ ->
         (* the source of a multiversion read, from the stash the read's
-           own store walk left in [last_src_*] — no second walk *)
+           own store walk left in [last_src_*] — no second walk. Off-loop
+           snapshot reads ([ro]) record their source under every policy:
+           their observed version function is what the qcheck oracle
+           compares against the committed prefix. *)
         let src =
           if write then None
-          else
-            match policy with
-            | Mvto | Si ->
-                if !last_src_kind = 0 then Some `Self
-                else if !last_src_arg = 0 then Some `Init
-                else Some (`Writer (Hashtbl.find writer_of_wts !last_src_arg))
-            | S2pl | To | Sgt -> None
+          else if
+            match policy with Mvto | Si -> true | S2pl | To | Sgt -> ro
+          then
+            if !last_src_kind = 0 then Some `Self
+            else if !last_src_arg = 0 then Some `Init
+            else Some (`Writer (Hashtbl.find writer_of_wts !last_src_arg))
+          else None
         in
         let st =
           if write then Mvcc_core.Step.write c.id e
@@ -542,8 +586,10 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     | None -> Program.eval (fun r -> List.assoc r c.regs) expr
     | Some _ -> Plan.write c.plan e expr
   in
+  let rw_commits = ref 0 in
   let record_commit c =
     incr commits;
+    if not is_ro.(c.id) then incr rw_commits;
     commit_seq := c.id :: !commit_seq;
     Sink.incr obs "engine.commits";
     Sink.emit obs (fun () -> Tr.Txn_commit { txn = c.id });
@@ -580,6 +626,110 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
     Hashtbl.replace writer_of_wts wts c.id;
     Sink.span_event obs ~parent:c.sp_attempt "install" ~attrs:(fun () ->
         [ ("txn", J.Int c.id); ("entity", J.Str e); ("wts", J.Int wts) ])
+  in
+  (* ---- the off-loop read-only snapshot path ([ro_snapshot]) ---- *)
+  let ro_views = ref [] in
+  let pending_ro =
+    ref
+      (Array.to_list is_ro
+      |> List.mapi (fun i ro -> (i, ro))
+      |> List.filter_map (fun (i, ro) -> if ro then Some i else None))
+  in
+  (* Launch safety. The multiversion-witnessed policies are always safe:
+     an MVTO snapshot read at a fresh timestamp [s] bumps [max_rts] to
+     [s], exactly as an in-loop MVTO read would, so any straggling
+     writer with a smaller timestamp fails [would_invalidate] at commit
+     and restarts with a fresh, larger one — the timestamp order stays a
+     valid serialization. SI claims read consistency only, and a
+     snapshot read is read-consistent by construction.
+
+     The single-version-witnessed policies (commit order, timestamp
+     order, conflict-graph topo) additionally need position safety: an
+     active transaction that has already *executed* a write of an entity
+     the snapshot read would serve has that write earlier in the
+     history, so under single-version conflict semantics the read would
+     have to follow it in any witness order — yet it serves the older
+     committed version. Launching is therefore deferred until no active
+     transaction holds an executed write on the read set: a write lock
+     (S2PL), a pending write reservation (TO — also exactly TO's own
+     older-pending-writer read rule, since the snapshot timestamp is
+     fresher than every reservation), or a dirty write (SGT — whose own
+     read rule would serve the dirty value, not the snapshot). Deferral
+     re-checks at each commit boundary; the loop only ends once every
+     read/write transaction resolved, so a deferred launch always lands
+     — at the final boundary or in the drain, where no executed write
+     of a committed attempt can still precede it. *)
+  let ro_safe id =
+    match policy with
+    | Mvto | Si -> true
+    | S2pl ->
+        List.for_all (fun e -> (lock_of e).writer = None) ro_entities.(id)
+    | To -> List.for_all (fun e -> !(pending_of e) = []) ro_entities.(id)
+    | Sgt -> List.for_all (fun e -> !(dirty_of e) = []) ro_entities.(id)
+  in
+  let launch_ro c =
+    (* TO/MVTO serialize the reader at its snapshot: re-begin at a fresh
+       timestamp so the logged ts order (and recovery's) places it where
+       it read. SI takes its snapshot exactly as an in-loop SI attempt
+       would; S2PL and SGT witness by commit order / graph topo and need
+       no timestamp at all — the clock's current edge is the snapshot. *)
+    (match policy with
+    | To | Mvto ->
+        c.ts <- fresh_ts ();
+        wal_emit (fun () -> Wal_begin { txn = c.id; ts = c.ts })
+    | Si -> c.snapshot <- !next_ts
+    | S2pl | Sgt -> ());
+    let snap =
+      match policy with
+      | To | Mvto -> c.ts
+      | Si -> c.snapshot
+      | S2pl | Sgt -> !next_ts
+    in
+    Sink.incr obs "engine.ro.offloop";
+    let views = ref [] in
+    Array.iter
+      (fun op ->
+        match op with
+        | Program.Read e ->
+            let v = Store.read_at store e snap in
+            (match policy with
+            | Mvto -> v.Store.max_rts <- max v.Store.max_rts snap
+            | To -> Hashtbl.replace rts e (max snap (get rts e))
+            | S2pl | Si | Sgt -> ());
+            last_src_kind := 1;
+            last_src_arg := v.Store.wts;
+            (match ex with
+            | Some _ -> Plan.read c.plan e (Plan.From_version v)
+            | None -> ());
+            views := (e, v.Store.wts) :: !views;
+            record_op ~ro:true c e ~write:false
+        | Program.Write _ -> assert false (* is_ro guarantees reads only *))
+      c.ops;
+    ro_views := (c.id, snap, List.rev !views) :: !ro_views;
+    c.status <- Committed;
+    record_commit c
+  in
+  (* Scan the launch queue at a commit boundary (and once before the
+     first tick, for read-only clients submitted ahead of any writer):
+     each still-pending read-only client launches when enough read/write
+     commits have landed and the position-safety test passes. [~force]
+     is the end-of-run drain — by then every operation in the committed
+     history has executed, so position safety holds vacuously. *)
+  let launch_ready_ro ~force () =
+    if ro_snapshot then
+      pending_ro :=
+        List.filter
+          (fun id ->
+            let arrived = !rw_commits >= rw_before.(id) in
+            if force || (arrived && ro_safe id) then begin
+              launch_ro clients.(id);
+              false
+            end
+            else begin
+              if arrived then Sink.incr obs "engine.ro.deferred";
+              true
+            end)
+          !pending_ro
   in
   let commit c =
     (* install buffered writes oldest-binding-last so the final value of a
@@ -798,8 +948,10 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
           end
   in
   let runnable () =
+    (* read-only clients on the snapshot path never enter the tick loop:
+       they launch at commit boundaries via [launch_ready_ro] *)
     Array.to_list clients
-    |> List.filter (fun c -> c.status <> Committed)
+    |> List.filter (fun c -> c.status <> Committed && not is_ro.(c.id))
   in
   let rec loop () =
     let pending = runnable () in
@@ -823,6 +975,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       | Ready -> step c
       | Committed -> ());
       (if c.status = Committed then begin
+         launch_ready_ro ~force:false ();
          collect_garbage clients;
          (* checkpoints sit on commit boundaries: every install of the
             just-committed transaction is already logged and applied. In
@@ -844,7 +997,14 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
       loop ()
     end
   in
+  (* read-only clients with no read/write predecessors can launch before
+     the first tick *)
+  launch_ready_ro ~force:false ();
   loop ();
+  (* end-of-run drain: any still-deferred read-only client launches now
+     — every committed operation has executed, so position safety holds
+     vacuously *)
+  launch_ready_ro ~force:true ();
   (* drain the pipeline: execute the final partial batch, emit its
      buffered events, and join the worker domains *)
   (match ex with
@@ -947,6 +1107,21 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
                 evidence = Accept_topo (append_missing (List.rev !commit_seq));
               }
           | To -> { W.claim = Member Csr; evidence = Accept_topo ts_order }
+          | Sgt when !ro_views <> [] -> (
+              (* off-loop snapshot readers never enter the certification
+                 graph, and [append_missing] would place them last —
+                 after writers that committed behind their snapshot. A
+                 topological order of the committed history's own
+                 conflict graph positions them correctly (as recovery
+                 does when rebuilding the SGT witness from the log). *)
+              match
+                Mvcc_graph.Topo.sort (Mvcc_core.Conflict.graph history)
+              with
+              | Some o -> { W.claim = Member Csr; evidence = Accept_topo o }
+              | None ->
+                  { W.claim = Member Csr;
+                    evidence = Accept_topo (append_missing (List.rev !commit_seq));
+                  })
           | Sgt ->
               let topo =
                 Ig.topological_order (Mvcc_online.Incr_conflict.graph cert)
@@ -983,6 +1158,7 @@ let run ~policy ~initial ~programs ?(max_ticks = 1_000_000) ?(gc = false)
         gc_pruned = !gc_pruned;
       };
     final_state = Store.value_map store;
+    ro_reads = List.rev !ro_views;
     provenance;
     durable_commits = (if Option.is_some wal_durable then Some !acked else None);
   }

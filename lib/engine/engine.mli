@@ -93,6 +93,13 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type batch = Exec_stage.batch =
+  | Fixed of int  (** flush the execution stage every N committed plans *)
+  | Auto
+      (** adaptive flush target, steered from observed batch shape (see
+          {!Exec_stage.batch}); deterministic for a given commit stream,
+          and identity-preserving at every setting *)
+
 type result = {
   stats : stats;
   final_state : (string * int) list;
@@ -105,6 +112,13 @@ type result = {
           this lags [stats.commits] — commits in the open batch have not
           been forced and would not survive a crash. [None] when the
           callback was not supplied. *)
+  ro_reads : (int * int * (string * int) list) list;
+      (** with [ro_snapshot]: one entry per off-loop read-only
+          transaction, in launch order — (client id, snapshot timestamp,
+          served (entity, version write-timestamp) per read in program
+          order). The qcheck suite checks each entry against the version
+          function of the committed prefix at the snapshot. Empty
+          otherwise. *)
 }
 
 val run :
@@ -121,6 +135,9 @@ val run :
   ?wal_durable:(unit -> int) ->
   ?snapshot_every:int ->
   ?cores:int ->
+  ?client_queues:int ->
+  ?batch:batch ->
+  ?ro_snapshot:bool ->
   seed:int ->
   unit ->
   result
@@ -207,4 +224,32 @@ val run :
     identity is tested against (qcheck-pinned, like the [obs]/[wal]
     blindness invariants). The store is partitioned into [cores] shards
     by interned entity id, and GC sweeps run as per-shard tasks on the
-    same workers. *)
+    same workers.
+
+    [client_queues] (default 1) partitions intake: programs are dealt
+    round-robin into that many client queues, each queue builds its
+    client records independently, and a deterministic merge restores the
+    submission order before the serial clock stamps the batch
+    ({!Intake.admit}) — admission output is identical at every queue
+    count.
+
+    [batch] (default [Fixed (8 * cores)]) sets the execution stage's
+    flush-target policy; [Auto] steers the target from the observed
+    batch shape (exported as the [engine.stage.batch-target] gauge).
+    Flush timing never changes decisions or WAL bytes, so every setting
+    preserves the [cores = 1] identity.
+
+    [ro_snapshot] (default [false]) routes all-read programs off the
+    tick loop entirely: each launches atomically at a commit boundary
+    once every read/write client submitted before it has committed (and
+    the policy's position-safety test passes — see DESIGN.md), reads the
+    newest committed version of each entity at a snapshot timestamp, and
+    commits on the spot, without ever blocking, aborting, or entering
+    the certification graph. Under TO/MVTO the reader re-begins at a
+    fresh timestamp and bumps read-timestamp metadata so the logged
+    timestamp order remains a valid serialization; under SGT the witness
+    is recomputed from the committed history's conflict graph. Served
+    reads are reported in [result.ro_reads]. The fast path changes
+    scheduling, so runs with it enabled are compared against a
+    [cores = 1] reference with the same flag, not against the
+    all-in-loop schedule. *)

@@ -6,13 +6,19 @@ type buffered =
   | Ev of Event.t
   | Install of { txn : int; entity : string; record : Store.version; wts : int }
 
+type batch = Fixed of int | Auto
+
 type t = {
   store : Store.t;
   runner : Shard.t;
   writer_of : int -> int option;
   wal : (Event.t -> unit) option;
   obs : Sink.t;
-  batch_target : int;
+  mode : batch;
+  cores : int;
+  mutable batch_target : int;
+      (* flush threshold; constant under [Fixed], steered by the
+         controller in [flush] under [Auto] *)
   values : int array option array;
       (* per client: the committed attempt's write values, set by its
          execution task; read by later waves/batches via [From_writer]
@@ -22,19 +28,51 @@ type t = {
   mutable buffered : buffered list; (* newest first *)
 }
 
-let create ~cores ~store ~n_clients ~writer_of ?wal ~obs () =
-  {
-    store;
-    runner = Shard.create ~workers:cores;
-    writer_of;
-    wal;
-    obs;
-    batch_target = 8 * cores;
-    values = Array.make (max 1 n_clients) None;
-    pending = [];
-    n_pending = 0;
-    buffered = [];
-  }
+let create ~cores ~store ~n_clients ~writer_of ?wal ~obs
+    ?(batch = Fixed (8 * cores)) () =
+  let t =
+    {
+      store;
+      runner = Shard.create ~workers:cores;
+      writer_of;
+      wal;
+      obs;
+      mode = batch;
+      cores;
+      batch_target = (match batch with Fixed n -> max 1 n | Auto -> 8 * cores);
+      values = Array.make (max 1 n_clients) None;
+      pending = [];
+      n_pending = 0;
+      buffered = [];
+    }
+  in
+  Sink.set_gauge obs "engine.stage.batch-target" t.batch_target;
+  t
+
+let batch_target t = t.batch_target
+
+(* The adaptive controller, fed by the same signals the
+   [engine.stage.queue-depth]/[waves] metrics expose: how full the batch
+   was and how deep the leveler had to stack it. Wide, shallow batches
+   mean the workers were saturated and the barrier cost is amortized —
+   grow, so fewer flushes serve the same commit stream. Narrow waves
+   mean intra-batch dependencies serialized the batch (E26's inversion:
+   8 x cores batches going *deeper*, not wider, as cores grew) — shrink,
+   so dependent transactions land in separate flushes where their
+   predecessors are already filled. Counts only, never wall-clock, so
+   the trajectory is deterministic for a given commit stream. *)
+let steer t ~n ~depth =
+  match t.mode with
+  | Fixed _ -> ()
+  | Auto ->
+      let width = n / depth in
+      let before = t.batch_target in
+      if n >= t.batch_target && depth <= 2 && width >= 2 * t.cores then
+        t.batch_target <- min (t.batch_target * 2) (64 * t.cores)
+      else if width < t.cores && t.batch_target > 4 then
+        t.batch_target <- max 4 (t.batch_target / 2);
+      if t.batch_target <> before then
+        Sink.set_gauge t.obs "engine.stage.batch-target" t.batch_target
 
 let buffer t ev = if t.wal <> None then t.buffered <- Ev ev :: t.buffered
 
@@ -134,7 +172,8 @@ let flush t =
                    (fun (id, plan) -> (id, fun () -> exec_txn t id plan))
                    wave))
             waves);
-      Sink.span_finish t.obs sp);
+      Sink.span_finish t.obs sp;
+      steer t ~n ~depth:(!max_level + 1));
   (* with values in place, release the buffered durability events in
      arrival order — byte-identical to inline emission, because the WAL
      frames carry no wall-clock and its force boundaries are count-

@@ -9,6 +9,20 @@
     values read from the now-filled records — so the WAL byte stream is
     identical to the sequential engine's. *)
 
+type batch =
+  | Fixed of int  (** flush every N committed plans *)
+  | Auto
+      (** adaptive: start at the fixed default (8 x cores) and steer
+          from the observed batch shape — grow while full batches level
+          into wide, shallow waves (barrier cost amortizes), halve when
+          waves go narrower than the worker count (intra-batch
+          dependencies are serializing the batch). Bounds [4, 64 x
+          cores]; driven by counts only, so the target trajectory is
+          deterministic for a given commit stream. Flush timing changes
+          neither decisions nor WAL bytes — events are buffered in
+          arrival order either way — so any [batch] setting preserves
+          the cores=1 identity. *)
+
 type t
 
 val create :
@@ -18,11 +32,19 @@ val create :
   writer_of:(int -> int option) ->
   ?wal:(Event.t -> unit) ->
   obs:Mvcc_obs.Sink.t ->
+  ?batch:batch ->
   unit ->
   t
 (** [writer_of wts] maps an installed version timestamp to the client
     that committed it (used to find same-batch dependencies). [wal] is
-    the run's event listener; omit it and the stage buffers nothing. *)
+    the run's event listener; omit it and the stage buffers nothing.
+    [batch] (default [Fixed (8 * cores)]) sets the flush-target policy;
+    the live target is exported as the [engine.stage.batch-target]
+    gauge. *)
+
+val batch_target : t -> int
+(** The current flush target (constant under [Fixed], controller-steered
+    under [Auto]). *)
 
 val buffer : t -> Event.t -> unit
 (** Queue a metadata event (already fully evaluated) for emission at the

@@ -29,33 +29,76 @@ type client = {
          reset on abort, handed to the execution stage on commit *)
 }
 
-let admit ~policy_name ~programs ~obs ~fresh_ts ~wal_begin =
-  let clients =
-    List.mapi
-      (fun id program ->
-        {
-          id;
-          program;
-          ops = Array.of_list program.Program.ops;
-          pc = 0;
-          regs = [];
-          buffer = [];
-          ts = fresh_ts ();
-          snapshot = 0;
-          status = Ready;
-          held_read = [];
-          held_write = [];
-          deps = [];
-          sp_txn = -1;
-          sp_attempt = -1;
-          plan = Plan.create ();
-        })
-      programs
-    |> Array.of_list
-  in
+(* Phase 1 of partitioned admission: build one client record, without a
+   begin timestamp (drawn at merge time — the clock is serial) and
+   without side effects. This is the per-connection work (program
+   parsing, machine-state setup) a queue can do independently of every
+   other queue. *)
+let prepare id program =
+  {
+    id;
+    program;
+    ops = Array.of_list program.Program.ops;
+    pc = 0;
+    regs = [];
+    buffer = [];
+    ts = 0;
+    snapshot = 0;
+    status = Ready;
+    held_read = [];
+    held_write = [];
+    deps = [];
+    sp_txn = -1;
+    sp_attempt = -1;
+    plan = Plan.create ();
+  }
+
+(* Phase 2: the deterministic merge. Clients were dealt round-robin into
+   the queues by submission index ([queues.(id mod n)]), so popping the
+   queues round-robin reproduces the submission order exactly — the
+   merge is client-order-equivalent by construction, and everything
+   order-sensitive (timestamp draws, begin events, span opens, WAL
+   begins) happens here, on the merged stream. *)
+let merge queues =
+  let n = Array.length queues in
+  let total = Array.fold_left (fun acc q -> acc + List.length q) 0 queues in
+  let heads = Array.map (fun q -> ref q) queues in
+  let out = ref [] in
+  let q = ref 0 in
+  for _ = 1 to total do
+    (* skip exhausted queues: with a non-uniform deal the round-robin
+       cursor may pass several empty ones *)
+    while !(heads.(!q mod n)) = [] do
+      incr q
+    done;
+    let h = heads.(!q mod n) in
+    (match !h with
+    | c :: rest ->
+        out := c :: !out;
+        h := rest
+    | [] -> assert false);
+    incr q
+  done;
+  List.rev !out
+
+let admit ~policy_name ~programs ?(queues = 1) ~obs ~fresh_ts ~wal_begin () =
+  let n_queues = max 1 queues in
+  (* deal round-robin by submission index: queue q models the q-th
+     client connection *)
+  let qs = Array.make n_queues [] in
+  List.iteri
+    (fun id program -> qs.(id mod n_queues) <- prepare id program :: qs.(id mod n_queues))
+    programs;
+  let qs = Array.map List.rev qs in
+  let clients = Array.of_list (merge qs) in
+  (* the merged stream is in submission order — required by everything
+     downstream that indexes clients by id *)
+  Array.iteri (fun i c -> assert (c.id = i)) clients;
   Sink.set_gauge obs "engine.clients" (Array.length clients);
+  Sink.set_gauge obs "engine.intake.queues" n_queues;
   Array.iter
     (fun c ->
+      c.ts <- fresh_ts ();
       Sink.emit obs (fun () -> Tr.Txn_begin { txn = c.id });
       wal_begin ~txn:c.id ~ts:c.ts;
       c.sp_txn <-

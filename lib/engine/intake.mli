@@ -33,12 +33,26 @@ type client = {
 val admit :
   policy_name:string ->
   programs:Program.t list ->
+  ?queues:int ->
   obs:Mvcc_obs.Sink.t ->
   fresh_ts:(unit -> int) ->
   wal_begin:(txn:int -> ts:int -> unit) ->
+  unit ->
   client array
 (** Build the client array for one run: ids in program order, one begin
     timestamp each (drawn from [fresh_ts], in id order), [Txn_begin]
     trace events, [txn]/[attempt] spans opened, and [wal_begin] called
     per client — exactly the admission the sequential engine performed
-    inline. *)
+    inline.
+
+    With [queues = n] (default 1) admission is partitioned: programs
+    are dealt round-robin into [n] client queues by submission index
+    (queue [q] models the [q]-th client connection), each queue builds
+    its client records independently of the others — no timestamp
+    draws, no events — and a deterministic round-robin merge then
+    replays the queues back into exactly the submission order before
+    the serial clock stamps the batch. The merge is
+    client-order-equivalent by construction (deal and merge use the
+    same cursor), so the admitted array — ids, timestamps, begin
+    events, WAL bytes — is identical at every queue count; a qcheck
+    property pins this. *)

@@ -50,3 +50,6 @@ let blind_write ~label entity value =
 let entities t =
   List.map (function Read e -> e | Write (e, _) -> e) t.ops
   |> List.sort_uniq compare
+
+let read_only t =
+  t.ops <> [] && List.for_all (function Read _ -> true | Write _ -> false) t.ops

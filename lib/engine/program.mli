@@ -41,3 +41,8 @@ val blind_write : label:string -> string -> int -> t
 
 val entities : t -> string list
 (** Distinct entities the program touches, sorted. *)
+
+val read_only : t -> bool
+(** Does the program consist of reads only (and at least one)? Read-only
+    programs are the ones the engine's [ro_snapshot] fast path may
+    execute off the decision loop, against a snapshot timestamp. *)

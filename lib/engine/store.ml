@@ -1,4 +1,11 @@
-type version = { mutable value : int; wts : int; mutable max_rts : int }
+type version = {
+  mutable value : int;
+  wts : int;
+  mutable max_rts : int;
+  mutable filled : bool;
+      (* [place] leaves a hole; exactly one [fill] may write it. Initial
+         and [install]ed/restored versions are born filled. *)
+}
 
 (* Entities are interned to dense ids on first touch; chains live in
    [shards.(id mod n_shards)], so the placement of an entity's versions
@@ -45,7 +52,7 @@ let chain_of_id t id =
   match Hashtbl.find_opt tbl id with
   | Some c -> c
   | None ->
-      let c = ref [ { value = 0; wts = 0; max_rts = 0 } ] in
+      let c = ref [ { value = 0; wts = 0; max_rts = 0; filled = true } ] in
       Hashtbl.replace tbl id c;
       c
 
@@ -56,7 +63,7 @@ let create_sharded ~shards ~initial =
   List.iter
     (fun (e, v) ->
       let c = chain t e in
-      c := [ { value = v; wts = 0; max_rts = 0 } ])
+      c := [ { value = v; wts = 0; max_rts = 0; filled = true } ])
     initial;
   t
 
@@ -88,11 +95,16 @@ let place t e ~wts =
   let c = chain t e in
   if List.exists (fun v -> v.wts = wts) !c then
     invalid_arg "Store.install: duplicate version timestamp";
-  let v = { value = 0; wts; max_rts = wts } in
+  let v = { value = 0; wts; max_rts = wts; filled = false } in
   c := v :: !c;
   v
 
-let fill v value = v.value <- value
+let fill v value =
+  (* a second fill would silently corrupt the chain: the first value may
+     already have been read by a later wave or dumped by a checkpoint *)
+  if v.filled then invalid_arg "Store.fill: version already filled";
+  v.filled <- true;
+  v.value <- value
 let install t e ~value ~wts = fill (place t e ~wts) value
 
 let would_invalidate t e ~wts =
@@ -146,7 +158,7 @@ let of_dump ?(shards = 1) chains =
       let c = chain t e in
       c :=
         List.rev_map
-          (fun (wts, value) -> { value; wts; max_rts = wts })
+          (fun (wts, value) -> { value; wts; max_rts = wts; filled = true })
           versions)
     chains;
   t

@@ -21,6 +21,9 @@ type version = {
       (** written once: at {!install}, or by {!fill} after {!place} *)
   wts : int;  (** timestamp of the writer (0 = initial) *)
   mutable max_rts : int;  (** largest timestamp that read this version *)
+  mutable filled : bool;
+      (** whether the value slot has been written; {!place} leaves it
+          false, {!fill} flips it exactly once *)
 }
 
 type t
@@ -69,8 +72,12 @@ val place : t -> string -> wts:int -> version
     validation as {!install}. *)
 
 val fill : version -> int -> unit
-(** Write a placed version's value. Callers must fill each version at
-    most once, before anything reads [version.value]. *)
+(** Write a placed version's value, before anything reads
+    [version.value]. Each version is fillable exactly once — a double
+    fill would silently corrupt the chain (the first value may already
+    have been consumed by a later wave or dumped by a checkpoint).
+    @raise Invalid_argument on a version that is already filled
+    (including any {!install}ed, initial, or {!of_dump}-restored one). *)
 
 val would_invalidate : t -> string -> wts:int -> bool
 (** The MVTO write rule: would a new version of [e] at [wts] invalidate an

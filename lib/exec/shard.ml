@@ -1,29 +1,56 @@
 (* A persistent sharded-stage runner: worker domains with per-shard
    FIFO queues and a barrier. Unlike [Pool] (which spawns domains per
    call — fine for coarse sweeps, too heavy for a per-batch pipeline
-   stage), a [Shard.t] keeps its domains alive across calls, so each
-   [run] costs two mutex handshakes instead of [workers] spawns. *)
+   stage), a [Shard.t] keeps its domains alive across calls.
 
-type task = { seq : int; run : unit -> unit }
+   Dispatch is kept off the per-task critical path: each [run] deals its
+   tasks into one *chain* per worker and enqueues the chain whole, so a
+   batch costs one wakeup and one completion handshake per active
+   worker, not per task — and workers whose shard got no tasks this
+   batch are never woken at all (each worker waits on its own condition
+   variable). Narrow waves — the common case under contention, where a
+   dependency-levelled batch degenerates to a task or two per wave —
+   therefore cost the same regardless of the worker count.
+
+   Domain spawn/join is also off the per-pipeline path: [shutdown] parks
+   a runner's live domains in a process-wide pool instead of joining
+   them, and [create] checks a parked runner of the same width back out
+   before it spawns anything. An engine run is a few milliseconds;
+   spawning [cores] domains costs a comparable amount, so without the
+   pool the fixed-cost difference between worker counts would swamp the
+   thing the pipeline is supposed to measure. Parked domains block on
+   their condition variable and cost nothing; the OCaml runtime tears
+   them down at process exit. *)
+
+type chain = (int * (unit -> unit)) list (* (submission seq, task) *)
 
 type t = {
   workers : int;
-  queues : task Queue.t array; (* one per worker; guarded by [m] *)
+  queues : chain Queue.t array; (* one per worker; guarded by [m] *)
   m : Mutex.t;
-  work : Condition.t; (* signalled when tasks are enqueued or on stop *)
-  idle : Condition.t; (* signalled when the last outstanding task ends *)
-  mutable outstanding : int;
+  work : Condition.t array;
+      (* one per worker: signalled only when that worker's queue gains a
+         chain, or on stop *)
+  idle : Condition.t; (* signalled when the last outstanding chain ends *)
+  mutable outstanding : int; (* chains still running this batch *)
   mutable failures : (int * exn) list;
   mutable stop : bool;
+  mutable released : bool; (* parked in the pool; [run] must refuse *)
   mutable domains : unit Domain.t list;
 }
+
+(* parked runners by width, each one exclusively owned once checked out
+   — concurrent engines (analysis sweeps run one per domain) never share
+   a runner, they just share the pool *)
+let pool : (int, t Queue.t) Hashtbl.t = Hashtbl.create 4
+let pool_m = Mutex.create ()
 
 let worker_loop t w () =
   let continue_ = ref true in
   while !continue_ do
     Mutex.lock t.m;
     while Queue.is_empty t.queues.(w) && not t.stop do
-      Condition.wait t.work t.m
+      Condition.wait t.work.(w) t.m
     done;
     if Queue.is_empty t.queues.(w) then begin
       (* stop requested and nothing left for this worker *)
@@ -31,37 +58,62 @@ let worker_loop t w () =
       Mutex.unlock t.m
     end
     else begin
-      let task = Queue.pop t.queues.(w) in
+      let chain = Queue.pop t.queues.(w) in
       Mutex.unlock t.m;
-      let failure = try task.run (); None with e -> Some e in
+      (* tasks stay independent: one failing does not stop the rest *)
+      let failures =
+        List.filter_map
+          (fun (seq, f) ->
+            try
+              f ();
+              None
+            with e -> Some (seq, e))
+          chain
+      in
       Mutex.lock t.m;
-      (match failure with
-      | None -> ()
-      | Some e -> t.failures <- (task.seq, e) :: t.failures);
+      t.failures <- failures @ t.failures;
       t.outstanding <- t.outstanding - 1;
       if t.outstanding = 0 then Condition.signal t.idle;
       Mutex.unlock t.m
     end
   done
 
-let create ~workers =
-  let workers = max 1 workers in
+let fresh workers =
   let t =
     {
       workers;
       queues = Array.init workers (fun _ -> Queue.create ());
       m = Mutex.create ();
-      work = Condition.create ();
+      work = Array.init workers (fun _ -> Condition.create ());
       idle = Condition.create ();
       outstanding = 0;
       failures = [];
       stop = false;
+      released = false;
       domains = [];
     }
   in
   if workers > 1 then
     t.domains <- List.init workers (fun w -> Domain.spawn (worker_loop t w));
   t
+
+let create ~workers =
+  let workers = max 1 workers in
+  if workers = 1 then fresh workers
+  else begin
+    Mutex.lock pool_m;
+    let parked =
+      match Hashtbl.find_opt pool workers with
+      | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+      | _ -> None
+    in
+    Mutex.unlock pool_m;
+    match parked with
+    | Some t ->
+        t.released <- false;
+        t
+    | None -> fresh workers
+  end
 
 let workers t = t.workers
 
@@ -77,19 +129,32 @@ let run t tasks =
        submission order — identical to what one worker would do *)
     List.iter (fun (_, f) -> f ()) tasks
   else begin
+    (* deal into per-worker chains outside the lock; reversing restores
+       submission order within each worker (the determinism contract) *)
+    let chains = Array.make t.workers [] in
+    List.iteri
+      (fun seq (key, f) ->
+        let w = ((key mod t.workers) + t.workers) mod t.workers in
+        chains.(w) <- (seq, f) :: chains.(w))
+      tasks;
     Mutex.lock t.m;
-    if t.stop then begin
+    if t.released then begin
       Mutex.unlock t.m;
       invalid_arg "Shard.run: runner is shut down"
     end;
     t.failures <- [];
-    List.iteri
-      (fun seq (key, f) ->
-        let w = ((key mod t.workers) + t.workers) mod t.workers in
-        Queue.push { seq; run = f } t.queues.(w))
-      tasks;
-    t.outstanding <- List.length tasks;
-    Condition.broadcast t.work;
+    let active = ref 0 in
+    Array.iteri
+      (fun w chain ->
+        if chain <> [] then begin
+          Queue.push (List.rev chain) t.queues.(w);
+          incr active;
+          Condition.signal t.work.(w)
+        end)
+      chains;
+    (* workers cannot pop until [Condition.wait] below releases [m], so
+       the count is in place before any of them can decrement it *)
+    t.outstanding <- !active;
     while t.outstanding > 0 do
       Condition.wait t.idle t.m
     done;
@@ -100,12 +165,21 @@ let run t tasks =
   end
 
 let shutdown t =
-  if t.workers > 1 && not t.stop then begin
-    Mutex.lock t.m;
-    t.stop <- true;
-    Condition.broadcast t.work;
-    Mutex.unlock t.m;
-    List.iter Domain.join t.domains;
-    t.domains <- []
+  if t.workers = 1 then t.released <- true
+  else if not t.released then begin
+    (* park, don't join: between runs the state is quiescent (queues
+       empty, outstanding 0, failures cleared), so the next checkout of
+       this width inherits a clean runner with warm domains *)
+    t.released <- true;
+    Mutex.lock pool_m;
+    let q =
+      match Hashtbl.find_opt pool t.workers with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add pool t.workers q;
+          q
+    in
+    Queue.push t q;
+    Mutex.unlock pool_m
   end
-  else t.stop <- true

@@ -21,7 +21,10 @@ type t
 
 val create : workers:int -> t
 (** A runner with [max 1 workers] persistent worker domains (none for
-    [workers = 1]). Call {!shutdown} when done, or the domains leak. *)
+    [workers = 1]). Checks a parked runner of the same width out of a
+    process-wide pool when one is available, so repeated
+    pipeline lifetimes don't pay domain spawn each time; otherwise
+    spawns fresh domains. Call {!shutdown} when done. *)
 
 val workers : t -> int
 
@@ -32,5 +35,7 @@ val run : t -> (int * (unit -> unit)) list -> unit
     @raise Invalid_argument after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Stop the workers (after draining their queues) and join them.
-    Idempotent. *)
+(** Release the runner: its worker domains are parked in the
+    process-wide pool for the next {!create} of the same width (parked
+    domains block on a condition variable and are reclaimed by the
+    runtime at process exit). {!run} refuses after shutdown. Idempotent. *)

@@ -1,0 +1,54 @@
+module P = Mvcc_engine.Program
+
+let entity k = Printf.sprintf "e%d" k
+
+let mixed ?(n_entities = 16) ?(theta = 0.8) ?(read_fraction = 0.5)
+    ?(reads_per_txn = 4) ?(writes_per_txn = 2) ?(mix_rounds = 64) ~n_txns
+    ~seed () =
+  if n_entities <= 0 then invalid_arg "Program_gen.mixed: n_entities";
+  if not (read_fraction >= 0. && read_fraction <= 1.) then
+    invalid_arg "Program_gen.mixed: read_fraction";
+  let rng = Random.State.make [| seed |] in
+  let z = Zipf.make ~n:n_entities ~theta in
+  let initial = List.init n_entities (fun k -> (entity k, 100)) in
+  (* [m] distinct entities, Zipf-weighted: hot entities come first in
+     sampling order, so contention concentrates where the skew says *)
+  let distinct m =
+    let m = min m n_entities in
+    let rec go acc len =
+      if len >= m then List.rev acc
+      else
+        let k = Zipf.sample z rng in
+        if List.mem k acc then go acc len else go (k :: acc) (len + 1)
+    in
+    go [] 0
+  in
+  let programs =
+    List.init n_txns (fun i ->
+        (* draw the coin before the footprint so a program's shape is a
+           function of the draws before it only *)
+        if Random.State.float rng 1.0 < read_fraction then
+          {
+            P.label = Printf.sprintf "ro%d" i;
+            ops =
+              List.map
+                (fun k -> P.Read (entity k))
+                (distinct (max 1 reads_per_txn));
+          }
+        else
+          {
+            P.label = Printf.sprintf "rw%d" i;
+            ops =
+              List.concat_map
+                (fun k ->
+                  [
+                    P.Read (entity k);
+                    P.Write
+                      ( entity k,
+                        P.Mix (mix_rounds, P.Add (P.Reg (entity k), P.Const 1))
+                      );
+                  ])
+                (distinct (max 1 writes_per_txn));
+          })
+  in
+  (initial, programs)

@@ -73,6 +73,22 @@ let test_store_sharded () =
     (List.init 3 Fun.id
     |> List.fold_left (fun acc s -> acc + S.prune_shard b s ~watermark:10) 0)
 
+let test_store_double_fill () =
+  let st = S.create ~initial:[ ("x", 1) ] in
+  check "fill on an installed version rejected" true
+    (try
+       S.fill (S.latest st "x") 9;
+       false
+     with Invalid_argument _ -> true);
+  let v = S.place st "x" ~wts:2 in
+  S.fill v 5;
+  check_int "placed hole filled" 5 v.S.value;
+  check "second fill on the same slot rejected" true
+    (try
+       S.fill v 6;
+       false
+     with Invalid_argument _ -> true)
+
 (* -- Program -- *)
 
 let test_program_eval () =
@@ -551,19 +567,22 @@ let wal_line e =
       |> String.concat ";"
       |> Printf.sprintf "checkpoint %d %s" commits
 
-let run_logged ~cores ~policy ~programs ~gc ~snapshot_every ~crash ~seed =
+let run_logged ?(queues = 1) ?batch ?(ro = false) ~cores ~policy ~programs ~gc
+    ~snapshot_every ~crash ~seed () =
   let wal = ref [] in
   let prov = Mvcc_provenance.Log.create () in
   let r =
     E.run ~policy ~initial ~programs ~gc ~crash_probability:crash ~prov
       ~wal:(fun e -> wal := wal_line e :: !wal)
-      ?snapshot_every ~cores ~seed ()
+      ?snapshot_every ~cores ~client_queues:queues ?batch ~ro_snapshot:ro
+      ~seed ()
   in
   (r, List.rev !wal)
 
 let same_run (ra, wa) (rb, wb) =
   ra.E.stats = rb.E.stats
   && ra.E.final_state = rb.E.final_state
+  && ra.E.ro_reads = rb.E.ro_reads
   && wa = wb
   &&
   match (ra.E.provenance, rb.E.provenance) with
@@ -600,9 +619,10 @@ let prop_cores_identity =
       in
       let reference =
         run_logged ~cores:1 ~policy ~programs ~gc ~snapshot_every ~crash ~seed
+          ()
       in
       let sharded =
-        run_logged ~cores ~policy ~programs ~gc ~snapshot_every ~crash ~seed
+        run_logged ~cores ~policy ~programs ~gc ~snapshot_every ~crash ~seed ()
       in
       same_run reference sharded)
 
@@ -613,7 +633,7 @@ let test_sharded_identity_fixed () =
     (fun policy ->
       let at cores =
         run_logged ~cores ~policy ~programs:bank_workload ~gc:true
-          ~snapshot_every:(Some 2) ~crash:0. ~seed:5
+          ~snapshot_every:(Some 2) ~crash:0. ~seed:5 ()
       in
       let reference = at 1 in
       List.iter
@@ -626,6 +646,198 @@ let test_sharded_identity_fixed () =
         [ 2; 3; 4 ])
     [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ]
 
+(* -- partitioned intake -- *)
+
+let test_intake_merge_order () =
+  (* the deal/merge round-trip reproduces the submission order — ids,
+     timestamps, begin events — at every queue count, including counts
+     that do not divide the batch and counts exceeding it *)
+  let programs =
+    List.init 13 (fun i -> P.read_all ~label:(string_of_int i) [ "x" ])
+  in
+  let admit queues =
+    let ts = ref 0 in
+    let begins = ref [] in
+    let cs =
+      Mvcc_engine.Intake.admit ~policy_name:"s2pl" ~programs ~queues
+        ~obs:Sink.noop
+        ~fresh_ts:(fun () ->
+          incr ts;
+          !ts)
+        ~wal_begin:(fun ~txn ~ts -> begins := (txn, ts) :: !begins)
+        ()
+    in
+    ( Array.to_list
+        (Array.map
+           (fun c -> (c.Mvcc_engine.Intake.id, c.Mvcc_engine.Intake.ts))
+           cs),
+      List.rev !begins )
+  in
+  let reference = admit 1 in
+  List.iter
+    (fun q ->
+      check
+        (Printf.sprintf "queues=%d admission = single-queue admission" q)
+        true
+        (admit q = reference))
+    [ 2; 3; 4; 7; 13; 20 ]
+
+let prop_pipeline_identity =
+  QCheck2.Test.make
+    ~name:
+      "client queues, batch mode, and the ro fast path preserve the cores=1 \
+       identity"
+    ~count:50
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ] in
+      let* cores = int_range 1 4 in
+      let* queues = oneofl [ 1; 2; 4 ] in
+      let* batch = oneofl [ None; Some E.Auto; Some (E.Fixed 3) ] in
+      let* ro = bool in
+      let* n_transfers = int_range 1 4 in
+      let* n_readers = int_range 0 3 in
+      let* gc = bool in
+      let* snapshot_every = oneofl [ None; Some 3 ] in
+      let* crash = oneofl [ 0.; 0.05 ] in
+      return
+        ( seed,
+          policy,
+          (cores, queues, batch, ro),
+          (n_transfers, n_readers, gc, snapshot_every, crash) ))
+    (fun
+      ( seed,
+        policy,
+        (cores, queues, batch, ro),
+        (n_transfers, n_readers, gc, snapshot_every, crash) )
+    ->
+      let programs =
+        List.init n_transfers (fun i ->
+            P.transfer
+              ~label:(Printf.sprintf "t%d" i)
+              ~from_:(List.nth accounts (i mod 6))
+              ~to_:(List.nth accounts ((i + 1) mod 6))
+              (1 + i))
+        @ List.init n_readers (fun i ->
+              P.read_all ~label:(Printf.sprintf "r%d" i) accounts)
+      in
+      (* the ro fast path changes scheduling, so its reference is the
+         cores=1 run with the same flag — never the all-in-loop run *)
+      let reference =
+        run_logged ~ro ~cores:1 ~policy ~programs ~gc ~snapshot_every ~crash
+          ~seed ()
+      in
+      let variant =
+        run_logged ~queues ?batch ~ro ~cores ~policy ~programs ~gc
+          ~snapshot_every ~crash ~seed ()
+      in
+      same_run reference variant)
+
+(* -- the off-loop snapshot-read version function -- *)
+
+module W = Mvcc_provenance.Witness
+module Checker = Mvcc_provenance.Checker
+module VF = Mvcc_core.Version_fn
+
+(* Every off-loop read must serve exactly the snapshot-timestamp version
+   function: per entity the newest committed install at or below the
+   snapshot. Checked three ways against the captured install stream —
+   directly against the max-install oracle; against [Version_fn.standard]
+   on the committed prefix (installs at or below the snapshot, replayed
+   in timestamp order, are a serial schedule whose standard version
+   function must be what the reader saw); and through the provenance
+   checker as a [Read_consistent] witness over that prefix. *)
+let prop_ro_snapshot_version_fn =
+  QCheck2.Test.make
+    ~name:"off-loop readers observe the snapshot version function"
+    ~count:40
+    QCheck2.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* policy = oneofl [ E.S2pl; E.To; E.Mvto; E.Si; E.Sgt ] in
+      let* cores = int_range 1 4 in
+      let* n_txns = int_range 4 12 in
+      return (seed, policy, cores, n_txns))
+    (fun (seed, policy, cores, n_txns) ->
+      let initial, programs =
+        Mvcc_workload.Program_gen.mixed ~n_entities:6 ~theta:0.5
+          ~read_fraction:0.5 ~reads_per_txn:3 ~writes_per_txn:2 ~mix_rounds:0
+          ~n_txns ~seed ()
+      in
+      let installs = ref [] in
+      let prov = Mvcc_provenance.Log.create () in
+      let r =
+        E.run ~policy ~initial ~programs ~prov
+          ~wal:(fun e ->
+            match e with
+            | E.Wal_install { entity; wts; txn; _ } ->
+                installs := (entity, wts, txn) :: !installs
+            | _ -> ())
+          ~cores ~ro_snapshot:true ~seed ()
+      in
+      let installs = List.rev !installs in
+      let n_ro = List.length (List.filter P.read_only programs) in
+      let ok_entry (id, snap, views) =
+        let oracle e =
+          List.fold_left
+            (fun acc (e', w, _) -> if e' = e && w <= snap then max acc w else acc)
+            0 installs
+        in
+        let read_order =
+          List.filter_map
+            (function P.Read e -> Some e | P.Write _ -> None)
+            (List.nth programs id).P.ops
+        in
+        List.map fst views = read_order
+        && List.for_all (fun (e, w) -> w = oracle e) views
+        &&
+        (* the committed prefix in timestamp order + the reads, as a
+           schedule: installs of one commit never straddle the snapshot
+           (their timestamps are drawn consecutively), so the prefix is
+           commit-complete and its standard version function is the
+           snapshot's *)
+        let prefix =
+          List.filter (fun (_, w, _) -> w <= snap) installs
+          |> List.stable_sort (fun (_, w1, _) (_, w2, _) -> compare w1 w2)
+        in
+        let steps =
+          List.map (fun (e, _, txn) -> Mvcc_core.Step.write txn e) prefix
+          @ List.map (fun (e, _) -> Mvcc_core.Step.read id e) views
+        in
+        let sched =
+          Mvcc_core.Schedule.of_steps ~n_txns:(List.length programs) steps
+        in
+        let base = List.length prefix in
+        let vf =
+          List.fold_left
+            (fun (pos, vf) (e, w) ->
+              let src =
+                if w = 0 then VF.Initial
+                else
+                  let j = ref (-1) in
+                  List.iteri
+                    (fun k (e', w', _) -> if e' = e && w' = w then j := k)
+                    prefix;
+                  VF.From !j
+              in
+              (pos + 1, VF.add pos src vf))
+            (base, VF.empty) views
+          |> snd
+        in
+        VF.equal vf (VF.standard sched)
+        && Checker.check sched
+             { W.claim = Read_consistent; evidence = Accept_version_fn ([], vf) }
+           = Checker.Confirmed
+      in
+      r.E.stats.E.commits = n_txns
+      && List.length r.E.ro_reads = n_ro
+      && List.for_all ok_entry r.E.ro_reads
+      &&
+      (* the full-run witness still verifies with the off-loop readers in
+         the history *)
+      match r.E.provenance with
+      | Some (h, w) -> Checker.check h w = Checker.Confirmed
+      | None -> false)
+
 let () =
   Alcotest.run "engine"
     [
@@ -637,6 +849,8 @@ let () =
           Alcotest.test_case "invalidation rule" `Quick test_store_invalidation;
           Alcotest.test_case "value map" `Quick test_store_value_map;
           Alcotest.test_case "sharded partitioning" `Quick test_store_sharded;
+          Alcotest.test_case "double fill rejected" `Quick
+            test_store_double_fill;
         ] );
       ( "program",
         [
@@ -683,8 +897,15 @@ let () =
         [
           Alcotest.test_case "cores identity, fixed workload" `Quick
             test_sharded_identity_fixed;
+          Alcotest.test_case "intake merge order" `Quick
+            test_intake_merge_order;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_conservation; prop_cores_identity ] );
+          [
+            prop_conservation;
+            prop_cores_identity;
+            prop_pipeline_identity;
+            prop_ro_snapshot_version_fn;
+          ] );
     ]
